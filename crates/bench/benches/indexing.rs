@@ -1,0 +1,63 @@
+//! Index-construction benchmarks: pivot selection (Algorithm 1), `I_R`,
+//! and `I_S` builds over a scaled synthetic spatial-social network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpssn_index::{
+    select_road_pivots, select_social_pivots, PivotSelectConfig, RoadIndex, RoadIndexConfig,
+    SocialIndex, SocialIndexConfig,
+};
+use gpssn_road::RoadPivots;
+use gpssn_social::SocialPivots;
+use gpssn_ssn::{synthetic, SyntheticConfig};
+
+fn bench_indexing(c: &mut Criterion) {
+    let ssn = synthetic(&SyntheticConfig::uni().scaled(0.05), 9);
+    let mut group = c.benchmark_group("index_build");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+
+    group.bench_function("pivot_select_road_h5", |b| {
+        let cfg = PivotSelectConfig { count: 5, ..Default::default() };
+        b.iter(|| black_box(select_road_pivots(ssn.road(), &cfg)));
+    });
+    group.bench_function("pivot_select_social_l5", |b| {
+        let cfg = PivotSelectConfig { count: 5, ..Default::default() };
+        b.iter(|| black_box(select_social_pivots(ssn.social(), &cfg)));
+    });
+
+    let road_pivots = RoadPivots::new(ssn.road(), vec![0, 100, 200, 300, 400]);
+    group.bench_function("road_index_IR", |b| {
+        b.iter(|| {
+            black_box(RoadIndex::build(
+                ssn.road(),
+                ssn.pois(),
+                road_pivots.clone(),
+                RoadIndexConfig::default(),
+            ))
+        });
+    });
+
+    let social_pivots = SocialPivots::new(ssn.social(), vec![0, 10, 20, 30, 40]);
+    group.bench_function("social_index_IS", |b| {
+        b.iter(|| {
+            black_box(SocialIndex::build(
+                &ssn,
+                social_pivots.clone(),
+                &road_pivots,
+                &SocialIndexConfig::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_indexing
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the individual pruning rules — the per-entry costs
+//! paid inside the index traversal.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpssn_core::pruning::{
+    lb_maxdist_node, lb_maxdist_poi, ub_match_score_keywords, ub_match_score_signature,
+    PruningRegion,
+};
+use gpssn_core::pruning::social_distance::{lb_dist_sn_node, lb_dist_sn_users};
+use gpssn_social::InterestVector;
+use gpssn_spatial::KeywordSignature;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_rules(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let anchor = InterestVector::new((0..5).map(|_| rng.gen_range(0.0..1.0)).collect());
+    let region = PruningRegion::new(&anchor, 0.3);
+    let points: Vec<InterestVector> = (0..256)
+        .map(|_| InterestVector::new((0..5).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect();
+
+    c.bench_function("prune/interest_region_point_x256", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &points {
+                if region.prunes_point(p) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+
+    let lb_w = vec![0.1; 5];
+    let ub_w = vec![0.6; 5];
+    c.bench_function("prune/interest_region_mbr", |b| {
+        b.iter(|| black_box(region.prunes_mbr(&lb_w, &ub_w)));
+    });
+    c.bench_function("prune/interest_region_mbr_tight", |b| {
+        b.iter(|| black_box(region.prunes_mbr_tight(&ub_w)));
+    });
+
+    let sig = KeywordSignature::from_keywords([0, 2, 4]);
+    c.bench_function("prune/match_signature", |b| {
+        b.iter(|| black_box(ub_match_score_signature(&anchor, &sig)));
+    });
+    let keywords = vec![0u32, 2, 4];
+    c.bench_function("prune/match_keywords", |b| {
+        b.iter(|| black_box(ub_match_score_keywords(&anchor, &keywords)));
+    });
+
+    let uq_rn: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..50.0)).collect();
+    let poi_rn: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..50.0)).collect();
+    let lb_p: Vec<f64> = poi_rn.iter().map(|x| x - 1.0).collect();
+    let ub_p: Vec<f64> = poi_rn.iter().map(|x| x + 1.0).collect();
+    c.bench_function("prune/road_lb_poi", |b| {
+        b.iter(|| black_box(lb_maxdist_poi(&uq_rn, &poi_rn)));
+    });
+    c.bench_function("prune/road_lb_node", |b| {
+        b.iter(|| black_box(lb_maxdist_node(&uq_rn, &lb_p, &ub_p)));
+    });
+
+    let uq_sn = [2u32, 5, 1, 7, 3];
+    let user_sn = [4u32, 2, 6, 3, 8];
+    c.bench_function("prune/social_lb_users", |b| {
+        b.iter(|| black_box(lb_dist_sn_users(&uq_sn, &user_sn)));
+    });
+    let lb_sn = [1u32, 1, 1, 1, 1];
+    let ub_sn = [9u32, 9, 9, 9, 9];
+    c.bench_function("prune/social_lb_node", |b| {
+        b.iter(|| black_box(lb_dist_sn_node(&uq_sn, &lb_sn, &ub_sn)));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_rules
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Dataset generator CLI: builds one of the four evaluation datasets and
+//! writes it to the plain-text `.ssn` format (readable back by `gpq` and
+//! `gpssn_ssn::load_ssn`).
+//!
+//! ```text
+//! cargo run --release -p gpssn-bench --bin datagen -- \
+//!     --kind uni --scale 0.1 --seed 42 --out city.ssn
+//! ```
+
+use gpssn_ssn::{save_ssn, DatasetKind, DatasetStats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind = DatasetKind::Uni;
+    let mut scale = 0.1f64;
+    let mut seed = 42u64;
+    let mut out = String::from("dataset.ssn");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kind" => {
+                i += 1;
+                kind = match args[i].to_lowercase().as_str() {
+                    "uni" => DatasetKind::Uni,
+                    "zipf" => DatasetKind::Zipf,
+                    "bri-cal" | "brical" | "bri+cal" => DatasetKind::BriCal,
+                    "gow-col" | "gowcol" | "gow+col" => DatasetKind::GowCol,
+                    other => {
+                        eprintln!("unknown kind {other:?} (uni|zipf|bri-cal|gow-col)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: datagen [--kind uni|zipf|bri-cal|gow-col] [--scale F] \
+                     [--seed N] [--out FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    eprintln!("generating {} at scale {scale} (seed {seed})...", kind.name());
+    let ssn = kind.build(scale, seed);
+    eprintln!("  {}", DatasetStats::of(&ssn));
+    save_ssn(&ssn, &out).expect("failed to write dataset");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,82 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p gpssn-bench --bin experiments -- all
+//! cargo run --release -p gpssn-bench --bin experiments -- fig8 fig9 --scale 0.2
+//! ```
+//!
+//! Flags: `--scale <f64>` (dataset scale, default 0.1), `--seed <u64>`,
+//! `--queries <n>` (queries averaged per point, default 5).
+
+use gpssn_bench::experiments::{fig7, fig8, sweeps, tables};
+use gpssn_bench::runner::ExperimentContext;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "appP-theta", "appP-r",
+    "appP-gamma", "appP-pivots", "appP-vs", "cache",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExperimentContext::default();
+    if let Ok(s) = std::env::var("GPSSN_SCALE") {
+        ctx.scale = s.parse().expect("GPSSN_SCALE must be a float");
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--queries" => {
+                i += 1;
+                ctx.queries_per_point = args[i].parse().expect("--queries takes an integer");
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() || ids.iter().any(|s| s == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "GP-SSN experiment harness  (scale {}, seed {}, {} queries/point)",
+        ctx.scale, ctx.seed, ctx.queries_per_point
+    );
+    for id in &ids {
+        run(id, &ctx);
+    }
+}
+
+fn run(id: &str, ctx: &ExperimentContext) {
+    match id {
+        "table1" => {
+            for t in tables::table1() {
+                t.print();
+            }
+        }
+        "table2" => tables::table2(ctx).print(),
+        "fig7" | "fig7a" | "fig7b" | "fig7c" | "fig7d" => {
+            for t in fig7::fig7(ctx) {
+                t.print();
+            }
+        }
+        "fig8" => fig8::fig8(ctx).print(),
+        "fig9" => sweeps::fig9(ctx).print(),
+        "fig10" => sweeps::fig10(ctx).print(),
+        "fig11" => sweeps::fig11(ctx).print(),
+        "appP-theta" => sweeps::app_p_theta(ctx).print(),
+        "appP-r" => sweeps::app_p_r(ctx).print(),
+        "appP-gamma" => sweeps::app_p_gamma(ctx).print(),
+        "appP-pivots" => sweeps::app_p_pivots(ctx).print(),
+        "appP-vs" => sweeps::app_p_vs(ctx).print(),
+        "cache" => sweeps::cache_sweep(ctx).print(),
+        other => eprintln!("unknown experiment id: {other} (known: {ALL:?})"),
+    }
+}

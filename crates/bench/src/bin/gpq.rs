@@ -1,0 +1,136 @@
+//! GP-SSN query CLI: loads a `.ssn` dataset (see `datagen`), builds the
+//! indexes, and answers queries from the command line.
+//!
+//! ```text
+//! cargo run --release -p gpssn-bench --bin gpq -- \
+//!     --data city.ssn --user 11 --tau 4 --gamma 0.3 --theta 0.4 --r 2 \
+//!     [--top-k 3] [--approx 64] [--tune 0.7]
+//! ```
+
+use gpssn_core::{suggest_parameters, EngineConfig, GpSsnEngine, GpSsnQuery};
+use gpssn_ssn::{load_ssn, DatasetStats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut data = String::from("dataset.ssn");
+    let mut q = GpSsnQuery::with_defaults(0);
+    let mut top_k = 1usize;
+    let mut approx: Option<usize> = None;
+    let mut tune: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => {
+                i += 1;
+                data = args[i].clone();
+            }
+            "--user" => {
+                i += 1;
+                q.user = args[i].parse().expect("--user takes an id");
+            }
+            "--tau" => {
+                i += 1;
+                q.tau = args[i].parse().expect("--tau takes an integer");
+            }
+            "--gamma" => {
+                i += 1;
+                q.gamma = args[i].parse().expect("--gamma takes a float");
+            }
+            "--theta" => {
+                i += 1;
+                q.theta = args[i].parse().expect("--theta takes a float");
+            }
+            "--r" => {
+                i += 1;
+                q.radius = args[i].parse().expect("--r takes a float");
+            }
+            "--top-k" => {
+                i += 1;
+                top_k = args[i].parse().expect("--top-k takes an integer");
+            }
+            "--approx" => {
+                i += 1;
+                approx = Some(args[i].parse().expect("--approx takes a sample count"));
+            }
+            "--tune" => {
+                i += 1;
+                tune = Some(args[i].parse().expect("--tune takes a percentile in [0,1]"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
+                     [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("loading {data}...");
+    let ssn = load_ssn(&data).expect("failed to load dataset");
+    eprintln!("  {}", DatasetStats::of(&ssn));
+
+    if let Some(pctl) = tune {
+        let tuned = suggest_parameters(&ssn, &[], pctl, 512, 7);
+        q.gamma = tuned.gamma;
+        q.theta = tuned.theta;
+        eprintln!(
+            "tuned from data distributions (pctl {pctl}): gamma={:.3} theta={:.3}",
+            q.gamma, q.theta
+        );
+    }
+
+    eprintln!("building indexes...");
+    let engine = GpSsnEngine::build(&ssn, EngineConfig::default());
+    eprintln!(
+        "  I_R {} pages, I_S {} pages",
+        engine.road_index().num_pages(),
+        engine.social_index().num_pages()
+    );
+    eprintln!("query: {q:?}");
+
+    if let Some(samples) = approx {
+        let out = engine.query_approximate(&q, samples, 7);
+        report("approximate", &out.answer, out.metrics.io_pages, out.metrics.cpu);
+        return;
+    }
+    if top_k > 1 {
+        let answers = engine.query_top_k(&q, top_k);
+        if answers.is_empty() {
+            println!("no feasible answers");
+        }
+        for (rank, ans) in answers.iter().enumerate() {
+            println!(
+                "#{}: maxdist={:.4} S={:?} R={:?}",
+                rank + 1,
+                ans.maxdist,
+                ans.users,
+                ans.pois
+            );
+        }
+        return;
+    }
+    let out = engine.query(&q);
+    report("exact", &out.answer, out.metrics.io_pages, out.metrics.cpu);
+}
+
+fn report(
+    mode: &str,
+    answer: &Option<gpssn_core::GpSsnAnswer>,
+    io: u64,
+    cpu: std::time::Duration,
+) {
+    match answer {
+        Some(ans) => println!(
+            "{mode} answer: maxdist={:.4} S={:?} R={:?}",
+            ans.maxdist, ans.users, ans.pois
+        ),
+        None => println!("{mode}: no feasible answer"),
+    }
+    println!("cost: {cpu:.2?}, {io} page accesses");
+}

@@ -1,0 +1,64 @@
+//! Figure 7: pruning powers of the GP-SSN strategies on the four
+//! datasets, all parameters at their defaults.
+
+use super::run_queries;
+use crate::runner::{ExperimentContext, Table};
+use gpssn_ssn::DatasetKind;
+
+/// Runs all four Figure-7 panels and returns their tables.
+pub fn fig7(ctx: &ExperimentContext) -> Vec<Table> {
+    let mut a = Table::new(
+        "Fig 7(a): index-level and object-level pruning power",
+        &["dataset", "SN index", "SN object", "RN index", "RN object"],
+    );
+    let mut b = Table::new(
+        "Fig 7(b): user pruning on social networks",
+        &["dataset", "SN-distance", "interest-score"],
+    );
+    let mut c = Table::new(
+        "Fig 7(c): POI pruning on road networks",
+        &["dataset", "RN-distance", "matching-score"],
+    );
+    let mut d = Table::new(
+        "Fig 7(d): pruning power of user-POI group pairs",
+        &["dataset", "pair pruning power"],
+    );
+    for kind in DatasetKind::all() {
+        let ssn = kind.build(ctx.scale, ctx.seed);
+        let engine = ctx.engine(&ssn, ctx.engine_config());
+        let avg = run_queries(ctx, &engine, &ctx.default_query(), true);
+        let pct = |x: f64| format!("{:.1}%", 100.0 * x);
+        a.push_row(vec![
+            kind.name().into(),
+            pct(avg.social_index_power),
+            pct(avg.social_object_power),
+            pct(avg.road_index_power),
+            pct(avg.road_object_power),
+        ]);
+        b.push_row(vec![
+            kind.name().into(),
+            pct(avg.social_distance_power),
+            pct(avg.interest_power),
+        ]);
+        c.push_row(vec![
+            kind.name().into(),
+            pct(avg.road_distance_power),
+            pct(avg.matching_power),
+        ]);
+        d.push_row(vec![kind.name().into(), format!("{:.5}%", 100.0 * avg.pair_power)]);
+    }
+    vec![a, b, c, d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_produces_four_panels() {
+        let ctx = ExperimentContext { scale: 0.006, queries_per_point: 1, ..Default::default() };
+        let tables = fig7(&ctx);
+        assert_eq!(tables.len(), 4);
+        assert!(tables[0].render().contains("UNI"));
+    }
+}

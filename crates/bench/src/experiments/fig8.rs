@@ -1,0 +1,50 @@
+//! Figure 8: GP-SSN versus the Baseline on the four datasets (CPU time
+//! and I/O cost). The Baseline cost is the paper's 100-sample
+//! extrapolation (`avg per-pair cost × C(m, τ)`), which lands in the
+//! "takes years" regime the paper reports (1.9 × 10¹³ days at full
+//! scale).
+
+use super::run_queries;
+use crate::runner::{fmt_seconds, ExperimentContext, Table};
+use gpssn_core::estimate_baseline_cost;
+use gpssn_core::GpSsnQuery;
+use gpssn_ssn::DatasetKind;
+
+/// Runs the GP-SSN vs Baseline comparison.
+pub fn fig8(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "Fig 8: GP-SSN vs Baseline (CPU time, I/O cost)",
+        &["dataset", "GP-SSN CPU", "GP-SSN I/O", "answered", "Baseline CPU (est.)", "Baseline I/O (est.)"],
+    );
+    for kind in DatasetKind::all() {
+        let ssn = kind.build(ctx.scale, ctx.seed);
+        let engine = ctx.engine(&ssn, ctx.engine_config());
+        let avg = run_queries(ctx, &engine, &ctx.default_query(), false);
+        let users = ctx.sample_query_users(&ssn, 1);
+        let q = GpSsnQuery { user: users[0], ..ctx.default_query() };
+        let est = estimate_baseline_cost(&ssn, &q, 100);
+        t.push_row(vec![
+            kind.name().into(),
+            fmt_seconds(avg.cpu_seconds),
+            format!("{:.0}", avg.io_pages),
+            format!("{:.0}%", 100.0 * avg.hit_rate),
+            fmt_seconds(est.cpu_seconds),
+            format!("{:.2e}", est.io_pages),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_reports_orders_of_magnitude_gap() {
+        let ctx = ExperimentContext { scale: 0.006, queries_per_point: 1, ..Default::default() };
+        let t = fig8(&ctx);
+        let r = t.render();
+        assert!(r.contains("UNI"));
+        assert!(r.contains("Baseline"));
+    }
+}

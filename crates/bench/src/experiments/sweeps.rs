@@ -1,0 +1,230 @@
+//! Parameter sweeps: Figures 9–11 and the Appendix-P experiments
+//! (`θ`, `r`, `γ`, number of pivots, `|V(G_s)|`), each on both synthetic
+//! datasets (UNI, ZIPF) with all other parameters at their defaults.
+
+use super::run_queries;
+use crate::runner::{ExperimentContext, Table};
+use gpssn_core::GpSsnQuery;
+use gpssn_ssn::{synthetic, SyntheticConfig};
+
+fn ms(x: f64) -> String {
+    format!("{:.2}ms", x * 1e3)
+}
+
+fn synthetic_pair(ctx: &ExperimentContext, tweak: impl Fn(&mut SyntheticConfig)) -> [(String, gpssn_ssn::SpatialSocialNetwork); 2] {
+    let mut uni = SyntheticConfig::uni().scaled(ctx.scale);
+    let mut zipf = SyntheticConfig::zipf().scaled(ctx.scale);
+    tweak(&mut uni);
+    tweak(&mut zipf);
+    [
+        ("UNI".to_string(), synthetic(&uni, ctx.seed)),
+        ("ZIPF".to_string(), synthetic(&zipf, ctx.seed)),
+    ]
+}
+
+/// Sweep over a query-level parameter (no dataset/engine rebuild).
+fn query_sweep(
+    ctx: &ExperimentContext,
+    title: &str,
+    values: &[f64],
+    label: impl Fn(f64) -> String,
+    apply: impl Fn(&mut GpSsnQuery, f64),
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &["value", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
+    );
+    let pair = synthetic_pair(ctx, |_| {});
+    let engines: Vec<_> =
+        pair.iter().map(|(_, ssn)| ctx.engine(ssn, ctx.engine_config())).collect();
+    for &v in values {
+        let mut cells = vec![label(v)];
+        for engine in &engines {
+            let mut q = ctx.default_query();
+            apply(&mut q, v);
+            let avg = run_queries(ctx, engine, &q, false);
+            cells.push(ms(avg.cpu_seconds));
+            cells.push(format!("{:.0}", avg.io_pages));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+/// Figure 9: effect of the user group size `τ`.
+pub fn fig9(ctx: &ExperimentContext) -> Table {
+    query_sweep(
+        ctx,
+        "Fig 9: GP-SSN performance vs user group size tau",
+        &[2.0, 3.0, 5.0, 7.0, 10.0],
+        |v| format!("{}", v as usize),
+        |q, v| q.tau = v as usize,
+    )
+}
+
+/// Appendix P: effect of the matching threshold `θ`.
+pub fn app_p_theta(ctx: &ExperimentContext) -> Table {
+    query_sweep(
+        ctx,
+        "App P: GP-SSN performance vs matching threshold theta",
+        &[0.2, 0.3, 0.5, 0.7, 0.9],
+        |v| format!("{v}"),
+        |q, v| q.theta = v,
+    )
+}
+
+/// Appendix P: effect of the radius `r`.
+pub fn app_p_r(ctx: &ExperimentContext) -> Table {
+    query_sweep(
+        ctx,
+        "App P: GP-SSN performance vs spatial radius r",
+        &[0.5, 1.0, 2.0, 3.0, 4.0],
+        |v| format!("{v}"),
+        |q, v| q.radius = v,
+    )
+}
+
+/// Appendix P: effect of the interest threshold `γ`.
+pub fn app_p_gamma(ctx: &ExperimentContext) -> Table {
+    query_sweep(
+        ctx,
+        "App P: GP-SSN performance vs interest threshold gamma",
+        &[0.2, 0.3, 0.5, 0.7, 0.9],
+        |v| format!("{v}"),
+        |q, v| q.gamma = v,
+    )
+}
+
+/// Sweep over a dataset-level cardinality (rebuilds data + engine).
+fn dataset_sweep(
+    ctx: &ExperimentContext,
+    title: &str,
+    values: &[usize],
+    apply: impl Fn(&mut SyntheticConfig, usize),
+) -> Table {
+    let mut t = Table::new(
+        title,
+        &["value (paper-scale)", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
+    );
+    for &v in values {
+        let scaled = ((v as f64 * ctx.scale) as usize).max(16);
+        let mut cells = vec![format!("{v} (run at {scaled})")];
+        for (_, ssn) in synthetic_pair(ctx, |cfg| apply(cfg, scaled)) {
+            let engine = ctx.engine(&ssn, ctx.engine_config());
+            let avg = run_queries(ctx, &engine, &ctx.default_query(), false);
+            cells.push(ms(avg.cpu_seconds));
+            cells.push(format!("{:.0}", avg.io_pages));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+/// Figure 10: effect of the number of POIs `n`.
+pub fn fig10(ctx: &ExperimentContext) -> Table {
+    dataset_sweep(
+        ctx,
+        "Fig 10: GP-SSN performance vs number of POIs n",
+        &[3_000, 5_000, 10_000, 15_000, 20_000],
+        |cfg, v| cfg.poi.num_pois = v,
+    )
+}
+
+/// Figure 11: effect of the road-network size `|V(G_r)|`.
+pub fn fig11(ctx: &ExperimentContext) -> Table {
+    dataset_sweep(
+        ctx,
+        "Fig 11: GP-SSN performance vs |V(Gr)|",
+        &[10_000, 20_000, 30_000, 40_000, 50_000],
+        |cfg, v| cfg.road.num_vertices = v,
+    )
+}
+
+/// Appendix P / scalability: effect of the social-network size
+/// `|V(G_s)|`.
+pub fn app_p_vs(ctx: &ExperimentContext) -> Table {
+    dataset_sweep(
+        ctx,
+        "App P: GP-SSN performance vs |V(Gs)|",
+        &[10_000, 20_000, 30_000, 40_000, 50_000],
+        |cfg, v| cfg.social.num_users = v,
+    )
+}
+
+/// Appendix P: effect of the number of pivots `h = l`.
+pub fn app_p_pivots(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "App P: GP-SSN performance vs number of pivots (h = l)",
+        &["pivots", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
+    );
+    let pair = synthetic_pair(ctx, |_| {});
+    for &p in &[2usize, 3, 5, 7, 10] {
+        let mut cells = vec![p.to_string()];
+        for (_, ssn) in &pair {
+            let mut cfg = ctx.engine_config();
+            cfg.num_road_pivots = p;
+            cfg.num_social_pivots = p;
+            let engine = ctx.engine(ssn, cfg);
+            let avg = run_queries(ctx, &engine, &ctx.default_query(), false);
+            cells.push(ms(avg.cpu_seconds));
+            cells.push(format!("{:.0}", avg.io_pages));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+/// Extension experiment: physical I/O versus buffer-pool size (classic
+/// database curve; `0` disables the pool and reproduces the paper's raw
+/// page-access metric).
+pub fn cache_sweep(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "Ext: physical I/O vs buffer-pool size (pages)",
+        &["pool size", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
+    );
+    let pair = synthetic_pair(ctx, |_| {});
+    for &cap in &[0usize, 16, 64, 256, 1024] {
+        let mut cells = vec![if cap == 0 { "none".to_string() } else { cap.to_string() }];
+        for (_, ssn) in &pair {
+            let mut cfg = ctx.engine_config();
+            cfg.page_cache_capacity = if cap == 0 { None } else { Some(cap) };
+            let engine = ctx.engine(ssn, cfg);
+            // Warm the pool with one pass, then measure.
+            let _ = run_queries(ctx, &engine, &ctx.default_query(), false);
+            let avg = run_queries(ctx, &engine, &ctx.default_query(), false);
+            cells.push(ms(avg.cpu_seconds));
+            cells.push(format!("{:.0}", avg.io_pages));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext { scale: 0.005, queries_per_point: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn fig9_has_five_rows() {
+        let t = fig9(&tiny_ctx());
+        let r = t.render();
+        assert!(r.contains("10"));
+        assert!(r.matches("ms").count() >= 10);
+    }
+
+    #[test]
+    fn pivots_sweep_runs() {
+        let t = app_p_pivots(&tiny_ctx());
+        assert!(t.render().contains("pivots"));
+    }
+
+    #[test]
+    fn cache_sweep_runs() {
+        let t = cache_sweep(&tiny_ctx());
+        assert!(t.render().contains("none"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Tables 1 and 2 of the paper.
+
+use crate::runner::{ExperimentContext, Table};
+use gpssn_social::{interest_score, InterestVector};
+use gpssn_ssn::{DatasetKind, DatasetStats};
+
+/// Table 1: the running example's interest keyword vectors, plus the
+/// derived pairwise interest scores (Eq. 1) for the Figure-1 users.
+pub fn table1() -> Vec<Table> {
+    let names = ["u1", "u2", "u3", "u4", "u5"];
+    let vectors = [
+        InterestVector::new(vec![0.7, 0.3, 0.7]),
+        InterestVector::new(vec![0.2, 0.9, 0.3]),
+        InterestVector::new(vec![0.4, 0.8, 0.8]),
+        InterestVector::new(vec![0.9, 0.7, 0.7]),
+        InterestVector::new(vec![0.1, 0.8, 0.5]),
+    ];
+    let mut t = Table::new(
+        "Table 1: interest keyword vectors u_j.w",
+        &["user", "restaurant", "shopping mall", "cafe"],
+    );
+    for (name, v) in names.iter().zip(vectors.iter()) {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.1}", v.weight(0)),
+            format!("{:.1}", v.weight(1)),
+            format!("{:.1}", v.weight(2)),
+        ]);
+    }
+    let mut s = Table::new(
+        "Derived: pairwise Interest_Score (Eq. 1)",
+        &["pair", "score"],
+    );
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            s.push_row(vec![
+                format!("{},{}", names[i], names[j]),
+                format!("{:.2}", interest_score(&vectors[i], &vectors[j])),
+            ]);
+        }
+    }
+    vec![t, s]
+}
+
+/// Table 2: statistics of the four datasets at the context scale.
+pub fn table2(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        format!("Table 2: dataset statistics (scale {})", ctx.scale),
+        &["dataset", "|V(Gs)|", "deg(Gs)", "|V(Gr)|", "deg(Gr)", "n POIs"],
+    );
+    for kind in DatasetKind::all() {
+        let ssn = kind.build(ctx.scale, ctx.seed);
+        let s = DatasetStats::of(&ssn);
+        t.push_row(vec![
+            kind.name().to_string(),
+            s.users.to_string(),
+            format!("{:.1}", s.avg_social_degree),
+            s.road_vertices.to_string(),
+            format!("{:.1}", s.avg_road_degree),
+            s.pois.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let tables = table1();
+        let r = tables[0].render();
+        assert!(r.contains("0.7"));
+        let s = tables[1].render();
+        // u1·u4 = 0.63 + 0.21 + 0.49 = 1.33.
+        assert!(s.contains("1.33"), "{s}");
+    }
+
+    #[test]
+    fn table2_has_four_rows() {
+        let ctx = ExperimentContext { scale: 0.005, queries_per_point: 1, ..Default::default() };
+        let t = table2(&ctx);
+        let r = t.render();
+        for name in ["UNI", "ZIPF", "Bri+Cal", "Gow+Col"] {
+            assert!(r.contains(name), "missing {name} in\n{r}");
+        }
+    }
+}

@@ -1,0 +1,960 @@
+//! The GP-SSN query answering engine (paper Section 5, Algorithm 2).
+//!
+//! Index construction selects pivots (Algorithm 1), builds `I_R` and
+//! `I_S`, and the query path then runs:
+//!
+//! 1. **Social traversal** — level-by-level expansion of `I_S` from the
+//!    root, pruning nodes by the interest-region test (Lemma 8) and the
+//!    social-distance bound (Lemma 9), then pruning leaf users by
+//!    Lemma 3 / Corollary 1 and Lemma 4, and finally Corollary 2.
+//! 2. **Road traversal** — a best-first expansion of `I_R` on the
+//!    min-heap key `lb_maxdist` (Eq. 17), pruning by the matching-score
+//!    bound (Lemmas 1 and 6) and by the paper's threshold `δ` (the
+//!    smallest Eq. 16 upper bound among candidates whose `sub_K` lower
+//!    bound certifies a `θ`-matching set, Eq. 18). This is the same rule
+//!    set as Algorithm 2's level-synchronized loop; best-first order
+//!    simply pops the heap in a single pass.
+//! 3. **Refinement** — candidate centers verified in ascending `lb`
+//!    order with early termination (`lb >= best`).
+//!
+//! **Exactness.** The paper's `δ` cut can, in corner cases, discard the
+//! region holding the only (or a better) feasible answer, because the
+//! Eq. 18 guard certifies matching for `u_q` but not group feasibility.
+//! We therefore never *drop* `δ`-cut items: they move to a deferred list
+//! (no I/O — the nodes are not read), and after refinement any deferred
+//! item whose `lb` still beats the best verified answer is expanded under
+//! the proven bound. In the common case the deferred list is never
+//! touched and the traversal I/O matches the paper's; in the corner case
+//! the engine stays exact (the property tests against brute force check
+//! this).
+
+use crate::pruning::{
+    lb_match_score_node, lb_maxdist_node, lb_maxdist_poi, prune_node_by_social_distance,
+    prune_user_by_social_distance, ub_match_score_keywords, ub_match_score_signature,
+    ub_maxdist_node, ub_maxdist_poi, corollary2_filter, PruningRegion,
+};
+use crate::query::{GpSsnAnswer, GpSsnQuery};
+use crate::refinement::verify_center;
+use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome};
+use gpssn_index::{
+    select_road_pivots, select_social_pivots, IoCounter, PivotSelectConfig, RoadIndex,
+    RoadIndexConfig, SocialIndex, SocialIndexConfig,
+};
+use gpssn_road::{PoiId, RoadPivots};
+use gpssn_social::{SocialPivots, UserId};
+use gpssn_spatial::Entry;
+use gpssn_ssn::SpatialSocialNetwork;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of road pivots `h`.
+    pub num_road_pivots: usize,
+    /// Number of social pivots `l`.
+    pub num_social_pivots: usize,
+    /// `I_R` build parameters.
+    pub road_index: RoadIndexConfig,
+    /// `I_S` build parameters.
+    pub social_index: SocialIndexConfig,
+    /// Algorithm 1 parameters.
+    pub pivot_select: PivotSelectConfig,
+    /// Per-center cap on refinement subset enumeration (safety valve).
+    pub enumeration_cap: usize,
+    /// Optional LRU buffer pool (in pages) in front of the simulated
+    /// index file: I/O then counts misses only. `None` reproduces the
+    /// paper's raw page-access metric.
+    pub page_cache_capacity: Option<usize>,
+    /// Build a pruned-landmark (2-hop) labeling of `G_s` and use *exact*
+    /// hop distances for the object-level social-distance rule (Lemma 4
+    /// with the bound replaced by the true `dist_SN`). The paper's pivot
+    /// lower bounds remain the default; exact labels trade index build
+    /// time for maximal distance-pruning power.
+    pub exact_social_distance: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_road_pivots: 5,
+            num_social_pivots: 5,
+            road_index: RoadIndexConfig::default(),
+            social_index: SocialIndexConfig::default(),
+            pivot_select: PivotSelectConfig::default(),
+            enumeration_cap: 200_000,
+            page_cache_capacity: None,
+            exact_social_distance: false,
+        }
+    }
+}
+
+/// Per-query switches (ablations and stats collection).
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Gather the Figure-7 pruning-power counters (adds one linear pass
+    /// over users and POIs).
+    pub collect_stats: bool,
+    /// Interest-score pruning (Lemma 3 / Corollary 1 / Lemma 8).
+    pub use_interest_pruning: bool,
+    /// Social-distance pruning (Lemmas 4 and 9).
+    pub use_social_distance_pruning: bool,
+    /// Matching-score pruning (Lemmas 1 and 6).
+    pub use_matching_pruning: bool,
+    /// `δ` distance pruning (Lemmas 5 and 7).
+    pub use_delta_pruning: bool,
+    /// Use the exact halfspace-corner MBR test instead of the paper's
+    /// geometric `maxdist`/`mindist` comparison for Lemma 8 (the
+    /// geometric test is sufficient-only; the tight test prunes more).
+    pub use_tight_mbr_test: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            collect_stats: false,
+            use_interest_pruning: true,
+            use_social_distance_pruning: true,
+            use_matching_pruning: true,
+            use_delta_pruning: true,
+            use_tight_mbr_test: false,
+        }
+    }
+}
+
+/// The GP-SSN engine: both indexes plus the query algorithm.
+pub struct GpSsnEngine<'a> {
+    ssn: &'a SpatialSocialNetwork,
+    road_index: RoadIndex,
+    social_index: SocialIndex,
+    cfg: EngineConfig,
+    /// Shared LRU buffer pool (when configured): persists across queries
+    /// like a real database buffer manager, so hot pages (roots, upper
+    /// index levels) stop costing physical reads after warm-up.
+    page_cache: Option<std::sync::Mutex<gpssn_index::io::PageCache>>,
+    /// Exact 2-hop labels of `G_s` (when configured).
+    hop_labels: Option<gpssn_graph::HopLabels>,
+}
+
+/// Work items of the road-side best-first traversal.
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Node(u32),
+    Center(PoiId),
+}
+
+impl<'a> GpSsnEngine<'a> {
+    /// Builds the engine: pivot selection (Algorithm 1), `I_R`, `I_S`.
+    pub fn build(ssn: &'a SpatialSocialNetwork, cfg: EngineConfig) -> Self {
+        let mut ps_road = cfg.pivot_select.clone();
+        ps_road.count = cfg.num_road_pivots;
+        let road_pivot_ids = select_road_pivots(ssn.road(), &ps_road);
+        let road_pivots = RoadPivots::new(ssn.road(), road_pivot_ids);
+
+        let mut ps_soc = cfg.pivot_select.clone();
+        ps_soc.count = cfg.num_social_pivots;
+        let social_pivot_ids = select_social_pivots(ssn.social(), &ps_soc);
+        let social_pivots = SocialPivots::new(ssn.social(), social_pivot_ids);
+
+        let road_index =
+            RoadIndex::build(ssn.road(), ssn.pois(), road_pivots, cfg.road_index.clone());
+        let social_index =
+            SocialIndex::build(ssn, social_pivots, road_index.pivots(), &cfg.social_index);
+        let page_cache = cfg
+            .page_cache_capacity
+            .map(|cap| std::sync::Mutex::new(gpssn_index::io::PageCache::new(cap)));
+        let hop_labels = cfg
+            .exact_social_distance
+            .then(|| gpssn_graph::HopLabels::build(ssn.social().graph()));
+        GpSsnEngine { ssn, road_index, social_index, cfg, page_cache, hop_labels }
+    }
+
+    /// The spatial-social network this engine serves.
+    pub fn ssn(&self) -> &SpatialSocialNetwork {
+        self.ssn
+    }
+
+    /// The road index `I_R`.
+    pub fn road_index(&self) -> &RoadIndex {
+        &self.road_index
+    }
+
+    /// The social index `I_S`.
+    pub fn social_index(&self) -> &SocialIndex {
+        &self.social_index
+    }
+
+    /// Runs a query with default options.
+    pub fn query(&self, q: &GpSsnQuery) -> QueryOutcome {
+        self.query_with_options(q, &QueryOptions::default())
+    }
+
+    /// Runs a query with explicit options.
+    pub fn query_with_options(&self, q: &GpSsnQuery, opts: &QueryOptions) -> QueryOutcome {
+        q.validate().expect("invalid query parameters");
+        assert!(
+            q.radius >= self.cfg.road_index.r_min && q.radius <= self.cfg.road_index.r_max,
+            "query radius outside the index's [r_min, r_max] range"
+        );
+        let start = Instant::now();
+        let io = IoCounter::new();
+        let mut stats = PruningStats {
+            users_total: self.ssn.social().num_users(),
+            pois_total: self.ssn.pois().len(),
+            ..Default::default()
+        };
+
+        let candidates = self.social_phase(q, opts, &io, &mut stats);
+        let (answer, delta) = self.road_phase(q, opts, &candidates, &io, &mut stats);
+
+        if opts.collect_stats {
+            self.independent_rule_measurement(q, delta, &mut stats);
+            stats.pairs_total_estimate =
+                binomial_f64(self.ssn.social().num_users(), q.tau) * self.ssn.pois().len() as f64;
+        }
+        stats.candidate_users = candidates.len();
+
+        QueryOutcome {
+            answer,
+            metrics: QueryMetrics { cpu: start.elapsed(), io_pages: io.count(), stats },
+        }
+    }
+
+    /// Answers a batch of queries in parallel on `threads` OS threads
+    /// (the engine is immutable after construction, so queries share the
+    /// indexes freely). Results come back in input order.
+    pub fn query_batch(&self, queries: &[GpSsnQuery], threads: usize) -> Vec<QueryOutcome> {
+        assert!(threads >= 1, "need at least one thread");
+        if threads == 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, r) in qs.iter().zip(rs.iter_mut()) {
+                        *r = Some(self.query(q));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Approximate query using the paper's future-work *subset sampling*
+    /// (Section 5): the index traversal is unchanged, but refinement
+    /// draws `samples_per_center` random connected groups instead of
+    /// enumerating. Any returned answer satisfies Definition 5 exactly;
+    /// it may be suboptimal (or missed) — see the ablation benches for
+    /// the quality/time trade-off.
+    pub fn query_approximate(
+        &self,
+        q: &GpSsnQuery,
+        samples_per_center: usize,
+        seed: u64,
+    ) -> QueryOutcome {
+        q.validate().expect("invalid query parameters");
+        let start = Instant::now();
+        let io = IoCounter::new();
+        let opts = QueryOptions::default();
+        let mut stats = PruningStats {
+            users_total: self.ssn.social().num_users(),
+            pois_total: self.ssn.pois().len(),
+            ..Default::default()
+        };
+        let candidates = self.social_phase(q, &opts, &io, &mut stats);
+        let mut centers = self.collect_centers(q, &opts, &candidates, &io, &mut stats);
+        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut best: Option<GpSsnAnswer> = None;
+        let mut best_val = f64::INFINITY;
+        for &(lb, center) in &centers {
+            if lb >= best_val {
+                break;
+            }
+            let filtered = self.filter_candidates_for_center(&candidates, center, best_val);
+            if let Some(ans) = crate::sampling::verify_center_sampled(
+                self.ssn, q, &filtered, center, best_val, samples_per_center, &mut rng,
+            ) {
+                best_val = ans.maxdist;
+                best = Some(ans);
+            }
+        }
+        QueryOutcome {
+            answer: best,
+            metrics: QueryMetrics { cpu: start.elapsed(), io_pages: io.count(), stats },
+        }
+    }
+
+    /// Top-`k` GP-SSN: the `k` best answers over *distinct candidate
+    /// centers* (each center contributes its optimal feasible group),
+    /// sorted by ascending `maxdist`. `k = 1` coincides with
+    /// [`GpSsnEngine::query`]'s optimum.
+    pub fn query_top_k(&self, q: &GpSsnQuery, k: usize) -> Vec<GpSsnAnswer> {
+        assert!(k >= 1, "k must be positive");
+        q.validate().expect("invalid query parameters");
+        let io = IoCounter::new();
+        let opts = QueryOptions { use_delta_pruning: false, ..Default::default() };
+        let mut stats = PruningStats::default();
+        let candidates = self.social_phase(q, &opts, &io, &mut stats);
+        let mut centers = self.collect_centers(q, &opts, &candidates, &io, &mut stats);
+        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut best_k: Vec<GpSsnAnswer> = Vec::new();
+        for &(lb, center) in &centers {
+            let bound = if best_k.len() < k {
+                f64::INFINITY
+            } else {
+                best_k.last().expect("non-empty").maxdist
+            };
+            if lb >= bound {
+                break;
+            }
+            let v = verify_center(self.ssn, q, &candidates, center, bound, self.cfg.enumeration_cap);
+            if let Some(ans) = v.answer {
+                if !best_k.iter().any(|b| b.users == ans.users && b.pois == ans.pois) {
+                    best_k.push(ans);
+                    best_k.sort_by(|a, b| a.maxdist.partial_cmp(&b.maxdist).unwrap());
+                    best_k.truncate(k);
+                }
+            }
+        }
+        best_k
+    }
+
+    /// Traversal-only road phase: collects candidate centers with their
+    /// lower bounds, without refinement (shared by the approximate and
+    /// top-k paths). δ-cut items are dropped, not deferred.
+    fn collect_centers(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        candidates: &[UserId],
+        io: &IoCounter,
+        stats: &mut PruningStats,
+    ) -> Vec<(f64, PoiId)> {
+        let idx = &self.road_index;
+        let uq_interest = self.ssn.social().interest(q.user);
+        let uq_rn = self.social_index.user_rn_dists(q.user);
+        let h = idx.pivots().len();
+        let mut scand_ub = vec![f64::INFINITY; h];
+        for (k, s) in scand_ub.iter_mut().enumerate() {
+            *s = uq_rn[k];
+        }
+        for &u in candidates {
+            for (k, &d) in self.social_index.user_rn_dists(u).iter().enumerate() {
+                scand_ub[k] = scand_ub[k].max(d);
+            }
+        }
+        let mut heap = MinHeap::new();
+        let mut centers = Vec::new();
+        let mut delta = f64::INFINITY;
+        heap.push(0.0, Item::Node(idx.tree().root()));
+        while let Some((lb, item)) = heap.pop() {
+            if opts.use_delta_pruning && lb > delta {
+                break;
+            }
+            match item {
+                Item::Node(n) => {
+                    self.touch(io, gpssn_index::io::page_ids::road(n));
+                    self.expand_node(
+                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut heap, &mut centers,
+                        &mut delta, stats, false,
+                    );
+                }
+                Item::Center(o) => centers.push((lb, o)),
+            }
+        }
+        centers
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: social traversal (Algorithm 2 lines 4–10, 29)
+    // ------------------------------------------------------------------
+
+    fn social_phase(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        io: &IoCounter,
+        stats: &mut PruningStats,
+    ) -> Vec<UserId> {
+        let idx = &self.social_index;
+        let uq_sn = idx.user_sn_dists(q.user);
+        let region = PruningRegion::new(self.ssn.social().interest(q.user), q.gamma);
+        let uq_ancestors = self.ancestors_of(q.user);
+
+        let mut frontier = vec![idx.root()];
+        self.touch(io, gpssn_index::io::page_ids::social(idx.root()));
+        // Expand to the leaves, pruning nodes.
+        loop {
+            let all_leaves = frontier.iter().all(|&id| idx.node(id).children.is_empty());
+            if all_leaves {
+                break;
+            }
+            let mut next = Vec::new();
+            for &id in &frontier {
+                let node = idx.node(id);
+                if node.children.is_empty() {
+                    next.push(id); // already a leaf; keep for object stage
+                    continue;
+                }
+                for &child in &node.children {
+                    self.touch(io, gpssn_index::io::page_ids::social(child));
+                    let c = idx.node(child);
+                    let by_dist = opts.use_social_distance_pruning
+                        && prune_node_by_social_distance(uq_sn, &c.lb_sn, &c.ub_sn, q.tau);
+                    let by_interest = opts.use_interest_pruning
+                        && if opts.use_tight_mbr_test {
+                            region.prunes_mbr_tight(&c.ub_w)
+                        } else {
+                            region.prunes_mbr(&c.lb_w, &c.ub_w)
+                        };
+                    if (by_dist || by_interest) && !uq_ancestors.contains(&child) {
+                        stats.users_pruned_index += c.user_count;
+                    } else {
+                        next.push(child);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // Object level over leaf members (Lemmas 3 and 4).
+        let mut candidates = Vec::new();
+        for &leaf in &frontier {
+            for &u in &idx.node(leaf).users {
+                if u == q.user {
+                    candidates.push(u);
+                    continue;
+                }
+                let by_dist = opts.use_social_distance_pruning
+                    && match &self.hop_labels {
+                        // Exact mode: the true dist_SN replaces the bound.
+                        Some(labels) => labels.dist(q.user, u) as usize >= q.tau,
+                        None => prune_user_by_social_distance(uq_sn, idx.user_sn_dists(u), q.tau),
+                    };
+                let by_interest = opts.use_interest_pruning
+                    && region.prunes_point(self.ssn.social().interest(u));
+                if by_dist || by_interest {
+                    stats.users_pruned_object += 1;
+                } else {
+                    candidates.push(u);
+                }
+            }
+        }
+        if !candidates.contains(&q.user) {
+            candidates.push(q.user);
+        }
+
+        // Corollary 2.
+        if opts.use_interest_pruning {
+            let before = candidates.len();
+            candidates = corollary2_filter(&candidates, q.user, q.tau, q.gamma, |a, b| {
+                self.ssn.social().score(a, b)
+            });
+            stats.users_pruned_object += before - candidates.len();
+        }
+        candidates
+    }
+
+    /// Node ids on the root-to-leaf path containing `user`; these nodes
+    /// are never pruned on the social side (the query user must survive).
+    fn ancestors_of(&self, user: UserId) -> Vec<u32> {
+        let idx = &self.social_index;
+        let mut path = Vec::new();
+        fn dfs(idx: &SocialIndex, node: u32, user: UserId, path: &mut Vec<u32>) -> bool {
+            path.push(node);
+            let n = idx.node(node);
+            if n.children.is_empty() {
+                if n.users.contains(&user) {
+                    return true;
+                }
+            } else {
+                for &c in &n.children {
+                    if dfs(idx, c, user, path) {
+                        return true;
+                    }
+                }
+            }
+            path.pop();
+            false
+        }
+        dfs(idx, idx.root(), user, &mut path);
+        path
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: road traversal + refinement (Algorithm 2 lines 11–31)
+    // ------------------------------------------------------------------
+
+    fn road_phase(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        candidates: &[UserId],
+        io: &IoCounter,
+        stats: &mut PruningStats,
+    ) -> (Option<GpSsnAnswer>, f64) {
+        let idx = &self.road_index;
+        let uq_interest = self.ssn.social().interest(q.user);
+        let uq_rn = self.social_index.user_rn_dists(q.user);
+
+        // If no feasible user group exists at all (independent of R),
+        // every center is infeasible: answer None without touching I_R.
+        if !self.any_feasible_group(q, candidates, stats) {
+            return (None, f64::INFINITY);
+        }
+
+        // Eq. 16's `max_{u_j ∈ S}` term. The loosest sound choice is the
+        // elementwise max over all candidates; we use a much tighter form:
+        // per pivot, the `(τ-1)`-th smallest companion distance (the
+        // best-case group of u_q plus its τ-1 pivot-closest candidates).
+        // This upper-bounds the objective of *some* τ-group — not
+        // necessarily a feasible one, which is exactly why δ-cut items go
+        // to the deferred list instead of being dropped (see module docs).
+        let h = idx.pivots().len();
+        let mut scand_ub = vec![0.0f64; h];
+        for k in 0..h {
+            let mut companions: Vec<f64> = candidates
+                .iter()
+                .filter(|&&u| u != q.user)
+                .map(|&u| self.social_index.user_rn_dists(u)[k])
+                .collect();
+            companions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let need = q.tau.saturating_sub(1);
+            let kth = if need == 0 {
+                0.0
+            } else if companions.len() < need {
+                f64::INFINITY
+            } else {
+                companions[need - 1]
+            };
+            scand_ub[k] = uq_rn[k].max(kth);
+        }
+
+        let mut heap = MinHeap::new();
+        let mut deferred: Vec<(f64, Item)> = Vec::new();
+        let mut centers: Vec<(f64, PoiId)> = Vec::new();
+        let mut delta = f64::INFINITY;
+        heap.push(0.0, Item::Node(idx.tree().root()));
+
+        while let Some((lb, item)) = heap.pop() {
+            if opts.use_delta_pruning && lb > delta {
+                // Paper line 14: everything remaining is δ-cut. Keep for
+                // the exactness fallback; no I/O is spent on them now.
+                match item {
+                    Item::Node(n) => {
+                        stats.pois_pruned_index += idx.node(n).poi_count;
+                    }
+                    Item::Center(_) => {
+                        stats.pois_pruned_object += 1;
+                    }
+                }
+                deferred.push((lb, item));
+                continue;
+            }
+            match item {
+                Item::Node(n) => {
+                    self.touch(io, gpssn_index::io::page_ids::road(n));
+                    self.expand_node(
+                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut heap, &mut centers,
+                        &mut delta, stats, true,
+                    );
+                }
+                Item::Center(o) => centers.push((lb, o)),
+            }
+        }
+
+        // Refinement over surviving centers, cheapest lower bound first.
+        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut best: Option<GpSsnAnswer> = None;
+        let mut best_val = f64::INFINITY;
+        for &(lb, center) in &centers {
+            if lb >= best_val {
+                break;
+            }
+            let filtered = self.filter_candidates_for_center(candidates, center, best_val);
+            let v =
+                verify_center(self.ssn, q, &filtered, center, best_val, self.cfg.enumeration_cap);
+            stats.pairs_refined += v.subsets_examined;
+            if let Some(ans) = v.answer {
+                best_val = ans.maxdist;
+                best = Some(ans);
+            }
+        }
+
+        // Exactness fallback: deferred items that still beat the best.
+        deferred.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut fallback = MinHeap::new();
+        for (lb, item) in deferred {
+            if lb < best_val {
+                fallback.push(lb, item);
+            }
+        }
+        while let Some((lb, item)) = fallback.pop() {
+            if lb >= best_val {
+                break;
+            }
+            match item {
+                Item::Node(n) => {
+                    self.touch(io, gpssn_index::io::page_ids::road(n));
+                    let mut local_centers = Vec::new();
+                    self.expand_node(
+                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut fallback,
+                        &mut local_centers, &mut delta, stats, false,
+                    );
+                    for (clb, c) in local_centers {
+                        fallback.push(clb, Item::Center(c));
+                    }
+                }
+                Item::Center(center) => {
+                    let filtered = self.filter_candidates_for_center(candidates, center, best_val);
+                    let v = verify_center(
+                        self.ssn, q, &filtered, center, best_val, self.cfg.enumeration_cap,
+                    );
+                    stats.pairs_refined += v.subsets_examined;
+                    if let Some(ans) = v.answer {
+                        best_val = ans.maxdist;
+                        best = Some(ans);
+                    }
+                }
+            }
+        }
+
+        stats.candidate_pois = centers.len();
+        (best, delta)
+    }
+
+    /// Records an access to index page `page`: a physical read unless the
+    /// engine's shared buffer pool holds it.
+    fn touch(&self, io: &IoCounter, page: u64) {
+        match &self.page_cache {
+            None => io.touch(),
+            Some(pool) => {
+                if !pool.lock().expect("page cache lock").access(page) {
+                    io.touch();
+                }
+            }
+        }
+    }
+
+    /// Whether any connected `τ`-group containing `u_q` with pairwise
+    /// interest `>= γ` exists among the candidates (ignores `R`).
+    fn any_feasible_group(
+        &self,
+        q: &GpSsnQuery,
+        candidates: &[UserId],
+        stats: &mut PruningStats,
+    ) -> bool {
+        if candidates.len() < q.tau {
+            return false;
+        }
+        let mut allowed = vec![false; self.ssn.social().num_users()];
+        for &u in candidates {
+            allowed[u as usize] = true;
+        }
+        let mut found = false;
+        let mut visits = 0u64;
+        gpssn_graph::enumerate_connected_subsets(
+            self.ssn.social().graph(),
+            q.user,
+            q.tau,
+            Some(&allowed),
+            &mut |s| {
+                visits += 1;
+                if self.ssn.social().pairwise_interest_holds(s, q.gamma) {
+                    found = true;
+                    return false;
+                }
+                visits < self.cfg.enumeration_cap as u64
+            },
+        );
+        stats.pairs_refined += visits;
+        found
+    }
+
+    /// Drops candidates whose pivot lower bound to `center` already
+    /// reaches `best_val` — they cannot belong to an improving group.
+    fn filter_candidates_for_center(
+        &self,
+        candidates: &[UserId],
+        center: PoiId,
+        best_val: f64,
+    ) -> Vec<UserId> {
+        if !best_val.is_finite() {
+            return candidates.to_vec();
+        }
+        let center_rn = &self.road_index.poi(center).pivot_dists;
+        candidates
+            .iter()
+            .copied()
+            .filter(|&u| {
+                crate::pruning::lb_maxdist_poi(self.social_index.user_rn_dists(u), center_rn)
+                    < best_val
+            })
+            .collect()
+    }
+
+    /// Expands one `I_R` node: applies Lemma 6 / Lemma 1 matching pruning
+    /// and pushes surviving children (or candidate centers) with their
+    /// Eq. 17 lower bounds; updates `δ` with guarded Eq. 16/5 upper
+    /// bounds.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_node(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        node: u32,
+        uq_interest: &gpssn_social::InterestVector,
+        uq_rn: &[f64],
+        scand_ub: &[f64],
+        heap: &mut MinHeap<Item>,
+        centers: &mut Vec<(f64, PoiId)>,
+        delta: &mut f64,
+        stats: &mut PruningStats,
+        count_stats: bool,
+    ) {
+        let idx = &self.road_index;
+        for e in &idx.tree().node(node).entries {
+            match *e {
+                Entry::Item { item: poi, .. } => {
+                    let aug = idx.poi(poi);
+                    // Lemma 1 via the sup_K superset (Lemma 2).
+                    if opts.use_matching_pruning
+                        && ub_match_score_keywords(uq_interest, &aug.sup_keywords) < q.theta
+                    {
+                        if count_stats {
+                            stats.pois_pruned_object += 1;
+                        }
+                        continue;
+                    }
+                    let lb = lb_maxdist_poi(uq_rn, &aug.pivot_dists);
+                    // Eq. 18 guard at object granularity: sub_K certifies
+                    // a θ-matching ball for u_q.
+                    if gpssn_ssn::match_score_keywords(uq_interest, &aug.sub_keywords) >= q.theta {
+                        *delta = delta.min(ub_maxdist_poi(scand_ub, &aug.pivot_dists, q.radius));
+                    }
+                    centers.push((lb, poi));
+                }
+                Entry::Child { node: child, .. } => {
+                    let aug = idx.node(child);
+                    // Lemma 6 via the node signature (Eq. 15).
+                    if opts.use_matching_pruning
+                        && ub_match_score_signature(uq_interest, &aug.sup_sig) < q.theta
+                    {
+                        if count_stats {
+                            stats.pois_pruned_index += aug.poi_count;
+                        }
+                        continue;
+                    }
+                    let lb = lb_maxdist_node(uq_rn, &aug.lb_pivot, &aug.ub_pivot);
+                    // Lemma 7 guard: Eq. 18 over the node samples
+                    // certifies a candidate set inside, enabling the
+                    // Eq. 16 δ update.
+                    if lb_match_score_node(idx, aug, &[uq_interest]) >= q.theta {
+                        *delta = delta.min(ub_maxdist_node(scand_ub, &aug.ub_pivot, q.radius));
+                    }
+                    heap.push(lb, Item::Node(child));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Independent per-rule measurement for Figures 7(b)/(c)
+    // ------------------------------------------------------------------
+
+    fn independent_rule_measurement(&self, q: &GpSsnQuery, delta: f64, stats: &mut PruningStats) {
+        let social = self.ssn.social();
+        let uq_sn = self.social_index.user_sn_dists(q.user);
+        let region = PruningRegion::new(social.interest(q.user), q.gamma);
+        for u in 0..social.num_users() as UserId {
+            if u == q.user {
+                continue;
+            }
+            if prune_user_by_social_distance(uq_sn, self.social_index.user_sn_dists(u), q.tau) {
+                stats.users_pruned_by_distance += 1;
+            } else if region.prunes_point(social.interest(u)) {
+                stats.users_pruned_by_interest += 1;
+            }
+        }
+        let uq_rn = self.social_index.user_rn_dists(q.user);
+        let uq_interest = social.interest(q.user);
+        let threshold = if delta.is_finite() { delta } else { f64::INFINITY };
+        for o in 0..self.ssn.pois().len() as PoiId {
+            let aug = self.road_index.poi(o);
+            if lb_maxdist_poi(uq_rn, &aug.pivot_dists) > threshold {
+                stats.pois_pruned_by_distance += 1;
+            } else if ub_match_score_keywords(uq_interest, &aug.sup_keywords) < q.theta {
+                stats.pois_pruned_by_matching += 1;
+            }
+        }
+    }
+}
+
+/// A minimal binary min-heap keyed by `f64` (NaN-free by construction).
+struct MinHeap<T> {
+    data: Vec<(f64, T)>,
+}
+
+impl<T: Copy> MinHeap<T> {
+    fn new() -> Self {
+        MinHeap { data: Vec::new() }
+    }
+
+    fn push(&mut self, key: f64, value: T) {
+        debug_assert!(!key.is_nan());
+        self.data.push((key, value));
+        let mut i = self.data.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.data[i].0 < self.data[p].0 {
+                self.data.swap(i, p);
+                i = p;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, T)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let top = self.data.swap_remove(0);
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < self.data.len() && self.data[l].0 < self.data[min].0 {
+                min = l;
+            }
+            if r < self.data.len() && self.data[r].0 < self.data[min].0 {
+                min = r;
+            }
+            if min == i {
+                break;
+            }
+            self.data.swap(i, min);
+            i = min;
+        }
+        Some(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_ssn::{synthetic, SyntheticConfig};
+
+    fn small_engine(ssn: &SpatialSocialNetwork) -> GpSsnEngine<'_> {
+        let cfg = EngineConfig {
+            num_road_pivots: 3,
+            num_social_pivots: 3,
+            social_index: SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+            ..Default::default()
+        };
+        GpSsnEngine::build(ssn, cfg)
+    }
+
+    #[test]
+    fn answers_validate_against_definition5() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
+        let engine = small_engine(&ssn);
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 3.0 };
+        let out = engine.query(&q);
+        if let Some(ans) = &out.answer {
+            crate::query::check_answer(&ssn, &q, ans).expect("answer must satisfy Definition 5");
+        }
+        assert!(out.metrics.io_pages > 0);
+    }
+
+    #[test]
+    fn infeasible_gamma_returns_none() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
+        let engine = small_engine(&ssn);
+        // gamma = 2.0 is unattainable for unit-norm vectors.
+        let q = GpSsnQuery { user: 0, tau: 3, gamma: 2.0, theta: 0.1, radius: 3.0 };
+        assert!(engine.query(&q).answer.is_none());
+    }
+
+    #[test]
+    fn stats_collection_populates_counters() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 13);
+        let engine = small_engine(&ssn);
+        let q = GpSsnQuery { user: 1, tau: 3, gamma: 0.5, theta: 0.4, radius: 2.0 };
+        let opts = QueryOptions { collect_stats: true, ..Default::default() };
+        let out = engine.query_with_options(&q, &opts);
+        let s = &out.metrics.stats;
+        assert_eq!(s.users_total, ssn.social().num_users());
+        assert_eq!(s.pois_total, ssn.pois().len());
+        assert!(s.pairs_total_estimate > 0.0);
+    }
+
+    #[test]
+    fn ablation_modes_produce_same_answer() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.012), 29);
+        let engine = small_engine(&ssn);
+        let q = GpSsnQuery { user: 2, tau: 2, gamma: 0.4, theta: 0.3, radius: 2.5 };
+        let full = engine.query(&q);
+        let no_prune = engine.query_with_options(
+            &q,
+            &QueryOptions {
+                use_interest_pruning: false,
+                use_social_distance_pruning: false,
+                use_matching_pruning: false,
+                use_delta_pruning: false,
+                collect_stats: false,
+                use_tight_mbr_test: false,
+            },
+        );
+        match (&full.answer, &no_prune.answer) {
+            (Some(a), Some(b)) => {
+                assert!((a.maxdist - b.maxdist).abs() < 1e-6, "{} vs {}", a.maxdist, b.maxdist)
+            }
+            (None, None) => {}
+            other => panic!("pruned and unpruned disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius outside")]
+    fn rejects_radius_outside_index_range() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
+        let engine = small_engine(&ssn);
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 100.0 };
+        engine.query(&q);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 41);
+        let engine = small_engine(&ssn);
+        let queries: Vec<GpSsnQuery> = (0..8u32)
+            .map(|u| GpSsnQuery { user: u, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.5 })
+            .collect();
+        let sequential = engine.query_batch(&queries, 1);
+        let parallel = engine.query_batch(&queries, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(
+                s.answer.as_ref().map(|a| (a.users.clone(), a.pois.clone())),
+                p.answer.as_ref().map(|a| (a.users.clone(), a.pois.clone()))
+            );
+            assert_eq!(s.metrics.io_pages, p.metrics.io_pages);
+        }
+    }
+
+    #[test]
+    fn min_heap_orders_by_key() {
+        let mut h = MinHeap::new();
+        h.push(3.0, 'a');
+        h.push(1.0, 'b');
+        h.push(2.0, 'c');
+        assert_eq!(h.pop(), Some((1.0, 'b')));
+        assert_eq!(h.pop(), Some((2.0, 'c')));
+        assert_eq!(h.pop(), Some((3.0, 'a')));
+        assert_eq!(h.pop(), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gpssn-core — GP-SSN query processing (the paper's contribution)
+//!
+//! Everything above the substrates: the query definition, the pruning
+//! strategies of Section 3, the index-level pruning of Section 4.2, the
+//! query answering algorithm of Section 5 (Algorithm 2), and the Baseline
+//! competitor of Section 6.
+//!
+//! * [`query`] — [`GpSsnQuery`] parameters, [`GpSsnAnswer`], and exact
+//!   predicate validation (Definition 5).
+//! * [`pruning`] — all pruning rules:
+//!   [`pruning::matching`] (Lemmas 1–2, 6; Eqs. 15, 18),
+//!   [`pruning::user`] (Lemma 3, Corollaries 1–2, Lemma 8),
+//!   [`pruning::social_distance`] (Lemmas 4, 9; Eq. 19),
+//!   [`pruning::road_distance`] (Lemmas 5, 7; Eqs. 5–6, 16–17).
+//! * [`algorithm`] — [`GpSsnEngine`]: index construction plus the
+//!   synchronized dual-index traversal of Algorithm 2 with the min-heap on
+//!   `lb_maxdist` and the pruning threshold `δ`.
+//! * [`refinement`] — candidate enumeration and exact verification.
+//! * [`baseline`] — the exact brute-force Baseline (small inputs) and the
+//!   paper's 100-sample extrapolated cost estimate (large inputs).
+//! * [`stats`] — pruning-power counters and query metrics feeding the
+//!   experiment harness (Figures 7–11).
+
+pub mod algorithm;
+pub mod baseline;
+pub mod pruning;
+pub mod query;
+pub mod refinement;
+pub mod sampling;
+pub mod stats;
+pub mod tuning;
+
+pub use algorithm::{EngineConfig, GpSsnEngine};
+pub use sampling::{sample_connected_group, verify_center_sampled};
+pub use baseline::{estimate_baseline_cost, exact_baseline, exact_baseline_top_k, BaselineEstimate};
+pub use query::{GpSsnAnswer, GpSsnQuery};
+pub use stats::{PruningStats, QueryMetrics, QueryOutcome};
+pub use tuning::{suggest_parameters, TunedParameters};

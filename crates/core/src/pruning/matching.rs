@@ -1,0 +1,117 @@
+//! Matching score pruning (paper Section 3.1, Lemma 6, Eqs. 15 and 18).
+//!
+//! Upper bounds come from keyword *supersets*: `Match_Score(u, R)` is
+//! monotone in `R` (Lemma 2), so scoring against `sup_K ⊇ ∪_{o∈R} o.K`
+//! can only overestimate — if even the overestimate misses `θ`, the POI
+//! (or index node) is safely pruned (Lemmas 1 and 6). Signatures make the
+//! membership test `f ∈ sup_K` one-sided (false positives only), which
+//! again can only *raise* the upper bound: still safe.
+//!
+//! Lower bounds (Eq. 18) come from keyword *subsets*: sample POIs stored
+//! in each node carry `sub_K ⊆ ∪_{o∈R(sample)} o.K` for every radius
+//! `r ≥ r_min`, so scoring against `sub_K` underestimates the matching
+//! score of the sample's ball.
+
+use gpssn_index::{RoadIndex, RoadNodeAugment};
+use gpssn_social::InterestVector;
+use gpssn_spatial::KeywordSignature;
+
+/// Eq. (15): upper bound of the matching score against a keyword
+/// signature — the interest mass on topics the signature may contain.
+pub fn ub_match_score_signature(interest: &InterestVector, sig: &KeywordSignature) -> f64 {
+    (0..interest.dim())
+        .filter(|&f| sig.possibly_contains(f as u32))
+        .map(|f| interest.weight(f))
+        .sum()
+}
+
+/// Upper bound of the matching score against an explicit keyword list
+/// (exact `Match_Score` against that list, used with `sup_K`).
+pub fn ub_match_score_keywords(interest: &InterestVector, keywords: &[u32]) -> f64 {
+    gpssn_ssn::match_score_keywords(interest, keywords)
+}
+
+/// Eq. (18): lower bound of the best matching score available inside an
+/// index node, via its sample POIs' `sub_K` sets:
+/// `max_{sample o_i} min_{u_j ∈ S} Match_Score(u_j, o_i.sub_K)`.
+///
+/// Returns 0.0 when the node has no samples or `interests` is empty.
+pub fn lb_match_score_node(
+    index: &RoadIndex,
+    node: &RoadNodeAugment,
+    interests: &[&InterestVector],
+) -> f64 {
+    if interests.is_empty() {
+        return 0.0;
+    }
+    node.samples
+        .iter()
+        .map(|&o| {
+            let sub = &index.poi(o).sub_keywords;
+            interests
+                .iter()
+                .map(|w| gpssn_ssn::match_score_keywords(w, sub))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(w: &[f64]) -> InterestVector {
+        InterestVector::new(w.to_vec())
+    }
+
+    #[test]
+    fn signature_bound_counts_possible_topics() {
+        let sig = KeywordSignature::from_keywords([0, 2]);
+        let w = iv(&[0.5, 0.9, 0.3]);
+        // Topics 0 and 2 possibly present: 0.5 + 0.3.
+        assert!((ub_match_score_signature(&w, &sig) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signature_gives_zero() {
+        let sig = KeywordSignature::empty();
+        let w = iv(&[1.0, 1.0]);
+        assert_eq!(ub_match_score_signature(&w, &sig), 0.0);
+    }
+
+    #[test]
+    fn keyword_bound_equals_exact_match_score() {
+        let w = iv(&[0.4, 0.8, 0.8]);
+        assert!((ub_match_score_keywords(&w, &[1, 2]) - 1.6).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The signature bound is never below the exact keyword-set score
+        /// (Lemma 1 safety via Lemma 2 monotonicity + one-sided hashing).
+        #[test]
+        fn signature_upper_bounds_exact(
+            weights in proptest::collection::vec(0.0f64..1.0, 1..8),
+            ks in proptest::collection::vec(0u32..8, 0..12),
+        ) {
+            let w = iv(&weights);
+            let sig = KeywordSignature::from_keywords(ks.iter().copied());
+            let exact = gpssn_ssn::match_score_keywords(&w, &ks);
+            prop_assert!(ub_match_score_signature(&w, &sig) + 1e-12 >= exact);
+        }
+
+        /// A superset keyword list never lowers the bound (Lemma 2).
+        #[test]
+        fn superset_monotone(
+            weights in proptest::collection::vec(0.0f64..1.0, 1..8),
+            ks in proptest::collection::vec(0u32..8, 0..10),
+            extra in proptest::collection::vec(0u32..8, 0..6),
+        ) {
+            let w = iv(&weights);
+            let base = ub_match_score_keywords(&w, &ks);
+            let mut sup = ks.clone();
+            sup.extend(extra);
+            prop_assert!(ub_match_score_keywords(&w, &sup) + 1e-12 >= base);
+        }
+    }
+}

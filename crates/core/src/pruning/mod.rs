@@ -1,0 +1,26 @@
+//! Pruning strategies (paper Sections 3 and 4.2).
+//!
+//! Each rule has an *object-level* form (prunes individual users/POIs)
+//! and an *index-level* form (prunes whole index nodes):
+//!
+//! | Rule | Object level | Index level |
+//! |---|---|---|
+//! | Matching score | Lemma 1 (via `sup_K`, Lemma 2) | Lemma 6, Eq. 15 |
+//! | Interest score | Lemma 3, Corollaries 1–2 | Lemma 8 (interest MBR) |
+//! | Social distance | Lemma 4 (pivot lower bound) | Lemma 9, Eq. 19 |
+//! | Road distance | Lemma 5, Eqs. 5–6 | Lemma 7, Eqs. 16–17 |
+//!
+//! Every rule is *safe*: it may keep a non-answer (false positive for the
+//! refinement step to discard) but never discards a true answer. The
+//! property tests in each module machine-check that claim against brute
+//! force.
+
+pub mod matching;
+pub mod road_distance;
+pub mod social_distance;
+pub mod user;
+
+pub use matching::{lb_match_score_node, ub_match_score_keywords, ub_match_score_signature};
+pub use road_distance::{lb_maxdist_node, lb_maxdist_poi, ub_maxdist_node, ub_maxdist_poi};
+pub use social_distance::{lb_dist_sn_node, prune_node_by_social_distance, prune_user_by_social_distance};
+pub use user::{corollary2_filter, PruningRegion};

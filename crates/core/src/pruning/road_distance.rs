@@ -1,0 +1,135 @@
+//! Road-network distance pruning (Lemmas 5 and 7, Eqs. 5–6 and 16–17).
+//!
+//! Candidate POI sets are road-network balls `R(o_i) = ⊙(o_i, r)` around
+//! candidate centers `o_i` (any valid `R` containing `o_i` lies inside
+//! `⊙(o_i, 2r)`, Fig. 2; conversely a ball of radius `r` automatically
+//! satisfies the pairwise-`2r` predicate). Bounds on the objective
+//! `maxdist_RN(S, R(o_i))` follow from the pivot tables:
+//!
+//! * **lower** (Eqs. 6/17): `maxdist ≥ dist_RN(u_q, o_i)`, lower-bounded
+//!   through the pivots; for an index node, through its `[lb, ub]` pivot
+//!   ranges.
+//! * **upper** (Eqs. 5/16): `maxdist ≤ max_{u∈S} dist(u, o_i) + r`,
+//!   upper-bounded through the pivots with the candidate users' (or
+//!   social nodes') per-pivot *upper* bounds. The paper's `+2r` term
+//!   corresponds to its radius-`2r` superset `R'`; our candidate sets are
+//!   the radius-`r` balls themselves, hence `+r`.
+
+/// Eq. (6)/(17) at object level: lower bound on `dist_RN(u_q, o_i)` (and
+/// hence on `maxdist_RN(S, R(o_i))`) from per-pivot distance vectors.
+pub fn lb_maxdist_poi(uq_rn: &[f64], poi_rn: &[f64]) -> f64 {
+    debug_assert_eq!(uq_rn.len(), poi_rn.len());
+    uq_rn
+        .iter()
+        .zip(poi_rn.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Eq. (5)/(16) at object level: upper bound on `maxdist_RN(S, R(o_i))`
+/// for any `S` whose users' per-pivot distances are bounded by
+/// `scand_ub_rn` (elementwise max over the candidate set).
+pub fn ub_maxdist_poi(scand_ub_rn: &[f64], poi_rn: &[f64], radius: f64) -> f64 {
+    debug_assert_eq!(scand_ub_rn.len(), poi_rn.len());
+    scand_ub_rn
+        .iter()
+        .zip(poi_rn.iter())
+        .map(|(&s, &p)| s + p)
+        .fold(f64::INFINITY, f64::min)
+        + radius
+}
+
+/// Eq. (17): node-level lower bound on `dist_RN(u_q, e_R)` from the
+/// node's per-pivot `[lb, ub]` ranges.
+pub fn lb_maxdist_node(uq_rn: &[f64], lb_pivot: &[f64], ub_pivot: &[f64]) -> f64 {
+    debug_assert_eq!(uq_rn.len(), lb_pivot.len());
+    let mut best = 0.0f64;
+    for k in 0..uq_rn.len() {
+        let d = uq_rn[k];
+        let bound = if d < lb_pivot[k] {
+            lb_pivot[k] - d
+        } else if d > ub_pivot[k] {
+            d - ub_pivot[k]
+        } else {
+            0.0
+        };
+        best = best.max(bound);
+    }
+    best
+}
+
+/// Eq. (16): node-level upper bound on `maxdist_RN(S, R(o_i))` over every
+/// center `o_i` under the node.
+pub fn ub_maxdist_node(scand_ub_rn: &[f64], ub_pivot: &[f64], radius: f64) -> f64 {
+    debug_assert_eq!(scand_ub_rn.len(), ub_pivot.len());
+    scand_ub_rn
+        .iter()
+        .zip(ub_pivot.iter())
+        .map(|(&s, &p)| s + p)
+        .fold(f64::INFINITY, f64::min)
+        + radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn poi_bounds() {
+        let uq = [3.0, 7.0];
+        let poi = [5.0, 6.0];
+        assert_eq!(lb_maxdist_poi(&uq, &poi), 2.0);
+        // min(3+5, 7+6) + r = 8 + 1.5.
+        assert_eq!(ub_maxdist_poi(&uq, &poi, 1.5), 9.5);
+    }
+
+    #[test]
+    fn node_lb_cases() {
+        assert_eq!(lb_maxdist_node(&[1.0], &[4.0], &[6.0]), 3.0);
+        assert_eq!(lb_maxdist_node(&[9.0], &[4.0], &[6.0]), 3.0);
+        assert_eq!(lb_maxdist_node(&[5.0], &[4.0], &[6.0]), 0.0);
+        assert_eq!(lb_maxdist_node(&[1.0, 9.0], &[4.0, 4.0], &[6.0, 6.0]), 3.0);
+    }
+
+    #[test]
+    fn node_ub_takes_best_pivot() {
+        assert_eq!(ub_maxdist_node(&[3.0, 1.0], &[5.0, 9.0], 2.0), 10.0);
+    }
+
+    proptest! {
+        /// With exact pivot distances d(x, p) for points on a (virtual)
+        /// metric, the lb never exceeds |d(uq,pivot) ± …| consistency:
+        /// node lb ≤ object lb for any member inside the node ranges.
+        #[test]
+        fn node_lb_below_member_lb(
+            uq in proptest::collection::vec(0.0f64..20.0, 1..5),
+            member in proptest::collection::vec(0.0f64..20.0, 1..5),
+            slack in proptest::collection::vec(0.0f64..5.0, 1..5),
+        ) {
+            let k = uq.len().min(member.len()).min(slack.len());
+            let uq = &uq[..k];
+            let member = &member[..k];
+            let lb: Vec<f64> = member.iter().zip(&slack[..k]).map(|(&m, &s)| (m - s).max(0.0)).collect();
+            let ub: Vec<f64> = member.iter().zip(&slack[..k]).map(|(&m, &s)| m + s).collect();
+            prop_assert!(lb_maxdist_node(uq, &lb, &ub) <= lb_maxdist_poi(uq, member) + 1e-9);
+        }
+
+        /// Object ub dominates object lb whenever both derive from a
+        /// common true distance structure: for any "true" distances
+        /// t_u (uq to pivots) and t_o (center to pivots) coming from one
+        /// metric point pair with d(uq, o) = d, we have lb ≤ d ≤ ub − r.
+        #[test]
+        fn bounds_sandwich_synthetic_metric(d in 0.0f64..10.0,
+                                            offs in proptest::collection::vec(0.0f64..10.0, 1..5),
+                                            r in 0.1f64..3.0) {
+            // Place uq at 0 and o at d on a line; pivots at `offs`.
+            let uq: Vec<f64> = offs.to_vec();
+            let po: Vec<f64> = offs.iter().map(|&p| (p - d).abs()).collect();
+            let lb = lb_maxdist_poi(&uq, &po);
+            let ub = ub_maxdist_poi(&uq, &po, r);
+            prop_assert!(lb <= d + 1e-9);
+            prop_assert!(ub + 1e-9 >= d + r || ub + 1e-9 >= d); // ub covers S={uq}
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Social-network distance pruning (Lemmas 4 and 9, Eq. 19).
+//!
+//! A connected group of `τ` users containing `u_q` spans at most `τ - 1`
+//! hops from `u_q`, so any user (or index node whose every user) with
+//! `lb_dist_SN(·, u_q) >= τ` is safely pruned. Lower bounds come from the
+//! social pivots via the triangle inequality; hop distances are the
+//! saturated values stored in `I_S` (unreachable = `m + 1`), which keeps
+//! the bounds valid across components (see `gpssn-index`).
+
+/// Object-level bound (the equation after Lemma 4, tightest form):
+/// `lb_dist_SN(a, b) = max_k |d(a, sp_k) − d(sp_k, b)|` over saturated
+/// per-pivot hop vectors.
+pub fn lb_dist_sn_users(a: &[u32], b: &[u32]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.abs_diff(y)).max().unwrap_or(0)
+}
+
+/// Lemma 4: prune user `u_k` when `lb_dist_SN(u_k, u_q) >= τ`.
+pub fn prune_user_by_social_distance(uq_dists: &[u32], user_dists: &[u32], tau: usize) -> bool {
+    lb_dist_sn_users(uq_dists, user_dists) as usize >= tau
+}
+
+/// Eq. (19): node-level lower bound on `dist_SN(u_q, e_S)` from the
+/// node's per-pivot hop bounds `[lb_sn, ub_sn]`.
+pub fn lb_dist_sn_node(uq_dists: &[u32], lb_sn: &[u32], ub_sn: &[u32]) -> u32 {
+    debug_assert_eq!(uq_dists.len(), lb_sn.len());
+    debug_assert_eq!(uq_dists.len(), ub_sn.len());
+    let mut best = 0u32;
+    for k in 0..uq_dists.len() {
+        let d = uq_dists[k];
+        let bound = if d < lb_sn[k] {
+            lb_sn[k] - d
+        } else { d.saturating_sub(ub_sn[k]) };
+        best = best.max(bound);
+    }
+    best
+}
+
+/// Lemma 9: prune node `e_S` when `lb_dist_SN(u_q, e_S) >= τ`.
+pub fn prune_node_by_social_distance(
+    uq_dists: &[u32],
+    lb_sn: &[u32],
+    ub_sn: &[u32],
+    tau: usize,
+) -> bool {
+    lb_dist_sn_node(uq_dists, lb_sn, ub_sn) as usize >= tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn user_bound_takes_best_pivot() {
+        // Pivot 0: |5-1| = 4; pivot 1: |2-2| = 0 -> bound 4.
+        assert_eq!(lb_dist_sn_users(&[5, 2], &[1, 2]), 4);
+    }
+
+    #[test]
+    fn lemma4_threshold() {
+        assert!(prune_user_by_social_distance(&[5], &[1], 4)); // lb 4 >= tau 4
+        assert!(!prune_user_by_social_distance(&[5], &[1], 5)); // lb 4 < 5
+    }
+
+    #[test]
+    fn node_bound_cases() {
+        // d below lb: bound lb - d.
+        assert_eq!(lb_dist_sn_node(&[1], &[4], &[6]), 3);
+        // d above ub: bound d - ub.
+        assert_eq!(lb_dist_sn_node(&[9], &[4], &[6]), 3);
+        // d inside [lb, ub]: 0.
+        assert_eq!(lb_dist_sn_node(&[5], &[4], &[6]), 0);
+        // Best over pivots.
+        assert_eq!(lb_dist_sn_node(&[1, 9], &[4, 4], &[6, 6]), 3);
+    }
+
+    #[test]
+    fn lemma9_threshold() {
+        assert!(prune_node_by_social_distance(&[9], &[4], &[6], 3));
+        assert!(!prune_node_by_social_distance(&[9], &[4], &[6], 4));
+    }
+
+    proptest! {
+        /// The node bound never exceeds the object bound of any member —
+        /// if a member's pivot vector lies within the node's [lb, ub]
+        /// ranges, the node bound lower-bounds the member bound, so
+        /// node-level pruning is at most as aggressive as object-level
+        /// pruning (safety of Lemma 9 given Lemma 4).
+        #[test]
+        fn node_bound_below_member_bound(
+            uq in proptest::collection::vec(0u32..20, 1..5),
+            member in proptest::collection::vec(0u32..20, 1..5),
+            slack in proptest::collection::vec(0u32..5, 1..5),
+        ) {
+            let k = uq.len().min(member.len()).min(slack.len());
+            let uq = &uq[..k];
+            let member = &member[..k];
+            let lb: Vec<u32> = member[..k].iter().zip(slack[..k].iter())
+                .map(|(&m, &s)| m.saturating_sub(s)).collect();
+            let ub: Vec<u32> = member[..k].iter().zip(slack[..k].iter())
+                .map(|(&m, &s)| m + s).collect();
+            let node_bound = lb_dist_sn_node(uq, &lb, &ub);
+            let member_bound = lb_dist_sn_users(uq, member);
+            prop_assert!(node_bound <= member_bound,
+                "node bound {node_bound} > member bound {member_bound}");
+        }
+    }
+}

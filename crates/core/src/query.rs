@@ -1,0 +1,230 @@
+//! GP-SSN query parameters, answers, and exact predicate validation
+//! (Definition 5 of the paper).
+
+use gpssn_graph::is_connected_subset;
+use gpssn_road::PoiId;
+use gpssn_social::UserId;
+use gpssn_ssn::{match_score, SpatialSocialNetwork};
+
+/// A group planning query over a spatial-social network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSsnQuery {
+    /// The query issuer `u_q` (always part of the answer group).
+    pub user: UserId,
+    /// Group size `τ` (number of users including `u_q`).
+    pub tau: usize,
+    /// Pairwise common-interest threshold `γ`.
+    pub gamma: f64,
+    /// User–POI-set matching threshold `θ`.
+    pub theta: f64,
+    /// Spatial radius `r`: any two POIs of `R` are within road distance
+    /// `2r` (we materialize `R` as road-network balls of radius `r`).
+    pub radius: f64,
+}
+
+impl GpSsnQuery {
+    /// A query with the default parameter values used throughout the
+    /// evaluation (`τ=5, γ=0.3, θ=0.5, r=2`; Table 3's bold defaults are
+    /// lost in the extended abstract's extraction — we pick the values
+    /// that keep the default workload feasible, see EXPERIMENTS.md).
+    pub fn with_defaults(user: UserId) -> Self {
+        GpSsnQuery { user, tau: 5, gamma: 0.3, theta: 0.5, radius: 2.0 }
+    }
+
+    /// Sanity-checks the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tau == 0 {
+            return Err("tau must be at least 1".into());
+        }
+        if !(self.gamma.is_finite() && self.gamma >= 0.0) {
+            return Err("gamma must be finite and non-negative".into());
+        }
+        if !(self.theta.is_finite() && self.theta >= 0.0) {
+            return Err("theta must be finite and non-negative".into());
+        }
+        if !(self.radius.is_finite() && self.radius > 0.0) {
+            return Err("radius must be finite and positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A GP-SSN answer: the user group `S`, the POI set `R`, and the achieved
+/// objective `maxdist_RN(S, R)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSsnAnswer {
+    /// The user group `S` (sorted, contains the query user).
+    pub users: Vec<UserId>,
+    /// The POI set `R` (sorted).
+    pub pois: Vec<PoiId>,
+    /// `maxdist_RN(S, R)` — the minimized objective.
+    pub maxdist: f64,
+}
+
+/// Checks every predicate of Definition 5 exactly (no bounds, no
+/// indexes). Returns `Err` naming the first violated condition. Used by
+/// tests and by the refinement step's final verification.
+pub fn check_answer(
+    ssn: &SpatialSocialNetwork,
+    q: &GpSsnQuery,
+    answer: &GpSsnAnswer,
+) -> Result<(), String> {
+    let GpSsnAnswer { users, pois, maxdist } = answer;
+    // (1) u_q ∈ S and |S| = τ.
+    if !users.contains(&q.user) {
+        return Err("query user not in S".into());
+    }
+    if users.len() != q.tau {
+        return Err(format!("|S| = {} != tau = {}", users.len(), q.tau));
+    }
+    // (2) S connected in G_s.
+    if !is_connected_subset(ssn.social().graph(), users) {
+        return Err("S is not connected in the social network".into());
+    }
+    // (3) pairwise interest scores >= gamma.
+    if !ssn.social().pairwise_interest_holds(users, q.gamma) {
+        return Err("pairwise interest score below gamma".into());
+    }
+    // (4) pairwise POI road distance <= 2r.
+    if pois.is_empty() {
+        return Err("R is empty".into());
+    }
+    for (i, &a) in pois.iter().enumerate() {
+        for &b in &pois[i + 1..] {
+            let d = ssn.pois().poi_distance(ssn.road(), a, b);
+            if d > 2.0 * q.radius + 1e-9 {
+                return Err(format!("POIs {a},{b} are {d} > 2r apart"));
+            }
+        }
+    }
+    // (5) matching score >= theta for every user.
+    for &u in users {
+        let s = match_score(ssn, u, pois);
+        if s < q.theta - 1e-12 {
+            return Err(format!("user {u} match score {s} < theta"));
+        }
+    }
+    // (6) reported maxdist is the true maxdist.
+    let actual = ssn.maxdist_rn(users, pois);
+    if (actual - maxdist).abs() > 1e-6 {
+        return Err(format!("reported maxdist {maxdist} != actual {actual}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_road::{NetworkPoint, Poi, PoiSet, RoadNetwork};
+    use gpssn_social::{InterestVector, SocialNetwork};
+    use gpssn_spatial::Point;
+
+    fn tiny() -> SpatialSocialNetwork {
+        let locs = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(4.0, 0.0)];
+        let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2)]);
+        let pois = PoiSet::new(
+            &road,
+            vec![
+                Poi::new(NetworkPoint::new(&road, 0, 1.0), vec![0]),
+                Poi::new(NetworkPoint::new(&road, 1, 0.5), vec![1]),
+            ],
+        );
+        let social = SocialNetwork::new(
+            vec![
+                InterestVector::new(vec![0.8, 0.6]),
+                InterestVector::new(vec![0.6, 0.8]),
+                InterestVector::new(vec![1.0, 0.0]),
+            ],
+            &[(0, 1), (1, 2)],
+        );
+        let homes = vec![
+            NetworkPoint::new(&road, 0, 0.0),
+            NetworkPoint::new(&road, 0, 2.0),
+            NetworkPoint::new(&road, 1, 2.0),
+        ];
+        SpatialSocialNetwork::new(road, pois, social, homes)
+    }
+
+    #[test]
+    fn default_query_is_valid() {
+        assert!(GpSsnQuery::with_defaults(0).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut q = GpSsnQuery::with_defaults(0);
+        q.tau = 0;
+        assert!(q.validate().is_err());
+        let mut q = GpSsnQuery::with_defaults(0);
+        q.radius = 0.0;
+        assert!(q.validate().is_err());
+        let mut q = GpSsnQuery::with_defaults(0);
+        q.gamma = f64::NAN;
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn accepts_a_correct_answer() {
+        let ssn = tiny();
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.9, theta: 0.5, radius: 2.0 };
+        // S = {0,1}: friends, score 0.48+0.48 = 0.96 >= 0.9.
+        // R = {0,1}: dist = 1.5 <= 4. Matching: u0 covers {0,1} -> 1.4.
+        let users = vec![0, 1];
+        let pois = vec![0, 1];
+        let maxdist = ssn.maxdist_rn(&users, &pois);
+        let ans = GpSsnAnswer { users, pois, maxdist };
+        assert_eq!(check_answer(&ssn, &q, &ans), Ok(()));
+    }
+
+    #[test]
+    fn rejects_wrong_size_disconnected_and_low_scores() {
+        let ssn = tiny();
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.9, theta: 0.5, radius: 2.0 };
+        let md = |u: &Vec<u32>, p: &Vec<u32>| ssn.maxdist_rn(u, p);
+
+        // Missing query user.
+        let ans = GpSsnAnswer { users: vec![1, 2], pois: vec![0], maxdist: md(&vec![1, 2], &vec![0]) };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("query user"));
+
+        // Wrong size.
+        let ans = GpSsnAnswer { users: vec![0], pois: vec![0], maxdist: md(&vec![0], &vec![0]) };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("|S|"));
+
+        // Disconnected: 0 and 2 are not adjacent.
+        let ans =
+            GpSsnAnswer { users: vec![0, 2], pois: vec![0], maxdist: md(&vec![0, 2], &vec![0]) };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("connected"));
+
+        // Interest too low: score(0,1)=0.96 < gamma=0.99.
+        let strict = GpSsnQuery { gamma: 0.99, ..q.clone() };
+        let ans =
+            GpSsnAnswer { users: vec![0, 1], pois: vec![0, 1], maxdist: md(&vec![0, 1], &vec![0, 1]) };
+        assert!(check_answer(&ssn, &strict, &ans).unwrap_err().contains("interest"));
+
+        // Matching too low: u2=(1.0, 0.0) against R={1} (keyword 1) -> 0.
+        let q3 = GpSsnQuery { user: 2, tau: 2, gamma: 0.0, theta: 0.5, radius: 2.0 };
+        let ans =
+            GpSsnAnswer { users: vec![1, 2], pois: vec![1], maxdist: md(&vec![1, 2], &vec![1]) };
+        assert!(check_answer(&ssn, &q3, &ans).unwrap_err().contains("match score"));
+
+        // Wrong maxdist.
+        let ans = GpSsnAnswer { users: vec![0, 1], pois: vec![0, 1], maxdist: 0.0 };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("maxdist"));
+
+        // Empty R.
+        let ans = GpSsnAnswer { users: vec![0, 1], pois: vec![], maxdist: 0.0 };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn radius_violation_detected() {
+        let ssn = tiny();
+        // POIs 0 and 1 are 1.5 apart; with r = 0.5, 2r = 1.0 < 1.5.
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 0.5 };
+        let users = vec![0, 1];
+        let pois = vec![0, 1];
+        let maxdist = ssn.maxdist_rn(&users, &pois);
+        let ans = GpSsnAnswer { users, pois, maxdist };
+        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("2r"));
+    }
+}

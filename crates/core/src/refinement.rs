@@ -1,0 +1,276 @@
+//! Refinement: exact verification of candidate centers (Algorithm 2,
+//! lines 29–31).
+//!
+//! A candidate center `o_i` defines the POI set `R(o_i) = ⊙(o_i, r)` (the
+//! road-network ball, which automatically satisfies the pairwise-`2r`
+//! predicate). Verifying a center means finding the best feasible user
+//! group for it:
+//!
+//! 1. compute `R(o_i)` exactly and its keyword union;
+//! 2. keep candidate users whose `Match_Score(u, R) >= θ` (the query user
+//!    must qualify);
+//! 3. compute each eligible user's cost `c(u) = max_{o∈R} dist_RN(u, o)`;
+//! 4. the optimal group minimizes `max_{u∈S} c(u)` subject to: `|S| = τ`,
+//!    `u_q ∈ S`, `S` connected in `G_s`, pairwise interest `>= γ`.
+//!    Enabling users in ascending cost order makes feasibility *monotone*
+//!    in the enabled prefix, so a binary search over prefix lengths finds
+//!    the optimal objective `c_k` exactly (any group with smaller maximum
+//!    cost would fit inside a shorter, infeasible prefix).
+
+use crate::query::{GpSsnAnswer, GpSsnQuery};
+use gpssn_graph::enumerate_connected_subsets;
+use gpssn_road::{dist_rn_many, NetworkPoint, PoiId};
+use gpssn_social::UserId;
+use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
+
+/// Outcome of verifying one candidate center.
+#[derive(Debug, Clone)]
+pub struct CenterVerification {
+    /// Best feasible answer for this center, if any.
+    pub answer: Option<GpSsnAnswer>,
+    /// Number of `(S, R)` pairs (connected subsets) examined.
+    pub subsets_examined: u64,
+}
+
+/// Verifies candidate center `center`. `best_so_far` allows early exits:
+/// a center whose query-user cost already reaches it cannot improve the
+/// global answer. `enumeration_cap` bounds the subsets examined per
+/// feasibility check (a safety valve; `u32::MAX as usize` disables it).
+pub fn verify_center(
+    ssn: &SpatialSocialNetwork,
+    q: &GpSsnQuery,
+    candidates: &[UserId],
+    center: PoiId,
+    best_so_far: f64,
+    enumeration_cap: usize,
+) -> CenterVerification {
+    let mut out = CenterVerification { answer: None, subsets_examined: 0 };
+    let center_pos = ssn.pois().get(center).position;
+    let ball = ssn.pois().network_ball(ssn.road(), &center_pos, q.radius);
+    if ball.is_empty() {
+        return out;
+    }
+    let r_ids: Vec<PoiId> = ball.iter().map(|&(o, _)| o).collect();
+    let union = ssn.pois().keyword_union(&r_ids);
+
+    // Matching eligibility (the query user must qualify).
+    if match_score_keywords(ssn.social().interest(q.user), &union) < q.theta {
+        return out;
+    }
+
+    // Exact cost of the query user first — one Dijkstra, cheapest exit.
+    let positions: Vec<NetworkPoint> = r_ids.iter().map(|&o| ssn.pois().get(o).position).collect();
+    let cq = dist_rn_many(ssn.road(), &ssn.home(q.user), &positions)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    if cq >= best_so_far {
+        return out; // any group containing u_q costs at least cq
+    }
+
+    let mut eligible: Vec<UserId> = candidates
+        .iter()
+        .copied()
+        .filter(|&u| match_score_keywords(ssn.social().interest(u), &union) >= q.theta)
+        .collect();
+    if !eligible.contains(&q.user) {
+        eligible.push(q.user);
+    }
+    if eligible.len() < q.tau {
+        return out;
+    }
+
+    // Exact user costs c(u) = max_{o ∈ R} dist_RN(u, o), computed with
+    // one multi-target Dijkstra per ball POI (columns), which beats one
+    // Dijkstra per user whenever |R| < |eligible| — the common case.
+    let homes: Vec<NetworkPoint> = eligible.iter().map(|&u| ssn.home(u)).collect();
+    let mut cost_vec = vec![0.0f64; eligible.len()];
+    if positions.len() <= eligible.len() {
+        for pos in &positions {
+            let col = dist_rn_many(ssn.road(), pos, &homes);
+            for (c, d) in cost_vec.iter_mut().zip(col) {
+                *c = c.max(d);
+            }
+        }
+    } else {
+        for (c, home) in cost_vec.iter_mut().zip(&homes) {
+            *c = dist_rn_many(ssn.road(), home, &positions)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+        }
+    }
+    let mut costs: Vec<(UserId, f64)> =
+        eligible.iter().copied().zip(cost_vec).collect();
+    costs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    // Only prefixes that beat the incumbent are worth exploring.
+    let usable = costs.partition_point(|&(_, c)| c < best_so_far);
+    let costs = &costs[..usable];
+    if costs.len() < q.tau || !costs.iter().any(|&(u, _)| u == q.user) {
+        return out;
+    }
+
+    // Binary search the smallest feasible enabled prefix (feasibility is
+    // monotone in the prefix length).
+    let graph = ssn.social().graph();
+    let m = ssn.social().num_users();
+    let feasible_at = |k: usize, out: &mut CenterVerification| -> Option<Vec<UserId>> {
+        let mut allowed = vec![false; m];
+        for &(u, _) in &costs[..k] {
+            allowed[u as usize] = true;
+        }
+        if !allowed[q.user as usize] {
+            return None;
+        }
+        let mut found: Option<Vec<UserId>> = None;
+        let mut visits = 0u64;
+        enumerate_connected_subsets(graph, q.user, q.tau, Some(&allowed), &mut |s| {
+            visits += 1;
+            if ssn.social().pairwise_interest_holds(s, q.gamma) {
+                found = Some(s.to_vec());
+                return false;
+            }
+            visits < enumeration_cap as u64
+        });
+        out.subsets_examined += visits;
+        found
+    };
+
+    let mut lo = q.tau; // smallest prefix that could host a group
+    let mut hi = costs.len();
+    if feasible_at(hi, &mut out).is_none() {
+        return out;
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if feasible_at(mid, &mut out).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let group = feasible_at(hi, &mut out).expect("hi is feasible by invariant");
+    // The objective is the cost of the most expensive *needed* member:
+    // the true maxdist of the found group (<= costs[hi-1].1, and no group
+    // with smaller maximum cost fits in a shorter prefix).
+    let maxdist = group.iter().map(|&u| costs.iter().find(|&&(v, _)| v == u).unwrap().1).fold(
+        0.0f64,
+        f64::max,
+    );
+    if maxdist < best_so_far {
+        let mut users = group;
+        users.sort_unstable();
+        let mut pois = r_ids;
+        pois.sort_unstable();
+        out.answer = Some(GpSsnAnswer { users, pois, maxdist });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_road::{Poi, PoiSet, RoadNetwork};
+    use gpssn_social::{InterestVector, SocialNetwork};
+    use gpssn_spatial::Point;
+
+    /// Line road 0..4 (x = 0, 2, 4, 6, 8); POIs at x = 1, 3, 7.
+    /// Users: 0 at x=0, 1 at x=2, 2 at x=4, 3 at x=8.
+    fn fixture() -> SpatialSocialNetwork {
+        let locs: Vec<Point> = (0..5).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
+        let road =
+            RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let pois = PoiSet::new(
+            &road,
+            vec![
+                Poi::new(NetworkPoint::new(&road, 0, 1.0), vec![0]), // x=1
+                Poi::new(NetworkPoint::new(&road, 1, 1.0), vec![1]), // x=3
+                Poi::new(NetworkPoint::new(&road, 3, 1.0), vec![0, 1]), // x=7
+            ],
+        );
+        let social = SocialNetwork::new(
+            vec![
+                InterestVector::new(vec![0.9, 0.9]),
+                InterestVector::new(vec![0.8, 0.8]),
+                InterestVector::new(vec![0.9, 0.1]),
+                InterestVector::new(vec![0.9, 0.9]),
+            ],
+            &[(0, 1), (1, 2), (2, 3)],
+        );
+        let homes = vec![
+            NetworkPoint::new(&road, 0, 0.0), // x=0
+            NetworkPoint::new(&road, 0, 2.0), // x=2
+            NetworkPoint::new(&road, 1, 2.0), // x=4
+            NetworkPoint::new(&road, 3, 2.0), // x=8
+        ];
+        SpatialSocialNetwork::new(road, pois, social, homes)
+    }
+
+    #[test]
+    fn finds_best_group_for_center() {
+        let ssn = fixture();
+        // Center POI 0 (x=1), r=2.1: ball = {POI0 (x=1), POI1 (x=3)}.
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.1 };
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let ans = v.answer.expect("feasible");
+        assert_eq!(ans.users, vec![0, 1]);
+        // c(0)=dist to x=3 -> 3; c(1)=max(1,1)=1 -> maxdist = 3.
+        assert!((ans.maxdist - 3.0).abs() < 1e-9);
+        assert!(v.subsets_examined > 0);
+    }
+
+    #[test]
+    fn theta_excludes_nonmatching_users() {
+        let ssn = fixture();
+        // Ball around POI 0 with tiny radius: only keyword 0. User 2 has
+        // w=(0.9,0.1): match=0.9. All users match keyword 0 well except
+        // none fail... use theta high enough to exclude user 1 (0.8).
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.85, radius: 0.5 };
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        // Eligible: users 0 (0.9), 2 (0.9), 3 (0.9); group must be
+        // connected & contain 0: {0,2}? not adjacent (0-1,1-2) -> no.
+        assert!(v.answer.is_none());
+    }
+
+    #[test]
+    fn gamma_blocks_incompatible_groups() {
+        let ssn = fixture();
+        // score(0,1) = 0.72+0.72 = 1.44; gamma above that blocks {0,1}.
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 1.5, theta: 0.0, radius: 2.1 };
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        assert!(v.answer.is_none());
+    }
+
+    #[test]
+    fn best_so_far_short_circuits() {
+        let ssn = fixture();
+        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.1 };
+        // Optimal is 3.0; a bound of 2.9 must yield nothing.
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, 2.9, usize::MAX);
+        assert!(v.answer.is_none());
+    }
+
+    #[test]
+    fn tau_one_returns_query_user_alone() {
+        let ssn = fixture();
+        let q = GpSsnQuery { user: 1, tau: 1, gamma: 9.9, theta: 0.5, radius: 2.1 };
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let ans = v.answer.expect("singleton group");
+        assert_eq!(ans.users, vec![1]);
+        assert!((ans.maxdist - 1.0).abs() < 1e-9); // max(dist to x=1, x=3) = 1
+    }
+
+    #[test]
+    fn empty_candidates_still_considers_query_user() {
+        let ssn = fixture();
+        let q = GpSsnQuery { user: 0, tau: 1, gamma: 0.0, theta: 0.0, radius: 2.1 };
+        let v = verify_center(&ssn, &q, &[], 0, f64::INFINITY, usize::MAX);
+        assert!(v.answer.is_some());
+    }
+
+    #[test]
+    fn infeasible_tau_returns_none() {
+        let ssn = fixture();
+        let q = GpSsnQuery { user: 0, tau: 5, gamma: 0.0, theta: 0.0, radius: 2.1 };
+        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        assert!(v.answer.is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Query metrics and pruning-power counters.
+//!
+//! These counters feed the experiment harness directly: Figure 7 reports
+//! pruning powers, Figures 8–11 report CPU time and I/O cost.
+
+use crate::query::GpSsnAnswer;
+use std::time::Duration;
+
+/// Pruning-power counters gathered during one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PruningStats {
+    /// Total users `m`.
+    pub users_total: usize,
+    /// Users under social-index nodes pruned at index level.
+    pub users_pruned_index: usize,
+    /// Users pruned at object level (after surviving index level).
+    pub users_pruned_object: usize,
+    /// Users pruned by the social-distance rule in the independent
+    /// object-level measurement (Fig. 7b).
+    pub users_pruned_by_distance: usize,
+    /// Users pruned by the interest-score rule among those surviving the
+    /// distance rule (Fig. 7b).
+    pub users_pruned_by_interest: usize,
+    /// Total POIs `n`.
+    pub pois_total: usize,
+    /// POIs under road-index nodes pruned at index level.
+    pub pois_pruned_index: usize,
+    /// POIs pruned at object level (after surviving index level).
+    pub pois_pruned_object: usize,
+    /// POIs pruned by the road-distance rule in the independent
+    /// object-level measurement (Fig. 7c).
+    pub pois_pruned_by_distance: usize,
+    /// POIs pruned by the matching-score rule among distance survivors
+    /// (Fig. 7c).
+    pub pois_pruned_by_matching: usize,
+    /// Estimated total number of user–POI group pairs (Fig. 7d
+    /// denominator): `C(m, τ) · n` as in the paper's Baseline count.
+    pub pairs_total_estimate: f64,
+    /// (S, R) pairs actually examined during refinement.
+    pub pairs_refined: u64,
+    /// Candidate users surviving both pruning stages.
+    pub candidate_users: usize,
+    /// Candidate POI centers surviving both pruning stages.
+    pub candidate_pois: usize,
+}
+
+impl PruningStats {
+    /// Fig. 7a: social index-level pruning power.
+    pub fn social_index_power(&self) -> f64 {
+        ratio(self.users_pruned_index, self.users_total)
+    }
+
+    /// Fig. 7a: social object-level pruning power (relative to index
+    /// survivors).
+    pub fn social_object_power(&self) -> f64 {
+        ratio(self.users_pruned_object, self.users_total - self.users_pruned_index)
+    }
+
+    /// Fig. 7a: road index-level pruning power.
+    pub fn road_index_power(&self) -> f64 {
+        ratio(self.pois_pruned_index, self.pois_total)
+    }
+
+    /// Fig. 7a: road object-level pruning power (relative to index
+    /// survivors).
+    pub fn road_object_power(&self) -> f64 {
+        ratio(self.pois_pruned_object, self.pois_total - self.pois_pruned_index)
+    }
+
+    /// Fig. 7b: social-distance pruning power over all users.
+    pub fn social_distance_power(&self) -> f64 {
+        ratio(self.users_pruned_by_distance, self.users_total)
+    }
+
+    /// Fig. 7b: interest-score pruning power over distance survivors.
+    pub fn interest_power(&self) -> f64 {
+        ratio(self.users_pruned_by_interest, self.users_total - self.users_pruned_by_distance)
+    }
+
+    /// Fig. 7c: road-distance pruning power over all POIs.
+    pub fn road_distance_power(&self) -> f64 {
+        ratio(self.pois_pruned_by_distance, self.pois_total)
+    }
+
+    /// Fig. 7c: matching-score pruning power over distance survivors.
+    pub fn matching_power(&self) -> f64 {
+        ratio(self.pois_pruned_by_matching, self.pois_total - self.pois_pruned_by_distance)
+    }
+
+    /// Fig. 7d: overall pruning power of user–POI group pairs.
+    pub fn pair_power(&self) -> f64 {
+        if self.pairs_total_estimate <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (self.pairs_refined as f64 / self.pairs_total_estimate).min(1.0)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Wall-clock and I/O metrics of one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// CPU time of the index traversal + refinement.
+    pub cpu: Duration,
+    /// Page accesses (index nodes touched).
+    pub io_pages: u64,
+    /// Pruning counters.
+    pub stats: PruningStats,
+}
+
+/// The result of running a GP-SSN query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The optimal answer, or `None` when no group/POI pair satisfies the
+    /// predicates.
+    pub answer: Option<GpSsnAnswer>,
+    /// Measured metrics.
+    pub metrics: QueryMetrics,
+}
+
+/// `C(n, k)` in `f64` (saturating to `f64::INFINITY` for huge values) —
+/// used for the paper's Baseline pair-count estimates.
+pub fn binomial_f64(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+        if acc.is_infinite() {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_compute_ratios() {
+        let s = PruningStats {
+            users_total: 100,
+            users_pruned_index: 40,
+            users_pruned_object: 30,
+            pois_total: 200,
+            pois_pruned_index: 100,
+            pois_pruned_object: 50,
+            ..Default::default()
+        };
+        assert!((s.social_index_power() - 0.4).abs() < 1e-12);
+        assert!((s.social_object_power() - 0.5).abs() < 1e-12);
+        assert!((s.road_index_power() - 0.5).abs() < 1e-12);
+        assert!((s.road_object_power() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = PruningStats::default();
+        assert_eq!(s.social_index_power(), 0.0);
+        assert_eq!(s.pair_power(), 0.0);
+    }
+
+    #[test]
+    fn pair_power_clamps() {
+        let s = PruningStats {
+            pairs_total_estimate: 10.0,
+            pairs_refined: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.pair_power(), 0.0);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial_f64(5, 2), 10.0);
+        assert_eq!(binomial_f64(10, 0), 1.0);
+        assert_eq!(binomial_f64(3, 5), 0.0);
+        // Large values stay finite as f64.
+        let big = binomial_f64(40_000, 5);
+        assert!(big > 1e20 && big.is_finite());
+    }
+}

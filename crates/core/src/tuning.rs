@@ -1,0 +1,224 @@
+//! Parameter tuning (paper Section 2.2, "Discussions on the Parameter
+//! Tuning").
+//!
+//! The paper treats `γ`, `θ`, and `r` as system parameters "tuned from
+//! historical query logs or data distributions of users/POIs":
+//!
+//! * `γ` — "the x-th percentile over the distribution of common interest
+//!   scores for pairwise users in social networks";
+//! * `θ` — "the average (or x-percentile) of the matching scores between
+//!   users and POI groups";
+//! * `2r` — "the maximum road-network distance that a user (or user
+//!   group) may travel between any two POIs, based on the query history
+//!   of their trip planning".
+//!
+//! This module implements those rules over sampled data distributions
+//! (full pairwise enumeration is quadratic; the paper's own motivation
+//! for sampling applies).
+
+use crate::query::GpSsnQuery;
+use gpssn_road::PoiId;
+use gpssn_social::UserId;
+use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Suggested system parameters with the samples that produced them.
+#[derive(Debug, Clone)]
+pub struct TunedParameters {
+    /// Suggested interest threshold `γ`.
+    pub gamma: f64,
+    /// Suggested matching threshold `θ`.
+    pub theta: f64,
+    /// Suggested radius `r`.
+    pub radius: f64,
+    /// Number of samples behind each suggestion.
+    pub samples: usize,
+}
+
+/// `γ` as the `percentile`-th percentile of sampled pairwise interest
+/// scores (`percentile` in `[0, 1]`; e.g. `0.7` keeps the top 30% most
+/// compatible pairs eligible).
+pub fn suggest_gamma(ssn: &SpatialSocialNetwork, percentile: f64, samples: usize, seed: u64) -> f64 {
+    let m = ssn.social().num_users();
+    assert!(m >= 2, "need at least two users");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores: Vec<f64> = (0..samples)
+        .map(|_| {
+            let a = rng.gen_range(0..m) as UserId;
+            let mut b = rng.gen_range(0..m) as UserId;
+            while b == a {
+                b = rng.gen_range(0..m) as UserId;
+            }
+            ssn.social().score(a, b)
+        })
+        .collect();
+    percentile_of(&mut scores, percentile)
+}
+
+/// `θ` as the `percentile`-th percentile of sampled user-vs-POI-ball
+/// matching scores at radius `r`.
+pub fn suggest_theta(
+    ssn: &SpatialSocialNetwork,
+    r: f64,
+    percentile: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let m = ssn.social().num_users();
+    let n = ssn.pois().len();
+    assert!(m >= 1 && n >= 1, "need users and POIs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores: Vec<f64> = (0..samples)
+        .map(|_| {
+            let u = rng.gen_range(0..m) as UserId;
+            let center = rng.gen_range(0..n) as PoiId;
+            let ball: Vec<PoiId> = ssn
+                .pois()
+                .network_ball(ssn.road(), &ssn.pois().get(center).position, r)
+                .into_iter()
+                .map(|(o, _)| o)
+                .collect();
+            let union = ssn.pois().keyword_union(&ball);
+            match_score_keywords(ssn.social().interest(u), &union)
+        })
+        .collect();
+    percentile_of(&mut scores, percentile)
+}
+
+/// `r` from a "trip history": half the `percentile`-th percentile of the
+/// pairwise POI distances travelled in the given historical trips (each
+/// trip is a set of POIs visited together — the paper's "maximum
+/// road-network distance that a user group may travel between any two
+/// POIs").
+pub fn suggest_radius(
+    ssn: &SpatialSocialNetwork,
+    trip_history: &[Vec<PoiId>],
+    percentile: f64,
+) -> f64 {
+    let mut spans: Vec<f64> = trip_history
+        .iter()
+        .filter(|trip| trip.len() >= 2)
+        .map(|trip| {
+            let mut max = 0.0f64;
+            for (i, &a) in trip.iter().enumerate() {
+                for &b in &trip[i + 1..] {
+                    max = max.max(ssn.pois().poi_distance(ssn.road(), a, b));
+                }
+            }
+            max
+        })
+        .collect();
+    if spans.is_empty() {
+        return 1.0;
+    }
+    percentile_of(&mut spans, percentile) / 2.0
+}
+
+/// One-call tuning of all three system parameters (`τ` stays
+/// user-specified, as the paper prescribes).
+pub fn suggest_parameters(
+    ssn: &SpatialSocialNetwork,
+    trip_history: &[Vec<PoiId>],
+    percentile: f64,
+    samples: usize,
+    seed: u64,
+) -> TunedParameters {
+    let radius = suggest_radius(ssn, trip_history, percentile).max(0.1);
+    TunedParameters {
+        gamma: suggest_gamma(ssn, percentile, samples, seed),
+        theta: suggest_theta(ssn, radius, 1.0 - percentile, samples, seed ^ 0x5a5a),
+        radius,
+        samples,
+    }
+}
+
+impl TunedParameters {
+    /// Materializes a query for `user` with the tuned thresholds and a
+    /// user-specified group size `τ`.
+    pub fn query(&self, user: UserId, tau: usize) -> GpSsnQuery {
+        GpSsnQuery { user, tau, gamma: self.gamma, theta: self.theta, radius: self.radius }
+    }
+}
+
+fn percentile_of(values: &mut [f64], percentile: f64) -> f64 {
+    assert!(!values.is_empty());
+    let p = percentile.clamp(0.0, 1.0);
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((values.len() - 1) as f64 * p).round() as usize;
+    values[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_ssn::{synthetic, SyntheticConfig};
+
+    fn fixture() -> SpatialSocialNetwork {
+        synthetic(&SyntheticConfig::uni().scaled(0.01), 3)
+    }
+
+    #[test]
+    fn gamma_percentiles_are_monotone() {
+        let ssn = fixture();
+        let lo = suggest_gamma(&ssn, 0.2, 500, 1);
+        let hi = suggest_gamma(&ssn, 0.9, 500, 1);
+        assert!(lo <= hi, "{lo} > {hi}");
+        assert!((0.0..=1.0).contains(&lo));
+    }
+
+    #[test]
+    fn theta_reflects_matching_distribution() {
+        let ssn = fixture();
+        let t = suggest_theta(&ssn, 2.0, 0.5, 200, 2);
+        assert!((0.0..=1.0).contains(&t));
+        // Bigger balls cover more keywords: theta suggestion rises with r.
+        let t_big = suggest_theta(&ssn, 4.0, 0.5, 200, 2);
+        assert!(t_big + 1e-9 >= t, "{t_big} < {t}");
+    }
+
+    #[test]
+    fn radius_from_trip_history() {
+        let ssn = fixture();
+        let trips = vec![vec![0u32, 1, 2], vec![3, 4], vec![5]];
+        let r = suggest_radius(&ssn, &trips, 1.0);
+        assert!(r > 0.0);
+        // The suggestion is half the widest trip span.
+        let widest = trips
+            .iter()
+            .filter(|t| t.len() >= 2)
+            .map(|t| {
+                let mut mx = 0.0f64;
+                for (i, &a) in t.iter().enumerate() {
+                    for &b in &t[i + 1..] {
+                        mx = mx.max(ssn.pois().poi_distance(ssn.road(), a, b));
+                    }
+                }
+                mx
+            })
+            .fold(0.0f64, f64::max);
+        assert!((r - widest / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_history_falls_back() {
+        let ssn = fixture();
+        assert_eq!(suggest_radius(&ssn, &[], 0.9), 1.0);
+        assert_eq!(suggest_radius(&ssn, &[vec![1]], 0.9), 1.0);
+    }
+
+    #[test]
+    fn suggested_parameters_build_valid_queries() {
+        let ssn = fixture();
+        let trips = vec![vec![0u32, 1], vec![2, 3, 4]];
+        let tuned = suggest_parameters(&ssn, &trips, 0.7, 300, 5);
+        let q = tuned.query(0, 4);
+        assert!(q.validate().is_ok(), "{q:?}");
+        assert_eq!(q.tau, 4);
+    }
+
+    #[test]
+    fn tuning_is_deterministic_under_seed() {
+        let ssn = fixture();
+        assert_eq!(suggest_gamma(&ssn, 0.5, 300, 9), suggest_gamma(&ssn, 0.5, 300, 9));
+    }
+}

@@ -1,0 +1,170 @@
+//! ALT — A\* with landmarks and the triangle inequality (Goldberg &
+//! Harrelson, SODA 2005).
+//!
+//! GP-SSN already precomputes landmark (pivot) distance tables for its
+//! bounds; ALT reuses exactly those tables as an admissible, consistent
+//! A\* heuristic for *exact* point-to-point queries:
+//!
+//! ```text
+//! h(v) = max_l |d(l, v) − d(l, t)|  <=  d(v, t)
+//! ```
+//!
+//! On road networks this typically settles a fraction of the vertices
+//! plain Dijkstra would (see the `graph_ops` bench).
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::dijkstra::INFINITY;
+use crate::heap::IndexedMinHeap;
+
+/// Landmark distance tables for ALT queries over one graph.
+#[derive(Debug, Clone)]
+pub struct AltOracle {
+    /// `tables[l][v]` = exact distance from landmark `l` to vertex `v`.
+    tables: Vec<Vec<f64>>,
+}
+
+impl AltOracle {
+    /// Builds the oracle from landmark vertices (one Dijkstra per
+    /// landmark).
+    pub fn new(graph: &CsrGraph, landmarks: &[NodeId]) -> Self {
+        assert!(!landmarks.is_empty(), "ALT needs at least one landmark");
+        let tables = landmarks
+            .iter()
+            .map(|&l| crate::dijkstra::dijkstra_all(graph, &[(l, 0.0)]))
+            .collect();
+        AltOracle { tables }
+    }
+
+    /// Wraps existing landmark tables (e.g. GP-SSN road-pivot tables).
+    pub fn from_tables(tables: Vec<Vec<f64>>) -> Self {
+        assert!(!tables.is_empty(), "ALT needs at least one landmark");
+        AltOracle { tables }
+    }
+
+    /// Admissible heuristic `h(v) >= 0`, `h(v) <= d(v, target)`.
+    #[inline]
+    fn heuristic(&self, v: NodeId, target: NodeId) -> f64 {
+        let mut h = 0.0f64;
+        for table in &self.tables {
+            let dv = table[v as usize];
+            let dt = table[target as usize];
+            if dv.is_finite() && dt.is_finite() {
+                h = h.max((dv - dt).abs());
+            }
+        }
+        h
+    }
+
+    /// Exact distance from the (possibly virtual, multi-seed) source to
+    /// `target` via A\*. Returns `(distance, settled_count)`; the settled
+    /// count is what the benchmarks compare against plain Dijkstra.
+    pub fn distance(
+        &self,
+        graph: &CsrGraph,
+        seeds: &[(NodeId, f64)],
+        target: NodeId,
+    ) -> (f64, usize) {
+        let n = graph.num_nodes();
+        let mut dist = vec![INFINITY; n];
+        let mut heap = IndexedMinHeap::new(n);
+        for &(s, d0) in seeds {
+            if d0 < dist[s as usize] {
+                dist[s as usize] = d0;
+                heap.push_or_decrease(s, d0 + self.heuristic(s, target));
+            }
+        }
+        let mut settled = 0usize;
+        while let Some((v, _)) = heap.pop() {
+            settled += 1;
+            if v == target {
+                return (dist[v as usize], settled);
+            }
+            let d = dist[v as usize];
+            for nb in graph.neighbors(v) {
+                let nd = d + nb.weight;
+                if nd < dist[nb.node as usize] {
+                    dist[nb.node as usize] = nd;
+                    heap.push_or_decrease(nb.node, nd + self.heuristic(nb.node, target));
+                }
+            }
+        }
+        (INFINITY, settled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_all;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_graph(seed: u64, n: usize) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(NodeId, NodeId, f64)> = (1..n)
+            .map(|v| (rng.gen_range(0..v) as NodeId, v as NodeId, rng.gen_range(0.5..3.0)))
+            .collect();
+        for _ in 0..n {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u != v {
+                edges.push((u, v, rng.gen_range(0.5..3.0)));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn exact_on_small_graph() {
+        let g = random_graph(1, 30);
+        let alt = AltOracle::new(&g, &[0, 15]);
+        let oracle = dijkstra_all(&g, &[(3, 0.0)]);
+        for t in 0..30 {
+            let (d, _) = alt.distance(&g, &[(3, 0.0)], t as NodeId);
+            assert!((d - oracle[t]).abs() < 1e-9, "target {t}: {d} vs {}", oracle[t]);
+        }
+    }
+
+    #[test]
+    fn multi_seed_sources_work() {
+        let g = random_graph(2, 25);
+        let alt = AltOracle::new(&g, &[0]);
+        let plain = dijkstra_all(&g, &[(1, 0.4), (2, 0.1)]);
+        let (d, _) = alt.distance(&g, &[(1, 0.4), (2, 0.1)], 20);
+        assert!((d - plain[20]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_is_infinite() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let alt = AltOracle::new(&g, &[0]);
+        let (d, _) = alt.distance(&g, &[(0, 0.0)], 3);
+        assert_eq!(d, INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark")]
+    fn rejects_empty_landmarks() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1.0)]);
+        AltOracle::new(&g, &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// ALT distances equal Dijkstra for random graphs/landmarks.
+        #[test]
+        fn matches_dijkstra(seed in 0u64..300, n in 2usize..40, l in 1usize..4) {
+            let g = random_graph(seed, n);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+            let landmarks: Vec<NodeId> = (0..l).map(|_| rng.gen_range(0..n) as NodeId).collect();
+            let alt = AltOracle::new(&g, &landmarks);
+            let s = rng.gen_range(0..n) as NodeId;
+            let t = rng.gen_range(0..n) as NodeId;
+            let oracle = dijkstra_all(&g, &[(s, 0.0)]);
+            let (d, _) = alt.distance(&g, &[(s, 0.0)], t);
+            prop_assert!((d - oracle[t as usize]).abs() < 1e-9
+                || (d == INFINITY && oracle[t as usize] == INFINITY));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Pruned landmark labeling (2-hop labels) for exact hop distances.
+//!
+//! Akiba, Iwata, Yoshida (SIGMOD 2013): process vertices in importance
+//! order (here: degree-descending); BFS from each, *pruning* a visit when
+//! the labels built so far already certify a distance no longer than the
+//! BFS distance; record `(landmark, dist)` in every settled vertex's
+//! label. Queries then take `min over common landmarks of d_a + d_b` —
+//! exact, typically over a handful of label entries.
+//!
+//! In GP-SSN this is an optional upgrade of the social-distance rule
+//! (Lemma 4): the pivot scheme gives a lower bound, hop labels give the
+//! exact `dist_SN`, so pruning fires exactly when it should. The paper's
+//! pivot design remains the default; the labeling is an ablatable
+//! alternative (see DESIGN.md).
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel for disconnected pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A 2-hop labeling of an unweighted graph.
+#[derive(Debug, Clone)]
+pub struct HopLabels {
+    /// Per vertex: sorted `(landmark, hops)` entries.
+    labels: Vec<Vec<(NodeId, u32)>>,
+}
+
+impl HopLabels {
+    /// Builds the labeling (exact for every pair).
+    pub fn build(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+        let mut labels: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
+        let mut dist = vec![UNREACHABLE; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let mut queue = VecDeque::new();
+        for &landmark in &order {
+            // Pruned BFS from `landmark`.
+            queue.clear();
+            touched.clear();
+            dist[landmark as usize] = 0;
+            touched.push(landmark);
+            queue.push_back(landmark);
+            while let Some(v) = queue.pop_front() {
+                let d = dist[v as usize];
+                // Prune: existing labels already certify <= d.
+                if v != landmark && query_labels(&labels[landmark as usize], &labels[v as usize]) <= d
+                {
+                    continue;
+                }
+                labels[v as usize].push((landmark, d));
+                for nb in graph.neighbors(v) {
+                    let u = nb.node as usize;
+                    if dist[u] == UNREACHABLE {
+                        dist[u] = d + 1;
+                        touched.push(nb.node);
+                        queue.push_back(nb.node);
+                    }
+                }
+            }
+            for &v in &touched {
+                dist[v as usize] = UNREACHABLE;
+            }
+        }
+        // Labels are pushed in landmark-order (which is the vertex scan
+        // order), so each list is already sorted by landmark id order of
+        // insertion; sort by landmark id for merge queries.
+        for l in &mut labels {
+            l.sort_unstable_by_key(|&(v, _)| v);
+        }
+        HopLabels { labels }
+    }
+
+    /// Exact hop distance between `a` and `b` ([`UNREACHABLE`] when
+    /// disconnected).
+    pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        query_labels(&self.labels[a as usize], &self.labels[b as usize])
+    }
+
+    /// Label entries of `v` (diagnostics).
+    pub fn label(&self, v: NodeId) -> &[(NodeId, u32)] {
+        &self.labels[v as usize]
+    }
+
+    /// Average label size (index-size diagnostic).
+    pub fn average_label_size(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(Vec::len).sum::<usize>() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Merge-join two sorted label lists; min of `d_a + d_b` over common
+/// landmarks.
+fn query_labels(a: &[(NodeId, u32)], b: &[(NodeId, u32)]) -> u32 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = UNREACHABLE;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let sum = a[i].1.saturating_add(b[j].1);
+                best = best.min(sum);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<(NodeId, NodeId, f64)> =
+            (1..n).map(|v| (v as NodeId - 1, v as NodeId, 1.0)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn exact_on_path() {
+        let g = path(8);
+        let hl = HopLabels::build(&g);
+        assert_eq!(hl.dist(0, 7), 7);
+        assert_eq!(hl.dist(3, 3), 0);
+        assert_eq!(hl.dist(2, 5), 3);
+    }
+
+    #[test]
+    fn disconnected_pairs_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let hl = HopLabels::build(&g);
+        assert_eq!(hl.dist(0, 2), UNREACHABLE);
+        assert_eq!(hl.dist(1, 0), 1);
+    }
+
+    #[test]
+    fn labels_stay_small_on_stars() {
+        // Star graph: the hub alone should label everything.
+        let edges: Vec<(NodeId, NodeId, f64)> =
+            (1..50).map(|v| (0, v as NodeId, 1.0)).collect();
+        let g = CsrGraph::from_edges(50, &edges);
+        let hl = HopLabels::build(&g);
+        assert!(hl.average_label_size() <= 2.5, "{}", hl.average_label_size());
+        assert_eq!(hl.dist(3, 4), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The labeling is exact against BFS on random graphs.
+        #[test]
+        fn matches_bfs(seed in 0u64..300, n in 2usize..40, p in 0.05f64..0.4) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(p) {
+                        edges.push((u as NodeId, v as NodeId, 1.0));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges);
+            let hl = HopLabels::build(&g);
+            for s in 0..n.min(6) {
+                let exact = bfs::hop_distances(&g, s as NodeId);
+                for t in 0..n {
+                    let got = hl.dist(s as NodeId, t as NodeId);
+                    let want = exact[t];
+                    prop_assert_eq!(got, want, "pair ({}, {})", s, t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared sampling utilities for synthetic data generation.
+//!
+//! The paper's synthetic workloads (Section 6.1) draw degrees, POI counts,
+//! keywords, and interest probabilities from either a Uniform or a Zipf
+//! distribution (the `UNI` and `ZIPF` datasets). This module provides a
+//! seedable index sampler for both, shared by the road-network and
+//! social-network generators.
+
+use rand::Rng;
+
+/// Which distribution to draw discrete indices from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDistribution {
+    /// Uniform over `0..k`.
+    Uniform,
+    /// Zipf with exponent 1 over `0..k` (rank 1 is most likely).
+    Zipf,
+}
+
+/// A prepared sampler over `0..k` for one of the [`ValueDistribution`]s.
+#[derive(Debug, Clone)]
+pub struct IndexSampler {
+    k: usize,
+    /// Cumulative distribution for Zipf; empty for Uniform.
+    cdf: Vec<f64>,
+}
+
+impl IndexSampler {
+    /// Prepares a sampler over `0..k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(dist: ValueDistribution, k: usize) -> Self {
+        assert!(k > 0, "cannot sample from an empty range");
+        let cdf = match dist {
+            ValueDistribution::Uniform => Vec::new(),
+            ValueDistribution::Zipf => {
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(k);
+                for i in 0..k {
+                    acc += 1.0 / (i as f64 + 1.0);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+        };
+        IndexSampler { k, cdf }
+    }
+
+    /// Draws an index in `0..k`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.cdf.is_empty() {
+            rng.gen_range(0..self.k)
+        } else {
+            let u: f64 = rng.gen();
+            match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                Ok(i) => (i + 1).min(self.k - 1),
+                Err(i) => i.min(self.k - 1),
+            }
+        }
+    }
+
+    /// Size of the sampled range.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Never true for a constructed sampler.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_covers_range() {
+        let s = IndexSampler::new(ValueDistribution::Uniform, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let s = IndexSampler::new(ValueDistribution::Zipf, 10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > 2 * counts[9]);
+        // Rough check against the harmonic weights: P(0) ~ 1/H_10 ~ 0.34.
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - 0.34).abs() < 0.05, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let s = IndexSampler::new(ValueDistribution::Zipf, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn rejects_zero_k() {
+        IndexSampler::new(ValueDistribution::Uniform, 0);
+    }
+
+    #[test]
+    fn singleton_range_always_zero() {
+        let s = IndexSampler::new(ValueDistribution::Zipf, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+}

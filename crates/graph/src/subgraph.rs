@@ -1,0 +1,271 @@
+//! Enumeration of connected vertex subsets of fixed size containing a root.
+//!
+//! The GP-SSN refinement step (Algorithm 2, line 31) enumerates candidate
+//! user groups `S`: connected subgraphs of the social network of size `τ`
+//! containing the query user `u_q`, drawn from the surviving candidate set.
+//! We use a rooted variant of the classic connected-subgraph enumeration
+//! with an exclusion set, which emits every qualifying subset exactly once.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Enumerates every connected subset of exactly `k` vertices that contains
+/// `root`, restricted to vertices where `allowed` is `true` (pass `None`
+/// for no restriction). Each subset is passed to `visit` (sorted
+/// ascending); if `visit` returns `false`, enumeration stops early.
+///
+/// Returns the number of subsets visited.
+///
+/// Duplicate-freeness: children of a search node are processed in order,
+/// and each processed candidate is added to a per-branch exclusion set, so
+/// no subset can be generated along two different branches.
+pub fn enumerate_connected_subsets<F>(
+    graph: &CsrGraph,
+    root: NodeId,
+    k: usize,
+    allowed: Option<&[bool]>,
+    visit: &mut F,
+) -> usize
+where
+    F: FnMut(&[NodeId]) -> bool,
+{
+    if k == 0 {
+        return 0;
+    }
+    if let Some(a) = allowed {
+        debug_assert_eq!(a.len(), graph.num_nodes());
+        if !a[root as usize] {
+            return 0;
+        }
+    }
+    let n = graph.num_nodes();
+    let mut state = State {
+        graph,
+        allowed,
+        k,
+        in_set: vec![false; n],
+        excluded: vec![false; n],
+        set: Vec::with_capacity(k),
+        count: 0,
+        stopped: false,
+    };
+    state.in_set[root as usize] = true;
+    state.set.push(root);
+    if k == 1 {
+        let mut sorted = state.set.clone();
+        sorted.sort_unstable();
+        if visit(&sorted) {
+            return 1;
+        }
+        return 1;
+    }
+    let frontier = state.initial_frontier(root);
+    state.extend(frontier, visit);
+    state.count
+}
+
+struct State<'a> {
+    graph: &'a CsrGraph,
+    allowed: Option<&'a [bool]>,
+    k: usize,
+    in_set: Vec<bool>,
+    excluded: Vec<bool>,
+    set: Vec<NodeId>,
+    count: usize,
+    stopped: bool,
+}
+
+impl<'a> State<'a> {
+    fn permitted(&self, v: NodeId) -> bool {
+        self.allowed.is_none_or(|a| a[v as usize])
+    }
+
+    fn initial_frontier(&self, root: NodeId) -> Vec<NodeId> {
+        let mut f: Vec<NodeId> = self
+            .graph
+            .neighbors(root)
+            .iter()
+            .map(|nb| nb.node)
+            .filter(|&v| self.permitted(v))
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// `frontier`: candidate extension vertices (adjacent to the current
+    /// set, not in it, not excluded on this branch).
+    fn extend<F>(&mut self, frontier: Vec<NodeId>, visit: &mut F)
+    where
+        F: FnMut(&[NodeId]) -> bool,
+    {
+        let mut newly_excluded = Vec::new();
+        for (i, &v) in frontier.iter().enumerate() {
+            if self.stopped {
+                break;
+            }
+            if self.excluded[v as usize] || self.in_set[v as usize] {
+                continue;
+            }
+            self.in_set[v as usize] = true;
+            self.set.push(v);
+            if self.set.len() == self.k {
+                self.count += 1;
+                let mut sorted = self.set.clone();
+                sorted.sort_unstable();
+                if !visit(&sorted) {
+                    self.stopped = true;
+                }
+            } else {
+                // New frontier: remaining candidates at this level plus the
+                // not-yet-seen neighbors of `v`.
+                let mut next: Vec<NodeId> = frontier[i + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&u| !self.excluded[u as usize] && !self.in_set[u as usize])
+                    .collect();
+                for nb in self.graph.neighbors(v) {
+                    let u = nb.node;
+                    if !self.in_set[u as usize]
+                        && !self.excluded[u as usize]
+                        && self.permitted(u)
+                        && !next.contains(&u)
+                        && !frontier[..=i].contains(&u)
+                    {
+                        next.push(u);
+                    }
+                }
+                self.extend(next, visit);
+            }
+            self.set.pop();
+            self.in_set[v as usize] = false;
+            // Exclude v from the remaining branches at this level.
+            self.excluded[v as usize] = true;
+            newly_excluded.push(v);
+        }
+        for v in newly_excluded {
+            self.excluded[v as usize] = false;
+        }
+    }
+}
+
+/// Convenience: collect all connected `k`-subsets containing `root`.
+pub fn connected_subsets(
+    graph: &CsrGraph,
+    root: NodeId,
+    k: usize,
+    allowed: Option<&[bool]>,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    enumerate_connected_subsets(graph, root, k, allowed, &mut |s| {
+        out.push(s.to_vec());
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected_subset;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_force(g: &CsrGraph, root: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+        let n = g.num_nodes();
+        let mut out = Vec::new();
+        // Enumerate all k-subsets via bitmask (n small in tests).
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k || mask & (1 << root) == 0 {
+                continue;
+            }
+            let subset: Vec<NodeId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            if is_connected_subset(g, &subset) {
+                out.push(subset);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn triangle_pairs() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let mut subs = connected_subsets(&g, 0, 2, None);
+        subs.sort();
+        assert_eq!(subs, vec![vec![0, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn path_triples() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let mut subs = connected_subsets(&g, 1, 3, None);
+        subs.sort();
+        assert_eq!(subs, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1.0)]);
+        assert_eq!(connected_subsets(&g, 1, 1, None), vec![vec![1]]);
+    }
+
+    #[test]
+    fn k_zero_yields_nothing() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1.0)]);
+        assert!(connected_subsets(&g, 0, 0, None).is_empty());
+    }
+
+    #[test]
+    fn allowed_filter_restricts() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let allowed = vec![true, true, true, false];
+        let mut subs = connected_subsets(&g, 1, 3, Some(&allowed));
+        subs.sort();
+        assert_eq!(subs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn root_not_allowed_yields_nothing() {
+        let g = CsrGraph::from_edges(2, &[(0, 1, 1.0)]);
+        let allowed = vec![false, true];
+        assert!(connected_subsets(&g, 0, 2, Some(&allowed)).is_empty());
+    }
+
+    #[test]
+    fn early_stop_halts_enumeration() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
+        let mut seen = 0;
+        enumerate_connected_subsets(&g, 0, 2, None, &mut |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Enumeration matches brute force: same subsets, no duplicates.
+        #[test]
+        fn matches_brute_force(seed in 0u64..500, n in 1usize..9, k in 1usize..5, p in 0.2f64..0.9) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(p) {
+                        edges.push((u as NodeId, v as NodeId, 1.0));
+                    }
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges);
+            let root = rng.gen_range(0..n) as NodeId;
+            let k = k.min(n);
+            let mut got = connected_subsets(&g, root, k, None);
+            got.sort();
+            let before_dedup = got.len();
+            got.dedup();
+            prop_assert_eq!(before_dedup, got.len(), "duplicates emitted");
+            prop_assert_eq!(got, brute_force(&g, root, k));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Simulated page-access (I/O) accounting, with an optional LRU buffer
+//! pool.
+//!
+//! The paper reports the number of page accesses during query answering.
+//! We model each index node (of either `I_R` or `I_S`) as one page of a
+//! paged index file; visiting a node during traversal or refinement costs
+//! one page access. A query-local counter keeps the accounting explicit
+//! and thread-safe without locking.
+//!
+//! [`PageCache`] adds the classic database refinement: an LRU buffer pool
+//! in front of the page file, so repeated touches of a hot page (e.g. the
+//! index roots, or leaf pages revisited across refinement rounds) only
+//! cost one physical read. The `cache` experiment in `gpssn-bench`
+//! sweeps the pool size.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A page-access counter. Cheap to clone-by-reference into traversal code;
+/// interior mutability keeps traversal APIs immutable.
+#[derive(Debug, Default)]
+pub struct IoCounter {
+    pages: Cell<u64>,
+    cache: Option<RefCell<PageCache>>,
+    hits: Cell<u64>,
+}
+
+impl IoCounter {
+    /// A fresh counter at zero, with no buffer pool (every touch is a
+    /// physical page access — the paper's metric).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter backed by an LRU buffer pool of `capacity` pages:
+    /// [`IoCounter::touch_page`] only counts misses.
+    pub fn with_cache(capacity: usize) -> Self {
+        IoCounter {
+            pages: Cell::new(0),
+            cache: Some(RefCell::new(PageCache::new(capacity))),
+            hits: Cell::new(0),
+        }
+    }
+
+    /// Records one page access (always physical; bypasses the pool).
+    #[inline]
+    pub fn touch(&self) {
+        self.pages.set(self.pages.get() + 1);
+    }
+
+    /// Records `n` page accesses (always physical).
+    #[inline]
+    pub fn touch_n(&self, n: u64) {
+        self.pages.set(self.pages.get() + n);
+    }
+
+    /// Records an access to an identified page: with a buffer pool, only
+    /// a miss counts as a physical access; without one, this is
+    /// [`IoCounter::touch`].
+    pub fn touch_page(&self, page: u64) {
+        match &self.cache {
+            None => self.touch(),
+            Some(cache) => {
+                if cache.borrow_mut().access(page) {
+                    self.hits.set(self.hits.get() + 1);
+                } else {
+                    self.touch();
+                }
+            }
+        }
+    }
+
+    /// Physical page accesses so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.pages.get()
+    }
+
+    /// Buffer-pool hits so far (0 without a pool).
+    #[inline]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Resets counters and evicts the pool.
+    pub fn reset(&self) {
+        self.pages.set(0);
+        self.hits.set(0);
+        if let Some(cache) = &self.cache {
+            cache.borrow_mut().clear();
+        }
+    }
+}
+
+/// A strict-LRU page cache: `access` returns whether the page was
+/// resident, inserting (and evicting the least-recently-used page) when
+/// it was not.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    /// page → last-use stamp.
+    resident: HashMap<u64, u64>,
+    clock: u64,
+}
+
+impl PageCache {
+    /// A pool holding up to `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "page cache needs capacity");
+        PageCache { capacity, resident: HashMap::with_capacity(capacity + 1), clock: 0 }
+    }
+
+    /// Touches `page`: `true` on hit, `false` on miss (page is brought
+    /// in, evicting the LRU page if the pool is full).
+    pub fn access(&mut self, page: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(stamp) = self.resident.get_mut(&page) {
+            *stamp = clock;
+            return true;
+        }
+        if self.resident.len() == self.capacity {
+            // Evict the least recently used (linear scan: pool sizes in
+            // this simulation are tens-to-thousands of entries, and
+            // misses — the only path that scans — are what we count).
+            let (&lru, _) = self
+                .resident
+                .iter()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .expect("non-empty pool");
+            self.resident.remove(&lru);
+        }
+        self.resident.insert(page, clock);
+        false
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Evicts everything.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.clock = 0;
+    }
+}
+
+/// Page-id namespace helpers: `I_R` and `I_S` nodes live in one simulated
+/// file each.
+pub mod page_ids {
+    /// Page id of road-index node `n`.
+    pub fn road(n: u32) -> u64 {
+        n as u64
+    }
+
+    /// Page id of social-index node `n`.
+    pub fn social(n: u32) -> u64 {
+        (1u64 << 32) | n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let io = IoCounter::new();
+        assert_eq!(io.count(), 0);
+        io.touch();
+        io.touch();
+        io.touch_n(3);
+        assert_eq!(io.count(), 5);
+        io.reset();
+        assert_eq!(io.count(), 0);
+    }
+
+    #[test]
+    fn immutable_reference_suffices() {
+        let io = IoCounter::new();
+        let r = &io;
+        r.touch();
+        assert_eq!(io.count(), 1);
+    }
+
+    #[test]
+    fn uncached_touch_page_counts_every_access() {
+        let io = IoCounter::new();
+        io.touch_page(7);
+        io.touch_page(7);
+        assert_eq!(io.count(), 2);
+        assert_eq!(io.cache_hits(), 0);
+    }
+
+    #[test]
+    fn cached_touch_page_counts_misses_only() {
+        let io = IoCounter::with_cache(2);
+        io.touch_page(1); // miss
+        io.touch_page(1); // hit
+        io.touch_page(2); // miss
+        io.touch_page(1); // hit
+        assert_eq!(io.count(), 2);
+        assert_eq!(io.cache_hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut cache = PageCache::new(2);
+        assert!(!cache.access(1));
+        assert!(!cache.access(2));
+        assert!(cache.access(1)); // 1 is now most recent
+        assert!(!cache.access(3)); // evicts 2
+        assert!(cache.access(1));
+        assert!(!cache.access(2)); // 2 was evicted
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut cache = PageCache::new(2);
+        cache.access(1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(!cache.access(1)); // miss again after clear
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        PageCache::new(0);
+    }
+
+    #[test]
+    fn page_id_namespaces_do_not_collide() {
+        assert_ne!(page_ids::road(5), page_ids::social(5));
+        assert_eq!(page_ids::road(5), 5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Exact road-network distances `dist_RN` between points on edges.
+//!
+//! Any path between points on *different* edges passes through an endpoint
+//! of each edge, so distances decompose into along-edge offsets plus
+//! vertex-to-vertex shortest paths. Points on the *same* edge additionally
+//! admit the direct along-edge path. All functions here are exact (no
+//! bounds); the pruning machinery's bounds live in [`crate::pivots`].
+
+use crate::network::RoadNetwork;
+use crate::poi::NetworkPoint;
+use gpssn_graph::{dijkstra_targets, DistanceMap, NodeId};
+
+/// Exact road-network distance between two on-edge points.
+pub fn dist_rn(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> f64 {
+    let (bu, bv, _) = net.edge(b.edge);
+    let dist = dijkstra_targets(net.graph(), &a.seeds(net), &[bu, bv]);
+    point_dist_from_map(net, &dist, a, b)
+}
+
+/// Exact distances from `a` to each point in `targets` with a single
+/// Dijkstra run (early-terminating once every target edge endpoint is
+/// settled).
+pub fn dist_rn_many(net: &RoadNetwork, a: &NetworkPoint, targets: &[NetworkPoint]) -> Vec<f64> {
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(targets.len() * 2);
+    for t in targets {
+        let (u, v, _) = net.edge(t.edge);
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    let dist = dijkstra_targets(net.graph(), &a.seeds(net), &endpoints);
+    targets.iter().map(|t| point_dist_from_map(net, &dist, a, t)).collect()
+}
+
+/// Combines a vertex distance map seeded at `a` into the exact distance to
+/// on-edge point `b`, handling the shared-edge shortcut.
+///
+/// `dist` must come from a Dijkstra seeded with `a.seeds(net)` whose
+/// exploration covered `b`'s edge endpoints (or was radius-bounded — then
+/// the result is exact whenever it is `<=` that radius, which is all the
+/// ball queries need).
+pub fn point_dist_from_map(
+    net: &RoadNetwork,
+    dist: &DistanceMap,
+    a: &NetworkPoint,
+    b: &NetworkPoint,
+) -> f64 {
+    let (bu, bv, blen) = net.edge(b.edge);
+    let via_u = dist[bu as usize] + b.offset;
+    let via_v = dist[bv as usize] + (blen - b.offset);
+    let mut d = via_u.min(via_v);
+    if a.edge == b.edge {
+        d = d.min((a.offset - b.offset).abs());
+    }
+    d
+}
+
+/// A materialized shortest route between two on-edge points: total
+/// length plus the intersection sequence travelled (empty when source and
+/// target share an edge and the direct along-edge path wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Total road-network length.
+    pub length: f64,
+    /// Intersections visited, in travel order.
+    pub vertices: Vec<NodeId>,
+}
+
+/// Computes the shortest route from `a` to `b` (exact), including the
+/// vertex sequence for turn-by-turn output. Returns `None` when `b` is
+/// unreachable.
+pub fn shortest_route(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> Option<Route> {
+    use gpssn_graph::dijkstra::{dijkstra_with_parents, extract_path};
+    let (dist, parents) = dijkstra_with_parents(net.graph(), &a.seeds(net));
+    let (bu, bv, blen) = net.edge(b.edge);
+    let via_u = dist[bu as usize] + b.offset;
+    let via_v = dist[bv as usize] + (blen - b.offset);
+    let mut best = via_u.min(via_v);
+    let mut direct = false;
+    if a.edge == b.edge && (a.offset - b.offset).abs() < best {
+        best = (a.offset - b.offset).abs();
+        direct = true;
+    }
+    if !best.is_finite() {
+        return None;
+    }
+    let vertices = if direct {
+        Vec::new()
+    } else {
+        let end = if via_u <= via_v { bu } else { bv };
+        extract_path(&parents, end)
+    };
+    Some(Route { length: best, vertices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_spatial::Point;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Square ring of side 1: vertices 0..4 at the corners.
+    fn ring() -> RoadNetwork {
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn same_edge_uses_direct_path() {
+        let net = ring();
+        let a = NetworkPoint::new(&net, 0, 0.2);
+        let b = NetworkPoint::new(&net, 0, 0.9);
+        assert!((dist_rn(&net, &a, &b) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_edge_can_go_around_when_shorter() {
+        // Long chord edge vs short detour: make edge (0,1) long.
+        let locs = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 0.5)];
+        let net = RoadNetwork::from_weighted_edges(
+            locs,
+            &[(0, 1, 10.0), (0, 2, 5.1), (2, 1, 5.1)],
+        );
+        // Points near the two ends of the long edge: direct = 9.0,
+        // around = 0.5 + 5.1 + 5.1 + 0.5 = 11.2 -> direct wins.
+        let a = NetworkPoint::new(&net, 0, 0.5);
+        let b = NetworkPoint::new(&net, 0, 9.5);
+        assert!((dist_rn(&net, &a, &b) - 9.0).abs() < 1e-9);
+        // Points straddling an endpoint: going through vertex 0 wins.
+        let c = NetworkPoint::new(&net, 0, 0.2); // 0.2 from vertex 0
+        let d = NetworkPoint::new(&net, 1, 0.3); // 0.3 from vertex 0 on edge (0,2)
+        assert!((dist_rn(&net, &c, &d) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_edge_distance_on_ring() {
+        let net = ring();
+        // Midpoint of bottom edge to midpoint of top edge: 0.5+1+0.5 = 2.
+        let a = NetworkPoint::new(&net, 0, 0.5);
+        let b = NetworkPoint::new(&net, 2, 0.5);
+        assert!((dist_rn(&net, &a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let net = ring();
+        let a = NetworkPoint::new(&net, 1, 0.25);
+        assert_eq!(dist_rn(&net, &a, &a), 0.0);
+    }
+
+    #[test]
+    fn many_matches_single() {
+        let net = ring();
+        let a = NetworkPoint::new(&net, 0, 0.3);
+        let targets = vec![
+            NetworkPoint::new(&net, 1, 0.4),
+            NetworkPoint::new(&net, 2, 0.9),
+            NetworkPoint::new(&net, 3, 0.1),
+            a,
+        ];
+        let batch = dist_rn_many(&net, &a, &targets);
+        for (t, &d) in targets.iter().zip(batch.iter()) {
+            assert!((d - dist_rn(&net, &a, t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_matches_distance_and_lists_vertices() {
+        let net = ring();
+        let a = NetworkPoint::new(&net, 0, 0.5); // bottom edge midpoint
+        let b = NetworkPoint::new(&net, 2, 0.5); // top edge midpoint
+        let route = shortest_route(&net, &a, &b).expect("reachable");
+        assert!((route.length - dist_rn(&net, &a, &b)).abs() < 1e-9);
+        // Two intersections are crossed either way around the ring.
+        assert_eq!(route.vertices.len(), 2);
+    }
+
+    #[test]
+    fn same_edge_direct_route_has_no_vertices() {
+        let net = ring();
+        let a = NetworkPoint::new(&net, 0, 0.1);
+        let b = NetworkPoint::new(&net, 0, 0.9);
+        let route = shortest_route(&net, &a, &b).unwrap();
+        assert!(route.vertices.is_empty());
+        assert!((route.length - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_route_is_none() {
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(6.0, 0.0),
+        ];
+        let net = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (2, 3)]);
+        let a = NetworkPoint::new(&net, 0, 0.5);
+        let b = NetworkPoint::new(&net, 1, 0.5);
+        assert!(shortest_route(&net, &a, &b).is_none());
+    }
+
+    fn random_connected_net(rng: &mut StdRng, n: usize) -> RoadNetwork {
+        let locs: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (rng.gen_range(0..v) as u32, v as u32)).collect();
+        for _ in 0..n {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u != v && !edges.contains(&(u, v)) && !edges.contains(&(v, u)) {
+                edges.push((u, v));
+            }
+        }
+        RoadNetwork::from_euclidean_edges(locs, &edges)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// dist_RN is symmetric, nonnegative, >= Euclidean distance, and
+        /// satisfies the triangle inequality on random networks.
+        #[test]
+        fn metric_properties(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_connected_net(&mut rng, 12);
+            let m = net.num_edges();
+            let pts: Vec<NetworkPoint> = (0..3)
+                .map(|_| {
+                    let e = rng.gen_range(0..m) as u32;
+                    let len = net.edge_length(e);
+                    NetworkPoint::new(&net, e, rng.gen_range(0.0..=1.0) * len)
+                })
+                .collect();
+            let d01 = dist_rn(&net, &pts[0], &pts[1]);
+            let d10 = dist_rn(&net, &pts[1], &pts[0]);
+            let d02 = dist_rn(&net, &pts[0], &pts[2]);
+            let d12 = dist_rn(&net, &pts[1], &pts[2]);
+            prop_assert!((d01 - d10).abs() < 1e-9, "symmetry");
+            prop_assert!(d01 >= 0.0);
+            let euclid = pts[0].location(&net).distance(&pts[1].location(&net));
+            prop_assert!(d01 + 1e-9 >= euclid, "network >= euclidean: {d01} vs {euclid}");
+            prop_assert!(d02 <= d01 + d12 + 1e-9, "triangle inequality");
+        }
+    }
+}

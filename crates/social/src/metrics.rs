@@ -1,0 +1,223 @@
+//! Alternative interest metrics — the paper's stated future work
+//! ("for other metrics such as Jaccard similarity or Hamming distance,
+//! we need to design specific techniques (e.g., pruning with lower/upper
+//! bounds of these metrics)", Section 2.1).
+//!
+//! Interest vectors are binarized by a weight threshold (`topic f ∈ A`
+//! iff `w_f >= tau_w`), and the set metrics plus safe index-level bounds
+//! are provided:
+//!
+//! * [`jaccard_score`] with the node-level upper bound
+//!   [`jaccard_ub_node`] — prune a node when even the optimistic overlap
+//!   misses `γ` (mirrors Lemma 8's role for the dot-product metric);
+//! * [`hamming_distance`] with the node-level lower bound
+//!   [`hamming_lb_node`] — prune when even the optimistic agreement
+//!   exceeds the allowed distance.
+
+use crate::interest::InterestVector;
+
+/// Topic set of `v` under binarization threshold `tau_w`.
+pub fn topic_set(v: &InterestVector, tau_w: f64) -> Vec<usize> {
+    (0..v.dim()).filter(|&f| v.weight(f) >= tau_w).collect()
+}
+
+/// Jaccard similarity of the binarized topic sets: `|A∩B| / |A∪B|`
+/// (1.0 when both sets are empty, by convention).
+pub fn jaccard_score(a: &InterestVector, b: &InterestVector, tau_w: f64) -> f64 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for f in 0..a.dim() {
+        let ia = a.weight(f) >= tau_w;
+        let ib = b.weight(f) >= tau_w;
+        if ia && ib {
+            inter += 1;
+        }
+        if ia || ib {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Hamming distance of the binarized topic sets (symmetric difference
+/// size).
+pub fn hamming_distance(a: &InterestVector, b: &InterestVector, tau_w: f64) -> usize {
+    debug_assert_eq!(a.dim(), b.dim());
+    (0..a.dim())
+        .filter(|&f| (a.weight(f) >= tau_w) != (b.weight(f) >= tau_w))
+        .count()
+}
+
+/// Per-topic membership summary of an index node, derived from its
+/// interest MBR `[lb_w, ub_w]` (Eqs. 9–10): a topic is *definitely*
+/// present for every user below when `lb_w >= tau_w`, and *possibly*
+/// present when `ub_w >= tau_w`.
+#[derive(Debug, Clone)]
+pub struct NodeTopicBounds {
+    /// `definite[f]`: all members contain topic `f`.
+    pub definite: Vec<bool>,
+    /// `possible[f]`: some member may contain topic `f`.
+    pub possible: Vec<bool>,
+}
+
+impl NodeTopicBounds {
+    /// Builds the summary from a node's interest MBR.
+    pub fn from_mbr(lb_w: &[f64], ub_w: &[f64], tau_w: f64) -> Self {
+        debug_assert_eq!(lb_w.len(), ub_w.len());
+        NodeTopicBounds {
+            definite: lb_w.iter().map(|&l| l >= tau_w).collect(),
+            possible: ub_w.iter().map(|&u| u >= tau_w).collect(),
+        }
+    }
+}
+
+/// Upper bound on `Jaccard(Q, M)` over every member set `M` consistent
+/// with the node bounds: intersection at most `|Q ∩ possible|`, union at
+/// least `|Q ∪ definite|`.
+///
+/// A node whose bound falls below the Jaccard threshold `γ_J` is safely
+/// pruned for the query set `Q`.
+pub fn jaccard_ub_node(query: &[usize], node: &NodeTopicBounds) -> f64 {
+    let d = node.possible.len();
+    let in_q = |f: usize| query.contains(&f);
+    let mut max_inter = 0usize;
+    let mut min_union = 0usize;
+    for f in 0..d {
+        let q = in_q(f);
+        if q && node.possible[f] {
+            max_inter += 1;
+        }
+        if q || node.definite[f] {
+            min_union += 1;
+        }
+    }
+    if min_union == 0 {
+        // Q empty and nothing definite: a member could also be empty.
+        return 1.0;
+    }
+    (max_inter as f64 / min_union as f64).min(1.0)
+}
+
+/// Lower bound on `Hamming(Q, M)` over every member set `M` consistent
+/// with the node bounds: topics where disagreement is *forced* — in `Q`
+/// but impossible below, or outside `Q` but definite below.
+pub fn hamming_lb_node(query: &[usize], node: &NodeTopicBounds) -> usize {
+    let d = node.possible.len();
+    let in_q = |f: usize| query.contains(&f);
+    (0..d)
+        .filter(|&f| {
+            let q = in_q(f);
+            (q && !node.possible[f]) || (!q && node.definite[f])
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(w: &[f64]) -> InterestVector {
+        InterestVector::new(w.to_vec())
+    }
+
+    #[test]
+    fn jaccard_basic_cases() {
+        let a = iv(&[0.9, 0.9, 0.0]);
+        let b = iv(&[0.9, 0.0, 0.9]);
+        assert!((jaccard_score(&a, &b, 0.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard_score(&a, &a, 0.5), 1.0);
+        let empty = iv(&[0.0, 0.0, 0.0]);
+        assert_eq!(jaccard_score(&empty, &empty, 0.5), 1.0);
+        assert_eq!(jaccard_score(&a, &empty, 0.5), 0.0);
+    }
+
+    #[test]
+    fn hamming_counts_symmetric_difference() {
+        let a = iv(&[0.9, 0.9, 0.0, 0.0]);
+        let b = iv(&[0.9, 0.0, 0.9, 0.0]);
+        assert_eq!(hamming_distance(&a, &b, 0.5), 2);
+        assert_eq!(hamming_distance(&a, &a, 0.5), 0);
+    }
+
+    #[test]
+    fn topic_set_extraction() {
+        let a = iv(&[0.9, 0.1, 0.6]);
+        assert_eq!(topic_set(&a, 0.5), vec![0, 2]);
+        assert_eq!(topic_set(&a, 0.05), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn node_bounds_classify_topics() {
+        let b = NodeTopicBounds::from_mbr(&[0.6, 0.1, 0.0], &[0.9, 0.8, 0.2], 0.5);
+        assert_eq!(b.definite, vec![true, false, false]);
+        assert_eq!(b.possible, vec![true, true, false]);
+    }
+
+    #[test]
+    fn jaccard_node_bound_examples() {
+        let node = NodeTopicBounds::from_mbr(&[0.6, 0.0, 0.0], &[0.9, 0.9, 0.0], 0.5);
+        // Q = {2}: possible∩Q = ∅, union >= |{2} ∪ {0}| = 2 -> ub = 0.
+        assert_eq!(jaccard_ub_node(&[2], &node), 0.0);
+        // Q = {0}: inter <= 1, union >= 1 -> ub = 1.
+        assert_eq!(jaccard_ub_node(&[0], &node), 1.0);
+    }
+
+    #[test]
+    fn hamming_node_bound_examples() {
+        let node = NodeTopicBounds::from_mbr(&[0.6, 0.0, 0.0], &[0.9, 0.9, 0.0], 0.5);
+        // Q = {2}: topic 2 impossible below (+1); topic 0 definite but
+        // not in Q (+1) -> lb = 2.
+        assert_eq!(hamming_lb_node(&[2], &node), 2);
+        assert_eq!(hamming_lb_node(&[0], &node), 0);
+    }
+
+    proptest! {
+        /// The node bounds are safe: for any member inside the MBR, the
+        /// Jaccard ub dominates the true score and the Hamming lb stays
+        /// below the true distance.
+        #[test]
+        fn node_bounds_are_safe(
+            q in proptest::collection::vec(0.0f64..1.0, 3..7),
+            member in proptest::collection::vec(0.0f64..1.0, 3..7),
+            slack in proptest::collection::vec(0.0f64..0.3, 3..7),
+            tau_w in 0.1f64..0.9,
+        ) {
+            let d = q.len().min(member.len()).min(slack.len());
+            let vq = iv(&q[..d]);
+            let vm = iv(&member[..d]);
+            let lb_w: Vec<f64> = member[..d].iter().zip(&slack[..d]).map(|(&m, &s)| (m - s).max(0.0)).collect();
+            let ub_w: Vec<f64> = member[..d].iter().zip(&slack[..d]).map(|(&m, &s)| (m + s).min(1.0)).collect();
+            let node = NodeTopicBounds::from_mbr(&lb_w, &ub_w, tau_w);
+            let qset = topic_set(&vq, tau_w);
+            let actual_j = jaccard_score(&vq, &vm, tau_w);
+            let actual_h = hamming_distance(&vq, &vm, tau_w);
+            prop_assert!(jaccard_ub_node(&qset, &node) + 1e-12 >= actual_j,
+                "jaccard ub violated");
+            prop_assert!(hamming_lb_node(&qset, &node) <= actual_h,
+                "hamming lb violated");
+        }
+
+        /// Jaccard is symmetric and within [0, 1]; Hamming is symmetric.
+        #[test]
+        fn metric_laws(
+            a in proptest::collection::vec(0.0f64..1.0, 1..8),
+            b in proptest::collection::vec(0.0f64..1.0, 1..8),
+            tau_w in 0.1f64..0.9,
+        ) {
+            let d = a.len().min(b.len());
+            let va = iv(&a[..d]);
+            let vb = iv(&b[..d]);
+            let j1 = jaccard_score(&va, &vb, tau_w);
+            let j2 = jaccard_score(&vb, &va, tau_w);
+            prop_assert!((j1 - j2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&j1));
+            prop_assert_eq!(hamming_distance(&va, &vb, tau_w), hamming_distance(&vb, &va, tau_w));
+        }
+    }
+}

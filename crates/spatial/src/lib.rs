@@ -1,0 +1,20 @@
+//! # gpssn-spatial — geometry and spatial indexing substrate
+//!
+//! Self-contained computational-geometry layer for GP-SSN:
+//!
+//! * [`geom`] — 2-D points and minimum bounding rectangles (MBRs) with the
+//!   `mindist`/`maxdist` machinery used by every spatial pruning rule.
+//! * [`rstar`] — a from-scratch R\*-tree (Beckmann et al., SIGMOD 1990;
+//!   reference \[6\] of the paper): ChooseSubtree with overlap minimization,
+//!   R\* topological split, and forced reinsertion. This is the backbone of
+//!   the road-network index `I_R`.
+//! * [`bitvec`] — hashed keyword signatures (`sup_K` / `sub_K` bit vectors
+//!   of paper Section 4.1) with bit-OR aggregation up the tree.
+
+pub mod bitvec;
+pub mod geom;
+pub mod rstar;
+
+pub use bitvec::KeywordSignature;
+pub use geom::{Point, Rect};
+pub use rstar::{Entry, Node, NodeId, RStarTree};

@@ -1,0 +1,1047 @@
+//! A from-scratch R\*-tree over 2-D points.
+//!
+//! Implements the classic R\*-tree of Beckmann, Kriegel, Schneider and
+//! Seeger (SIGMOD 1990) — reference \[6\] of the GP-SSN paper — which the
+//! paper uses to index POI locations (`I_R`, Section 4.1):
+//!
+//! * **ChooseSubtree**: minimum overlap enlargement at the level above the
+//!   leaves, minimum area enlargement elsewhere (ties broken by area).
+//! * **Forced reinsertion**: on first overflow per level per insertion, the
+//!   30% of entries farthest from the node center are reinserted.
+//! * **R\* split**: axis chosen by minimal margin sum over all candidate
+//!   distributions, distribution by minimal overlap (ties by area).
+//!
+//! The tree is arena-allocated with parent pointers so that the GP-SSN
+//! index layer can traverse nodes directly (level-by-level, as Algorithm 2
+//! requires) and attach per-node aggregates (keyword signatures, pivot
+//! distance bounds) keyed by [`NodeId`].
+
+use crate::geom::{Point, Rect};
+
+/// Identifier of a tree node (index into the arena).
+pub type NodeId = u32;
+
+/// Identifier of an indexed item (assigned by the caller).
+pub type ItemId = u32;
+
+/// An entry of a tree node.
+#[derive(Debug, Clone, Copy)]
+pub enum Entry {
+    /// A data point in a leaf node.
+    Item {
+        /// Caller-assigned item id.
+        item: ItemId,
+        /// Location of the item.
+        point: Point,
+    },
+    /// A child subtree in an internal node.
+    Child {
+        /// Arena id of the child node.
+        node: NodeId,
+        /// MBR of everything below the child.
+        mbr: Rect,
+    },
+}
+
+impl Entry {
+    /// MBR of the entry (degenerate rect for items).
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        match *self {
+            Entry::Item { point, .. } => Rect::from_point(point),
+            Entry::Child { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A tree node. `level == 0` means leaf.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Entries (items for leaves, children otherwise).
+    pub entries: Vec<Entry>,
+}
+
+/// R\*-tree over 2-D points.
+#[derive(Debug, Clone)]
+pub struct RStarTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+}
+
+/// Fraction of entries removed by forced reinsertion (the R\* paper's
+/// recommended 30%).
+const REINSERT_FRACTION: f64 = 0.3;
+
+/// Splits `items` into chunks of at most `cap`, redistributing the final
+/// remainder so every chunk holds at least `min` items (assumes
+/// `min <= cap / 2`, which [`RStarTree::new`] guarantees).
+fn balanced_chunks<T: Clone>(items: &[T], cap: usize, min: usize) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if items.len() <= cap {
+        return vec![items.to_vec()];
+    }
+    let mut chunks: Vec<Vec<T>> = items.chunks(cap).map(|c| c.to_vec()).collect();
+    let last = chunks.len() - 1;
+    if chunks[last].len() < min {
+        // Steal from the previous (full) chunk.
+        let need = min - chunks[last].len();
+        let donor_len = chunks[last - 1].len();
+        let stolen: Vec<T> = chunks[last - 1].split_off(donor_len - need);
+        let mut merged = stolen;
+        merged.extend(chunks[last].iter().cloned());
+        chunks[last] = merged;
+    }
+    chunks
+}
+
+impl Default for RStarTree {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl RStarTree {
+    /// Creates an empty tree with node capacity `max_entries` (minimum fill
+    /// is 40% of capacity, per the R\* paper).
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 4`.
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R*-tree requires capacity >= 4");
+        let min_entries = ((max_entries as f64 * 0.4).floor() as usize).max(2);
+        RStarTree {
+            nodes: vec![Node { level: 0, parent: None, entries: Vec::new() }],
+            root: 0,
+            max_entries,
+            min_entries,
+            len: 0,
+        }
+    }
+
+    /// Number of indexed items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Node accessor.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Total number of nodes in the arena (== pages of the simulated
+    /// paged index file).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (number of levels; 1 for a single leaf root).
+    pub fn height(&self) -> u32 {
+        self.nodes[self.root as usize].level + 1
+    }
+
+    /// MBR of a node's entries (empty rect for an empty root).
+    pub fn node_mbr(&self, id: NodeId) -> Rect {
+        let mut mbr = Rect::empty();
+        for e in &self.nodes[id as usize].entries {
+            mbr = mbr.union(&e.mbr());
+        }
+        mbr
+    }
+
+    /// Inserts an item. Duplicate points are allowed; item ids are the
+    /// caller's responsibility.
+    pub fn insert(&mut self, item: ItemId, point: Point) {
+        let height = self.nodes[self.root as usize].level;
+        let mut reinserted = vec![false; height as usize + 1];
+        self.insert_entry(Entry::Item { item, point }, 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    /// Builds a tree from `(item, point)` pairs by repeated insertion.
+    pub fn bulk_build(max_entries: usize, items: impl IntoIterator<Item = (ItemId, Point)>) -> Self {
+        let mut tree = RStarTree::new(max_entries);
+        for (item, point) in items {
+            tree.insert(item, point);
+        }
+        tree
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Items whose points fall inside `rect` (boundary inclusive).
+    pub fn range_query(&self, rect: &Rect) -> Vec<(ItemId, Point)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            for e in &self.nodes[id as usize].entries {
+                match *e {
+                    Entry::Item { item, point } => {
+                        if rect.contains_point(&point) {
+                            out.push((item, point));
+                        }
+                    }
+                    Entry::Child { node, mbr } => {
+                        if rect.intersects(&mbr) {
+                            stack.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Items within Euclidean distance `radius` of `center`.
+    pub fn within_radius(&self, center: &Point, radius: f64) -> Vec<(ItemId, Point)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            for e in &self.nodes[id as usize].entries {
+                match *e {
+                    Entry::Item { item, point } => {
+                        if center.distance(&point) <= radius {
+                            out.push((item, point));
+                        }
+                    }
+                    Entry::Child { node, mbr } => {
+                        if mbr.min_dist_point(center) <= radius {
+                            stack.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All items in the tree.
+    pub fn items(&self) -> Vec<(ItemId, Point)> {
+        self.range_query(&Rect::new(
+            Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            Point::new(f64::INFINITY, f64::INFINITY),
+        ))
+    }
+
+    /// The `k` nearest items to `center` (ties broken arbitrarily),
+    /// sorted by ascending distance. Classic best-first search over
+    /// `mindist`.
+    pub fn nearest_k(&self, center: &Point, k: usize) -> Vec<(ItemId, Point, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // (dist, is_item, node-or-item, point)
+        let mut frontier: Vec<(f64, bool, u32, Point)> =
+            vec![(0.0, false, self.root, Point::new(0.0, 0.0))];
+        let mut out: Vec<(ItemId, Point, f64)> = Vec::new();
+        while let Some(best_idx) = frontier
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .map(|(i, _)| i)
+        {
+            let (d, is_item, id, pt) = frontier.swap_remove(best_idx);
+            if out.len() >= k && d > out.last().map_or(f64::INFINITY, |x| x.2) {
+                break;
+            }
+            if is_item {
+                out.push((id, pt, d));
+                out.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+                out.truncate(k);
+                continue;
+            }
+            for e in &self.nodes[id as usize].entries {
+                match *e {
+                    Entry::Item { item, point } => {
+                        frontier.push((center.distance(&point), true, item, point));
+                    }
+                    Entry::Child { node, mbr } => {
+                        frontier.push((mbr.min_dist_point(center), false, node, pt));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes the item with id `item` located at `point`. Returns `true`
+    /// if found. Underfull nodes are condensed: their surviving entries
+    /// are reinserted (the classic R-tree `CondenseTree`), and a root
+    /// with a single child is shortened.
+    pub fn remove(&mut self, item: ItemId, point: Point) -> bool {
+        // Locate the leaf holding the item.
+        let Some(leaf) = self.find_leaf(self.root, item, &point) else {
+            return false;
+        };
+        let node = &mut self.nodes[leaf as usize];
+        let before = node.entries.len();
+        node.entries.retain(|e| !matches!(*e, Entry::Item { item: i, .. } if i == item));
+        debug_assert_eq!(node.entries.len() + 1, before);
+        self.len -= 1;
+        self.update_mbrs_upward(leaf);
+        self.condense(leaf);
+        // Shorten the root while it is an internal node with one child.
+        while self.nodes[self.root as usize].level > 0
+            && self.nodes[self.root as usize].entries.len() == 1
+        {
+            if let Entry::Child { node, .. } = self.nodes[self.root as usize].entries[0] {
+                self.nodes[node as usize].parent = None;
+                self.root = node;
+            }
+        }
+        true
+    }
+
+    fn find_leaf(&self, node: NodeId, item: ItemId, point: &Point) -> Option<NodeId> {
+        for e in &self.nodes[node as usize].entries {
+            match *e {
+                Entry::Item { item: i, .. } if i == item => return Some(node),
+                Entry::Item { .. } => {}
+                Entry::Child { node: c, mbr } => {
+                    if mbr.contains_point(point) {
+                        if let Some(found) = self.find_leaf(c, item, point) {
+                            return Some(found);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks from `node` to the root, dissolving underfull non-root nodes
+    /// and reinserting their entries at the appropriate level.
+    fn condense(&mut self, mut node: NodeId) {
+        let mut orphans: Vec<(Entry, u32)> = Vec::new();
+        while let Some(parent) = self.nodes[node as usize].parent {
+            if self.nodes[node as usize].entries.len() < self.min_entries {
+                let level = self.nodes[node as usize].level;
+                // Detach from the parent and queue the survivors.
+                self.nodes[parent as usize]
+                    .entries
+                    .retain(|e| !matches!(*e, Entry::Child { node: c, .. } if c == node));
+                for e in std::mem::take(&mut self.nodes[node as usize].entries) {
+                    orphans.push((e, level));
+                }
+                self.nodes[node as usize].parent = None; // dead node stays in the arena
+                self.update_mbrs_upward(parent);
+                node = parent;
+            } else {
+                self.update_mbrs_upward(node);
+                node = parent;
+            }
+        }
+        // Reinsert orphans (children keep their subtree level).
+        for (entry, level) in orphans {
+            let height = self.nodes[self.root as usize].level;
+            if level > height {
+                // Degenerate: tree shrank below the orphan's level; push
+                // items individually.
+                self.reinsert_subtree_items(entry);
+                continue;
+            }
+            let mut reinserted = vec![true; height as usize + 1]; // no forced reinsert here
+            self.insert_entry(entry, level, &mut reinserted);
+        }
+    }
+
+    fn reinsert_subtree_items(&mut self, entry: Entry) {
+        match entry {
+            Entry::Item { item, point } => {
+                let height = self.nodes[self.root as usize].level;
+                let mut reinserted = vec![true; height as usize + 1];
+                self.insert_entry(Entry::Item { item, point }, 0, &mut reinserted);
+            }
+            Entry::Child { node, .. } => {
+                for e in std::mem::take(&mut self.nodes[node as usize].entries) {
+                    self.reinsert_subtree_items(e);
+                }
+            }
+        }
+    }
+
+    /// Sort-Tile-Recursive bulk loading: packs sorted slabs into full
+    /// nodes bottom-up. Much faster to build than repeated insertion and
+    /// produces near-perfectly filled nodes; remainders are redistributed
+    /// so every non-root node meets the minimum fill.
+    pub fn str_bulk_load(
+        max_entries: usize,
+        items: impl IntoIterator<Item = (ItemId, Point)>,
+    ) -> Self {
+        let mut tree = RStarTree::new(max_entries);
+        let mut pts: Vec<(ItemId, Point)> = items.into_iter().collect();
+        if pts.is_empty() {
+            return tree;
+        }
+        tree.len = pts.len();
+        let cap = max_entries;
+        // Leaf level: STR tiling.
+        pts.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).unwrap());
+        let leaf_count = pts.len().div_ceil(cap);
+        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slab = pts.len().div_ceil(slabs);
+        let mut level_nodes: Vec<NodeId> = Vec::new();
+        tree.nodes.clear();
+        for slab in pts.chunks(per_slab.max(1)) {
+            let mut slab: Vec<(ItemId, Point)> = slab.to_vec();
+            slab.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap());
+            for chunk in balanced_chunks(&slab, cap, tree.min_entries) {
+                let id = tree.nodes.len() as NodeId;
+                tree.nodes.push(Node {
+                    level: 0,
+                    parent: None,
+                    entries: chunk
+                        .iter()
+                        .map(|&(item, point)| Entry::Item { item, point })
+                        .collect(),
+                });
+                level_nodes.push(id);
+            }
+        }
+        // Pack upper levels until a single root remains.
+        let mut level = 0u32;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let mut next: Vec<NodeId> = Vec::new();
+            let ids: Vec<NodeId> = level_nodes.clone();
+            for chunk in balanced_chunks(&ids, cap, tree.min_entries) {
+                let id = tree.nodes.len() as NodeId;
+                let entries: Vec<Entry> = chunk
+                    .iter()
+                    .map(|&c| Entry::Child { node: c, mbr: tree.node_mbr(c) })
+                    .collect();
+                tree.nodes.push(Node { level, parent: None, entries });
+                for &c in chunk.iter() {
+                    tree.nodes[c as usize].parent = Some(id);
+                }
+                next.push(id);
+            }
+            level_nodes = next;
+        }
+        tree.root = level_nodes[0];
+        tree
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion machinery
+    // ------------------------------------------------------------------
+
+    fn insert_entry(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+        let node = self.choose_subtree(&entry.mbr(), target_level);
+        if let Entry::Child { node: child, .. } = entry {
+            self.nodes[child as usize].parent = Some(node);
+        }
+        self.nodes[node as usize].entries.push(entry);
+        self.update_mbrs_upward(node);
+        self.overflow_treatment(node, reinserted);
+    }
+
+    /// Descends from the root to a node at `target_level` following the R\*
+    /// ChooseSubtree criteria.
+    fn choose_subtree(&self, mbr: &Rect, target_level: u32) -> NodeId {
+        let mut current = self.root;
+        while self.nodes[current as usize].level > target_level {
+            let node = &self.nodes[current as usize];
+            let children_are_leaves = node.level == 1;
+            let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, overlap_inc, area_inc, area)
+            for (i, e) in node.entries.iter().enumerate() {
+                let child_mbr = e.mbr();
+                let enlarged = child_mbr.union(mbr);
+                let area = child_mbr.area();
+                let area_inc = enlarged.area() - area;
+                let overlap_inc = if children_are_leaves {
+                    // Overlap enlargement w.r.t. the sibling entries.
+                    let mut before = 0.0;
+                    let mut after = 0.0;
+                    for (j, s) in node.entries.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        let smbr = s.mbr();
+                        before += child_mbr.intersection_area(&smbr);
+                        after += enlarged.intersection_area(&smbr);
+                    }
+                    after - before
+                } else {
+                    0.0
+                };
+                let cand = (i, overlap_inc, area_inc, area);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => {
+                        let better = (cand.1, cand.2, cand.3) < (b.1, b.2, b.3);
+                        if better {
+                            cand
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            let idx = best.expect("internal node must have entries").0;
+            current = match self.nodes[current as usize].entries[idx] {
+                Entry::Child { node, .. } => node,
+                Entry::Item { .. } => unreachable!("internal node holds child entries"),
+            };
+        }
+        current
+    }
+
+    fn overflow_treatment(&mut self, mut node: NodeId, reinserted: &mut Vec<bool>) {
+        loop {
+            if self.nodes[node as usize].entries.len() <= self.max_entries {
+                return;
+            }
+            let level = self.nodes[node as usize].level as usize;
+            let is_root = node == self.root;
+            if !is_root && level < reinserted.len() && !reinserted[level] {
+                reinserted[level] = true;
+                self.forced_reinsert(node, reinserted);
+                return;
+            }
+            let parent = self.split(node);
+            match parent {
+                Some(p) => node = p,
+                None => return, // root was split; new root cannot overflow
+            }
+        }
+    }
+
+    /// Removes the `REINSERT_FRACTION` entries farthest from the node
+    /// center and reinserts them at the same level.
+    fn forced_reinsert(&mut self, node: NodeId, reinserted: &mut Vec<bool>) {
+        let level = self.nodes[node as usize].level;
+        let center = self.node_mbr(node).center();
+        let mut order: Vec<usize> = (0..self.nodes[node as usize].entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = self.nodes[node as usize].entries[a].mbr().center().distance_sq(&center);
+            let db = self.nodes[node as usize].entries[b].mbr().center().distance_sq(&center);
+            db.partial_cmp(&da).unwrap()
+        });
+        let p = ((self.nodes[node as usize].entries.len() as f64 * REINSERT_FRACTION).ceil()
+            as usize)
+            .max(1);
+        let to_remove: Vec<usize> = order[..p].to_vec();
+        let mut removed = Vec::with_capacity(p);
+        let mut keep = Vec::with_capacity(self.nodes[node as usize].entries.len() - p);
+        for (i, e) in self.nodes[node as usize].entries.drain(..).enumerate() {
+            if to_remove.contains(&i) {
+                removed.push(e);
+            } else {
+                keep.push(e);
+            }
+        }
+        self.nodes[node as usize].entries = keep;
+        self.update_mbrs_upward(node);
+        // Close reinsert: nearest first (we collected farthest-first).
+        for e in removed.into_iter().rev() {
+            self.insert_entry(e, level, reinserted);
+        }
+    }
+
+    /// Splits `node`, attaching the new sibling to the parent (creating a
+    /// new root if needed). Returns the parent id if the caller should
+    /// continue overflow checking there.
+    fn split(&mut self, node: NodeId) -> Option<NodeId> {
+        let (keep, moved) = self.rstar_distribution(node);
+        let level = self.nodes[node as usize].level;
+        let sibling_id = self.nodes.len() as NodeId;
+        self.nodes.push(Node { level, parent: None, entries: moved });
+        self.nodes[node as usize].entries = keep;
+        // Fix parent pointers of moved children.
+        let moved_children: Vec<NodeId> = self.nodes[sibling_id as usize]
+            .entries
+            .iter()
+            .filter_map(|e| match *e {
+                Entry::Child { node, .. } => Some(node),
+                Entry::Item { .. } => None,
+            })
+            .collect();
+        for c in moved_children {
+            self.nodes[c as usize].parent = Some(sibling_id);
+        }
+        let sibling_mbr = self.node_mbr(sibling_id);
+        match self.nodes[node as usize].parent {
+            Some(parent) => {
+                self.nodes[sibling_id as usize].parent = Some(parent);
+                self.nodes[parent as usize]
+                    .entries
+                    .push(Entry::Child { node: sibling_id, mbr: sibling_mbr });
+                self.update_mbrs_upward(node);
+                Some(parent)
+            }
+            None => {
+                // Grow the tree: new root above the old one.
+                let new_root = self.nodes.len() as NodeId;
+                let node_mbr = self.node_mbr(node);
+                self.nodes.push(Node {
+                    level: level + 1,
+                    parent: None,
+                    entries: vec![
+                        Entry::Child { node, mbr: node_mbr },
+                        Entry::Child { node: sibling_id, mbr: sibling_mbr },
+                    ],
+                });
+                self.nodes[node as usize].parent = Some(new_root);
+                self.nodes[sibling_id as usize].parent = Some(new_root);
+                self.root = new_root;
+                None
+            }
+        }
+    }
+
+    /// R\* split: choose axis by minimum margin sum, then distribution by
+    /// minimum overlap (ties by area). Returns `(keep, moved)`.
+    fn rstar_distribution(&mut self, node: NodeId) -> (Vec<Entry>, Vec<Entry>) {
+        let entries = std::mem::take(&mut self.nodes[node as usize].entries);
+        let m = self.min_entries;
+        let total = entries.len();
+        debug_assert!(total > self.max_entries);
+
+        // For each axis produce a sort order; evaluate margin sums.
+        let sort_key = |e: &Entry, axis: usize, upper: bool| -> f64 {
+            let r = e.mbr();
+            match (axis, upper) {
+                (0, false) => r.min.x,
+                (0, true) => r.max.x,
+                (1, false) => r.min.y,
+                (1, true) => r.max.y,
+                _ => unreachable!(),
+            }
+        };
+
+        // (margin_sum, overlap, area, sorted, split_at)
+        let mut best: Option<(f64, f64, f64, Vec<Entry>, usize)> = None;
+        for axis in 0..2usize {
+            for upper in [false, true] {
+                let mut sorted = entries.clone();
+                sorted.sort_by(|a, b| {
+                    sort_key(a, axis, upper)
+                        .partial_cmp(&sort_key(b, axis, upper))
+                        .unwrap()
+                });
+                // Prefix/suffix MBRs for O(k) evaluation.
+                let mut prefix = vec![Rect::empty(); total + 1];
+                for i in 0..total {
+                    prefix[i + 1] = prefix[i].union(&sorted[i].mbr());
+                }
+                let mut suffix = vec![Rect::empty(); total + 1];
+                for i in (0..total).rev() {
+                    suffix[i] = suffix[i + 1].union(&sorted[i].mbr());
+                }
+                let mut margin_sum = 0.0;
+                let mut axis_best: Option<(f64, f64, usize)> = None;
+                for k in m..=(total - m) {
+                    let r1 = prefix[k];
+                    let r2 = suffix[k];
+                    margin_sum += r1.margin() + r2.margin();
+                    let overlap = r1.intersection_area(&r2);
+                    let area = r1.area() + r2.area();
+                    let cand = (overlap, area, k);
+                    axis_best = Some(match axis_best {
+                        None => cand,
+                        Some(b) if (cand.0, cand.1) < (b.0, b.1) => cand,
+                        Some(b) => b,
+                    });
+                }
+                let (overlap, area, k) = axis_best.expect("at least one distribution");
+                // Smaller margin sum wins the axis; within the winning
+                // axis, `axis_best` already minimized overlap then area.
+                let replace = match &best {
+                    None => true,
+                    Some((bm, bo, ba, _, _)) => (margin_sum, overlap, area) < (*bm, *bo, *ba),
+                };
+                if replace {
+                    best = Some((margin_sum, overlap, area, sorted, k));
+                }
+            }
+        }
+        let (_, _, _, sorted, k) = best.expect("split candidates exist");
+        let mut keep = sorted;
+        let moved = keep.split_off(k);
+        (keep, moved)
+    }
+
+    /// Recomputes the `Child` MBR entries on the path from `node` to root.
+    fn update_mbrs_upward(&mut self, mut node: NodeId) {
+        while let Some(parent) = self.nodes[node as usize].parent {
+            let mbr = self.node_mbr(node);
+            for e in &mut self.nodes[parent as usize].entries {
+                if let Entry::Child { node: c, mbr: em } = e {
+                    if *c == node {
+                        *em = mbr;
+                        break;
+                    }
+                }
+            }
+            node = parent;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural validation (used by tests and debug assertions)
+    // ------------------------------------------------------------------
+
+    /// Checks all structural invariants; panics with a description on the
+    /// first violation. Intended for tests.
+    pub fn validate(&self) {
+        let root = &self.nodes[self.root as usize];
+        assert!(root.parent.is_none(), "root has a parent");
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
+        let mut reachable = vec![false; self.nodes.len()];
+        while let Some(id) = stack.pop() {
+            reachable[id as usize] = true;
+            let node = &self.nodes[id as usize];
+            if id != self.root {
+                assert!(
+                    node.entries.len() >= self.min_entries,
+                    "underfull non-root node: {} < {}",
+                    node.entries.len(),
+                    self.min_entries
+                );
+            }
+            assert!(
+                node.entries.len() <= self.max_entries,
+                "overfull node: {} > {}",
+                node.entries.len(),
+                self.max_entries
+            );
+            for e in &node.entries {
+                match *e {
+                    Entry::Item { .. } => {
+                        assert_eq!(node.level, 0, "item entry in internal node");
+                        count += 1;
+                    }
+                    Entry::Child { node: c, mbr } => {
+                        assert!(node.level > 0, "child entry in leaf");
+                        let child = &self.nodes[c as usize];
+                        assert_eq!(child.level + 1, node.level, "level mismatch");
+                        assert_eq!(child.parent, Some(id), "parent pointer mismatch");
+                        let actual = self.node_mbr(c);
+                        assert!(
+                            (mbr.min.x - actual.min.x).abs() < 1e-9
+                                && (mbr.min.y - actual.min.y).abs() < 1e-9
+                                && (mbr.max.x - actual.max.x).abs() < 1e-9
+                                && (mbr.max.y - actual.max.y).abs() < 1e-9,
+                            "stale MBR for child {c}"
+                        );
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        assert_eq!(count, self.len, "item count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid_tree(n: usize) -> (RStarTree, Vec<Point>) {
+        let mut tree = RStarTree::new(8);
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let p = Point::new((i % 10) as f64, (i / 10) as f64);
+            tree.insert(i as ItemId, p);
+            pts.push(p);
+        }
+        (tree, pts)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RStarTree::new(8);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.items().is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn insert_and_retrieve_all() {
+        let (tree, _) = grid_tree(100);
+        assert_eq!(tree.len(), 100);
+        let mut ids: Vec<ItemId> = tree.items().into_iter().map(|(i, _)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+        tree.validate();
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let (tree, _) = grid_tree(100);
+        assert!(tree.height() >= 2, "100 points at capacity 8 must split");
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let (tree, pts) = grid_tree(100);
+        let rect = Rect::new(Point::new(2.0, 3.0), Point::new(5.0, 6.0));
+        let mut got: Vec<ItemId> = tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+        got.sort_unstable();
+        let mut expected: Vec<ItemId> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains_point(p))
+            .map(|(i, _)| i as ItemId)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn radius_query_matches_filter() {
+        let (tree, pts) = grid_tree(100);
+        let c = Point::new(4.5, 4.5);
+        let r = 2.3;
+        let mut got: Vec<ItemId> =
+            tree.within_radius(&c, r).into_iter().map(|(i, _)| i).collect();
+        got.sort_unstable();
+        let mut expected: Vec<ItemId> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| c.distance(p) <= r)
+            .map(|(i, _)| i as ItemId)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let mut tree = RStarTree::new(4);
+        for i in 0..20 {
+            tree.insert(i, Point::new(1.0, 1.0));
+        }
+        assert_eq!(tree.len(), 20);
+        assert_eq!(tree.within_radius(&Point::new(1.0, 1.0), 0.0).len(), 20);
+        tree.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_tiny_capacity() {
+        RStarTree::new(3);
+    }
+
+    #[test]
+    fn bulk_build_equals_inserts() {
+        let items: Vec<(ItemId, Point)> =
+            (0..50).map(|i| (i, Point::new(i as f64, (i * 7 % 13) as f64))).collect();
+        let tree = RStarTree::bulk_build(8, items.clone());
+        assert_eq!(tree.len(), 50);
+        tree.validate();
+    }
+
+    #[test]
+    fn nearest_k_matches_linear_scan() {
+        let (tree, pts) = grid_tree(100);
+        let c = Point::new(3.7, 6.2);
+        for k in [1usize, 5, 17] {
+            let got = tree.nearest_k(&c, k);
+            assert_eq!(got.len(), k);
+            let mut expected: Vec<(u32, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, c.distance(p)))
+                .collect();
+            expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for (i, (_, _, d)) in got.iter().enumerate() {
+                assert!((d - expected[i].1).abs() < 1e-9, "k={k} rank {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_k_edge_cases() {
+        let (tree, _) = grid_tree(10);
+        assert!(tree.nearest_k(&Point::new(0.0, 0.0), 0).is_empty());
+        assert_eq!(tree.nearest_k(&Point::new(0.0, 0.0), 99).len(), 10);
+        let empty = RStarTree::new(8);
+        assert!(empty.nearest_k(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn remove_deletes_and_keeps_invariants() {
+        let (mut tree, pts) = grid_tree(100);
+        // Remove half the items in a scattered order.
+        for i in (0..100).step_by(2) {
+            assert!(tree.remove(i as ItemId, pts[i]), "item {i} not found");
+        }
+        assert_eq!(tree.len(), 50);
+        tree.validate();
+        let mut ids: Vec<ItemId> = tree.items().into_iter().map(|(i, _)| i).collect();
+        ids.sort_unstable();
+        let expected: Vec<ItemId> = (0..100).filter(|i| i % 2 == 1).collect();
+        assert_eq!(ids, expected);
+        // Removing a missing item is a no-op.
+        assert!(!tree.remove(0, pts[0]));
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let (mut tree, pts) = grid_tree(40);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(tree.remove(i as ItemId, *p));
+        }
+        assert!(tree.is_empty());
+        assert!(tree.items().is_empty());
+    }
+
+    #[test]
+    fn str_bulk_load_is_valid_and_complete() {
+        let pts = (0..500).map(|i| {
+            (i as ItemId, Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64))
+        });
+        let tree = RStarTree::str_bulk_load(16, pts);
+        assert_eq!(tree.len(), 500);
+        tree.validate();
+        let mut ids: Vec<ItemId> = tree.items().into_iter().map(|(i, _)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn str_bulk_load_queries_match_insert_build() {
+        let items: Vec<(ItemId, Point)> = (0..300)
+            .map(|i| (i, Point::new((i * 17 % 89) as f64, (i * 23 % 71) as f64)))
+            .collect();
+        let str_tree = RStarTree::str_bulk_load(16, items.iter().copied());
+        let ins_tree = RStarTree::bulk_build(16, items.iter().copied());
+        let rect = Rect::new(Point::new(10.0, 10.0), Point::new(40.0, 40.0));
+        let mut a: Vec<ItemId> = str_tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+        let mut b: Vec<ItemId> = ins_tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn str_bulk_load_empty_and_tiny() {
+        let tree = RStarTree::str_bulk_load(8, std::iter::empty());
+        assert!(tree.is_empty());
+        tree.validate();
+        let tiny = RStarTree::str_bulk_load(8, [(0, Point::new(1.0, 2.0))]);
+        assert_eq!(tiny.len(), 1);
+        tiny.validate();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random interleavings of inserts and removes keep the tree
+        /// consistent with a set model.
+        #[test]
+        fn insert_remove_matches_model(seed in 0u64..200, n in 1usize..120) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree = RStarTree::new(6);
+            let mut model: Vec<(ItemId, Point)> = Vec::new();
+            let mut next_id = 0u32;
+            for _ in 0..n {
+                if model.is_empty() || rng.gen_bool(0.65) {
+                    let p = Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0));
+                    tree.insert(next_id, p);
+                    model.push((next_id, p));
+                    next_id += 1;
+                } else {
+                    let idx = rng.gen_range(0..model.len());
+                    let (id, p) = model.swap_remove(idx);
+                    prop_assert!(tree.remove(id, p));
+                }
+            }
+            tree.validate();
+            let mut got: Vec<ItemId> = tree.items().into_iter().map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let mut expected: Vec<ItemId> = model.iter().map(|&(i, _)| i).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// STR bulk load: invariants + retrievability on random sets.
+        #[test]
+        fn str_invariants_on_random_points(seed in 0u64..200, n in 0usize..400, cap in 4usize..24) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items: Vec<(ItemId, Point)> = (0..n as u32)
+                .map(|i| (i, Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+                .collect();
+            let tree = RStarTree::str_bulk_load(cap, items);
+            tree.validate();
+            prop_assert_eq!(tree.len(), n);
+        }
+
+        /// Structural invariants and full retrievability hold for random
+        /// point sets and node capacities.
+        #[test]
+        fn invariants_on_random_points(seed in 0u64..500, n in 0usize..400, cap in 4usize..24) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree = RStarTree::new(cap);
+            let mut pts = Vec::new();
+            for i in 0..n {
+                let p = Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0));
+                tree.insert(i as ItemId, p);
+                pts.push(p);
+            }
+            tree.validate();
+            let mut ids: Vec<ItemId> = tree.items().into_iter().map(|(i, _)| i).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        }
+
+        /// Range queries agree with linear scan on random data.
+        #[test]
+        fn range_query_agrees_with_scan(seed in 0u64..500, n in 1usize..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree = RStarTree::new(8);
+            let mut pts = Vec::new();
+            for i in 0..n {
+                let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+                tree.insert(i as ItemId, p);
+                pts.push(p);
+            }
+            let a = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let b = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let rect = Rect::new(
+                Point::new(a.x.min(b.x), a.y.min(b.y)),
+                Point::new(a.x.max(b.x), a.y.max(b.y)),
+            );
+            let mut got: Vec<ItemId> = tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let mut expected: Vec<ItemId> = pts.iter().enumerate()
+                .filter(|(_, p)| rect.contains_point(p))
+                .map(|(i, _)| i as ItemId)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Dataset builders (Section 6.1 of the paper).
+//!
+//! * [`synthetic`] — the paper's `UNI` / `ZIPF` pipelines: random planar
+//!   road network, POIs on random edges, synthetic social network, users
+//!   mapped to random road locations.
+//! * [`bri_cal_surrogate`] / [`gow_col_surrogate`] — surrogates for the
+//!   paper's real datasets (Brightkite + California, Gowalla + Colorado).
+//!   The raw SNAP/DIMACS files are not available offline, so we reproduce
+//!   the *derivation pipeline* on simulated check-ins: a heavy-tailed
+//!   social graph matching Table 2's size and average degree, users who
+//!   check into spatially clustered POIs, interest vectors
+//!   `w_f = fraction of visits with keyword f` (exactly the paper's rule),
+//!   and homes at the road location nearest the check-in centroid.
+//!   See DESIGN.md §5 for the substitution argument.
+
+use crate::network::SpatialSocialNetwork;
+use gpssn_graph::ValueDistribution;
+use gpssn_road::{
+    generate_pois, generate_road_network, NetworkPoint, PoiGenConfig, PoiSet, RoadGenConfig,
+};
+use gpssn_social::{
+    generate_power_law_network, generate_social_network, InterestVector, SocialGenConfig,
+    SocialNetwork, UserId,
+};
+use gpssn_spatial::{Point, RStarTree};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The four evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Synthetic, Uniform distributions.
+    Uni,
+    /// Synthetic, Zipf distributions.
+    Zipf,
+    /// Brightkite + California surrogate.
+    BriCal,
+    /// Gowalla + Colorado surrogate.
+    GowCol,
+}
+
+impl DatasetKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Uni => "UNI",
+            DatasetKind::Zipf => "ZIPF",
+            DatasetKind::BriCal => "Bri+Cal",
+            DatasetKind::GowCol => "Gow+Col",
+        }
+    }
+
+    /// All four datasets in the paper's presentation order.
+    pub fn all() -> [DatasetKind; 4] {
+        [DatasetKind::BriCal, DatasetKind::GowCol, DatasetKind::Uni, DatasetKind::Zipf]
+    }
+
+    /// Builds the dataset at `scale` (1.0 = the paper's full size).
+    pub fn build(self, scale: f64, seed: u64) -> SpatialSocialNetwork {
+        match self {
+            DatasetKind::Uni => synthetic(&SyntheticConfig::uni().scaled(scale), seed),
+            DatasetKind::Zipf => synthetic(&SyntheticConfig::zipf().scaled(scale), seed),
+            DatasetKind::BriCal => bri_cal_surrogate(scale, seed),
+            DatasetKind::GowCol => gow_col_surrogate(scale, seed),
+        }
+    }
+}
+
+/// Configuration for the synthetic `UNI`/`ZIPF` datasets.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Road-network generation parameters.
+    pub road: RoadGenConfig,
+    /// POI generation parameters.
+    pub poi: PoiGenConfig,
+    /// Social-network generation parameters.
+    pub social: SocialGenConfig,
+}
+
+impl SyntheticConfig {
+    /// The paper's default synthetic configuration with Uniform draws
+    /// (`|V(G_r)| = |V(G_s)| = 30K`, `n = 10K`, `d = 5`).
+    pub fn uni() -> Self {
+        SyntheticConfig {
+            road: RoadGenConfig::default(),
+            poi: PoiGenConfig::default(),
+            social: SocialGenConfig::default(),
+        }
+    }
+
+    /// Same sizes with Zipf draws.
+    pub fn zipf() -> Self {
+        let mut cfg = Self::uni();
+        cfg.poi.distribution = ValueDistribution::Zipf;
+        cfg.social.distribution = ValueDistribution::Zipf;
+        cfg
+    }
+
+    /// Scales all cardinalities by `scale` (sizes are floored at small
+    /// workable minimums so tests can run tiny instances).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.road.num_vertices = ((self.road.num_vertices as f64 * scale) as usize).max(16);
+        self.poi.num_pois = ((self.poi.num_pois as f64 * scale) as usize).max(8);
+        self.social.num_users = ((self.social.num_users as f64 * scale) as usize).max(8);
+        self
+    }
+}
+
+/// Builds a synthetic spatial-social network (the paper's `UNI`/`ZIPF`).
+pub fn synthetic(cfg: &SyntheticConfig, seed: u64) -> SpatialSocialNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let road = generate_road_network(&cfg.road, &mut rng);
+    let pois = PoiSet::new(&road, generate_pois(&road, &cfg.poi, &mut rng));
+    let social = generate_social_network(&cfg.social, &mut rng);
+    // "Randomly mapping social-network users to a 2D spatial location on
+    // the road network": a random position on a random edge.
+    let m = road.num_edges();
+    let homes: Vec<NetworkPoint> = (0..social.num_users())
+        .map(|_| {
+            let e = rng.gen_range(0..m) as u32;
+            NetworkPoint::new(&road, e, rng.gen_range(0.0..=1.0) * road.edge_length(e))
+        })
+        .collect();
+    SpatialSocialNetwork::new(road, pois, social, homes)
+}
+
+/// Configuration for the surrogate real datasets.
+#[derive(Debug, Clone)]
+pub struct SurrogateConfig {
+    /// Number of users (Table 2: 40K for both).
+    pub num_users: usize,
+    /// Target average friendship degree (Table 2: 10.3 / 32.1).
+    pub avg_social_degree: f64,
+    /// Road intersections (Table 2: 21K / 30K).
+    pub road_vertices: usize,
+    /// Number of POIs users check into.
+    pub num_pois: usize,
+    /// Topic vocabulary size `d`.
+    pub num_topics: usize,
+    /// Simulated check-ins per user.
+    pub checkins_per_user: usize,
+    /// Locality radius of a user's check-ins (Euclidean).
+    pub checkin_radius: f64,
+    /// Side of the square data space.
+    pub space_size: f64,
+}
+
+impl SurrogateConfig {
+    /// Brightkite + California (Table 2 row 1).
+    pub fn bri_cal() -> Self {
+        SurrogateConfig {
+            num_users: 40_000,
+            avg_social_degree: 10.3,
+            road_vertices: 21_000,
+            num_pois: 10_000,
+            num_topics: 5,
+            checkins_per_user: 20,
+            checkin_radius: 10.0,
+            space_size: 100.0,
+        }
+    }
+
+    /// Gowalla + Colorado (Table 2 row 2).
+    pub fn gow_col() -> Self {
+        SurrogateConfig {
+            num_users: 40_000,
+            avg_social_degree: 32.1,
+            road_vertices: 30_000,
+            ..Self::bri_cal()
+        }
+    }
+
+    /// Scales the cardinalities by `scale`.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.num_users = ((self.num_users as f64 * scale) as usize).max(8);
+        self.road_vertices = ((self.road_vertices as f64 * scale) as usize).max(16);
+        self.num_pois = ((self.num_pois as f64 * scale) as usize).max(8);
+        self
+    }
+}
+
+/// Builds the Brightkite + California surrogate at `scale`.
+pub fn bri_cal_surrogate(scale: f64, seed: u64) -> SpatialSocialNetwork {
+    build_surrogate(&SurrogateConfig::bri_cal().scaled(scale), seed)
+}
+
+/// Builds the Gowalla + Colorado surrogate at `scale`.
+pub fn gow_col_surrogate(scale: f64, seed: u64) -> SpatialSocialNetwork {
+    build_surrogate(&SurrogateConfig::gow_col().scaled(scale), seed)
+}
+
+/// The shared surrogate pipeline (see module docs).
+pub fn build_surrogate(cfg: &SurrogateConfig, seed: u64) -> SpatialSocialNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let road = generate_road_network(
+        &RoadGenConfig {
+            num_vertices: cfg.road_vertices,
+            space_size: cfg.space_size,
+            neighbors_per_vertex: 2,
+        },
+        &mut rng,
+    );
+    let pois = PoiSet::new(
+        &road,
+        generate_pois(
+            &road,
+            &PoiGenConfig {
+                num_pois: cfg.num_pois,
+                num_keywords: cfg.num_topics,
+                max_keywords_per_poi: 3,
+                distribution: ValueDistribution::Zipf, // check-in data is skewed
+                keyword_locality: 0.8,
+            },
+            &mut rng,
+        ),
+    );
+    // Heavy-tailed friendship graph at the target average degree.
+    let skeleton =
+        generate_power_law_network(cfg.num_users, cfg.num_topics, cfg.avg_social_degree, &mut rng);
+
+    // Simulated check-ins: each user picks an anchor POI and repeatedly
+    // visits POIs within `checkin_radius` of it. Interest vectors follow
+    // the paper's rule (visit fraction per keyword); homes sit at the road
+    // vertex nearest the check-in centroid.
+    let vertex_tree = RStarTree::str_bulk_load(
+        32,
+        road.locations().iter().enumerate().map(|(i, &p)| (i as u32, p)),
+    );
+    let mut interests = Vec::with_capacity(cfg.num_users);
+    let mut homes = Vec::with_capacity(cfg.num_users);
+    for _ in 0..cfg.num_users {
+        let anchor = rng.gen_range(0..pois.len()) as u32;
+        let anchor_loc = pois.location(anchor);
+        let nearby = pois.euclidean_ball(anchor_loc, cfg.checkin_radius);
+        let mut keyword_visits = vec![0usize; cfg.num_topics];
+        let mut centroid = Point::new(0.0, 0.0);
+        for _ in 0..cfg.checkins_per_user {
+            let poi = if nearby.is_empty() {
+                anchor
+            } else {
+                nearby[rng.gen_range(0..nearby.len())]
+            };
+            for &k in &pois.get(poi).keywords {
+                if (k as usize) < cfg.num_topics {
+                    keyword_visits[k as usize] += 1;
+                }
+            }
+            let loc = pois.location(poi);
+            centroid.x += loc.x;
+            centroid.y += loc.y;
+        }
+        centroid.x /= cfg.checkins_per_user as f64;
+        centroid.y /= cfg.checkins_per_user as f64;
+        let weights: Vec<f64> = keyword_visits
+            .iter()
+            .map(|&v| (v as f64 / cfg.checkins_per_user as f64).min(1.0))
+            .collect();
+        interests.push(InterestVector::new(weights).as_distribution());
+        let v = nearest_vertex(&vertex_tree, &centroid, cfg.space_size);
+        homes.push(NetworkPoint::at_vertex(&road, v));
+    }
+    let friendships: Vec<(UserId, UserId)> =
+        skeleton.graph().edges().map(|(a, b, _)| (a, b)).collect();
+    let social = SocialNetwork::new(interests, &friendships);
+    SpatialSocialNetwork::new(road, pois, social, homes)
+}
+
+/// Nearest indexed point to `p` by expanding-radius search.
+fn nearest_vertex(tree: &RStarTree, p: &Point, space: f64) -> u32 {
+    let mut radius = space / 64.0;
+    loop {
+        let hits = tree.within_radius(p, radius);
+        if let Some((id, _)) = hits
+            .into_iter()
+            .map(|(id, q)| (id, p.distance_sq(&q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(id, _)| (id, ()))
+        {
+            return id;
+        }
+        radius *= 2.0;
+        if radius > space * 4.0 {
+            // Degenerate tree (shouldn't happen for non-empty input).
+            return 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpssn_graph::components::connected_components;
+
+    #[test]
+    fn synthetic_uni_builds_consistently() {
+        let cfg = SyntheticConfig::uni().scaled(0.01);
+        let ssn = synthetic(&cfg, 7);
+        assert!(ssn.social().num_users() >= 8);
+        assert!(ssn.pois().len() >= 8);
+        assert_eq!(ssn.homes().len(), ssn.social().num_users());
+        // Homes are valid positions on edges.
+        for h in ssn.homes() {
+            let len = ssn.road().edge_length(h.edge);
+            assert!(h.offset >= 0.0 && h.offset <= len);
+        }
+        let (_, k) = connected_components(ssn.road().graph());
+        assert_eq!(k, 1, "road network must be connected");
+    }
+
+    #[test]
+    fn zipf_differs_from_uni() {
+        let uni = synthetic(&SyntheticConfig::uni().scaled(0.01), 7);
+        let zipf = synthetic(&SyntheticConfig::zipf().scaled(0.01), 7);
+        // Same sizes, different degree structure.
+        assert_eq!(uni.social().num_users(), zipf.social().num_users());
+        assert_ne!(
+            uni.social().num_friendships(),
+            zipf.social().num_friendships(),
+            "UNI and ZIPF should differ structurally"
+        );
+    }
+
+    #[test]
+    fn surrogate_matches_table2_shape() {
+        let ssn = bri_cal_surrogate(0.02, 3);
+        let s = ssn.social();
+        assert_eq!(s.num_users(), 800);
+        // Average degree near the Brightkite target (10.3) at small scale.
+        let deg = s.average_degree();
+        assert!((7.0..=12.0).contains(&deg), "avg degree {deg}");
+        // Interest vectors are distributions (sum 1) or zero.
+        for u in 0..s.num_users() as u32 {
+            let total: f64 = s.interest(u).weights().iter().sum();
+            assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gow_col_is_denser_than_bri_cal() {
+        let bri = bri_cal_surrogate(0.02, 3);
+        let gow = gow_col_surrogate(0.02, 3);
+        assert!(gow.social().average_degree() > bri.social().average_degree());
+        assert!(gow.road().num_vertices() > bri.road().num_vertices());
+    }
+
+    #[test]
+    fn dataset_kind_roundtrip() {
+        for kind in DatasetKind::all() {
+            let ssn = kind.build(0.005, 1);
+            assert!(ssn.social().num_users() >= 8, "{} too small", kind.name());
+        }
+        assert_eq!(DatasetKind::Uni.name(), "UNI");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = synthetic(&SyntheticConfig::uni().scaled(0.01), 99);
+        let b = synthetic(&SyntheticConfig::uni().scaled(0.01), 99);
+        assert_eq!(a.social().num_friendships(), b.social().num_friendships());
+        assert_eq!(a.home(3).edge, b.home(3).edge);
+    }
+}

@@ -1,0 +1,252 @@
+//! Plain-text serialization of spatial-social networks.
+//!
+//! A simple line-oriented format (versioned header, one section per
+//! layer) so generated datasets can be saved once and reused across runs
+//! and tools — see the `datagen` and `gpq` binaries in `gpssn-bench`.
+//! The format is exact for the graph structure and keywords; floating
+//! point fields round-trip through their shortest-exact `{:?}` encoding.
+
+use crate::network::SpatialSocialNetwork;
+use gpssn_road::{NetworkPoint, Poi, PoiSet, RoadNetwork};
+use gpssn_social::{InterestVector, SocialNetwork};
+use gpssn_spatial::Point;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "# gpssn-ssn v1";
+
+/// Serializes `ssn` to `w`.
+pub fn write_ssn<W: Write>(ssn: &SpatialSocialNetwork, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{MAGIC}")?;
+
+    let road = ssn.road();
+    writeln!(w, "road-vertices {}", road.num_vertices())?;
+    for v in 0..road.num_vertices() as u32 {
+        let p = road.location(v);
+        writeln!(w, "{:?} {:?}", p.x, p.y)?;
+    }
+    writeln!(w, "road-edges {}", road.num_edges())?;
+    for (u, v, len) in road.graph().edges() {
+        writeln!(w, "{u} {v} {len:?}")?;
+    }
+
+    writeln!(w, "pois {}", ssn.pois().len())?;
+    for poi in ssn.pois().pois() {
+        let ks: Vec<String> = poi.keywords.iter().map(|k| k.to_string()).collect();
+        writeln!(w, "{} {:?} {}", poi.position.edge, poi.position.offset, ks.join(","))?;
+    }
+
+    let social = ssn.social();
+    writeln!(w, "users {} topics {}", social.num_users(), social.num_topics())?;
+    for u in 0..social.num_users() as u32 {
+        let ws: Vec<String> = social.interest(u).weights().iter().map(|x| format!("{x:?}")).collect();
+        writeln!(w, "{}", ws.join(" "))?;
+    }
+    writeln!(w, "friendships {}", social.num_friendships())?;
+    for (a, b, _) in social.graph().edges() {
+        writeln!(w, "{a} {b}")?;
+    }
+
+    writeln!(w, "homes {}", ssn.homes().len())?;
+    for h in ssn.homes() {
+        writeln!(w, "{} {:?}", h.edge, h.offset)?;
+    }
+    w.flush()
+}
+
+/// Deserializes a spatial-social network from `r`.
+pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = |what: &str| -> io::Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| bad(format!("unexpected EOF: expected {what}")))?};
+
+    let header = next("header")?;
+    if header.trim() != MAGIC {
+        return Err(bad(format!("bad header: {header:?}")));
+    }
+
+    let nv: usize = field(&next("road-vertices")?, "road-vertices")?;
+    let mut locations = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        let line = next("vertex")?;
+        let mut it = line.split_whitespace();
+        let x = parse_f64(it.next(), "vertex x")?;
+        let y = parse_f64(it.next(), "vertex y")?;
+        locations.push(Point::new(x, y));
+    }
+    let ne: usize = field(&next("road-edges")?, "road-edges")?;
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let line = next("edge")?;
+        let mut it = line.split_whitespace();
+        let u: u32 = parse(it.next(), "edge u")?;
+        let v: u32 = parse(it.next(), "edge v")?;
+        let len = parse_f64(it.next(), "edge len")?;
+        edges.push((u, v, len));
+    }
+    let road = RoadNetwork::from_weighted_edges(locations, &edges);
+
+    let np: usize = field(&next("pois")?, "pois")?;
+    let mut pois = Vec::with_capacity(np);
+    for _ in 0..np {
+        let line = next("poi")?;
+        let mut it = line.split_whitespace();
+        let edge: u32 = parse(it.next(), "poi edge")?;
+        let offset = parse_f64(it.next(), "poi offset")?;
+        let keywords: Vec<u32> = match it.next() {
+            None | Some("") => Vec::new(),
+            Some(ks) => ks
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<u32>().map_err(|e| bad(format!("poi keyword: {e}"))))
+                .collect::<io::Result<_>>()?,
+        };
+        pois.push(Poi::new(NetworkPoint::new(&road, edge, offset), keywords));
+    }
+    let pois = PoiSet::new(&road, pois);
+
+    let users_line = next("users")?;
+    let mut it = users_line.split_whitespace();
+    expect(it.next(), "users")?;
+    let m: usize = parse(it.next(), "user count")?;
+    expect(it.next(), "topics")?;
+    let d: usize = parse(it.next(), "topic count")?;
+    let mut interests = Vec::with_capacity(m);
+    for _ in 0..m {
+        let line = next("interest vector")?;
+        let ws: Vec<f64> = line
+            .split_whitespace()
+            .map(|s| s.parse::<f64>().map_err(|e| bad(format!("interest weight: {e}"))))
+            .collect::<io::Result<_>>()?;
+        if ws.len() != d {
+            return Err(bad(format!("interest vector has {} weights, expected {d}", ws.len())));
+        }
+        interests.push(InterestVector::new(ws));
+    }
+    let nf: usize = field(&next("friendships")?, "friendships")?;
+    let mut friendships = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        let line = next("friendship")?;
+        let mut it = line.split_whitespace();
+        let a: u32 = parse(it.next(), "friendship a")?;
+        let b: u32 = parse(it.next(), "friendship b")?;
+        friendships.push((a, b));
+    }
+    let social = SocialNetwork::new(interests, &friendships);
+
+    let nh: usize = field(&next("homes")?, "homes")?;
+    if nh != m {
+        return Err(bad(format!("{nh} homes for {m} users")));
+    }
+    let mut homes = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        let line = next("home")?;
+        let mut it = line.split_whitespace();
+        let edge: u32 = parse(it.next(), "home edge")?;
+        let offset = parse_f64(it.next(), "home offset")?;
+        homes.push(NetworkPoint::new(&road, edge, offset));
+    }
+    Ok(SpatialSocialNetwork::new(road, pois, social, homes))
+}
+
+/// Saves to a file path.
+pub fn save_ssn(ssn: &SpatialSocialNetwork, path: impl AsRef<Path>) -> io::Result<()> {
+    write_ssn(ssn, std::fs::File::create(path)?)
+}
+
+/// Loads from a file path.
+pub fn load_ssn(path: impl AsRef<Path>) -> io::Result<SpatialSocialNetwork> {
+    read_ssn(std::fs::File::open(path)?)
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn field<T: std::str::FromStr>(line: &str, name: &str) -> io::Result<T> {
+    let mut it = line.split_whitespace();
+    let tag = it.next().unwrap_or("");
+    if tag != name {
+        return Err(bad(format!("expected section {name:?}, found {tag:?}")));
+    }
+    parse(it.next(), name)
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> io::Result<T> {
+    tok.ok_or_else(|| bad(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| bad(format!("unparsable {what}")))
+}
+
+fn parse_f64(tok: Option<&str>, what: &str) -> io::Result<f64> {
+    parse(tok, what)
+}
+
+fn expect(tok: Option<&str>, what: &str) -> io::Result<()> {
+    match tok {
+        Some(t) if t == what => Ok(()),
+        other => Err(bad(format!("expected {what:?}, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{synthetic, SyntheticConfig};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 13);
+        let mut buf = Vec::new();
+        write_ssn(&ssn, &mut buf).unwrap();
+        let back = read_ssn(buf.as_slice()).unwrap();
+
+        assert_eq!(back.road().num_vertices(), ssn.road().num_vertices());
+        assert_eq!(back.road().num_edges(), ssn.road().num_edges());
+        assert_eq!(back.pois().len(), ssn.pois().len());
+        assert_eq!(back.social().num_users(), ssn.social().num_users());
+        assert_eq!(back.social().num_friendships(), ssn.social().num_friendships());
+        // Exact float round-trip via {:?}.
+        for v in 0..ssn.road().num_vertices() as u32 {
+            assert_eq!(back.road().location(v), ssn.road().location(v));
+        }
+        for o in 0..ssn.pois().len() as u32 {
+            assert_eq!(back.pois().get(o).keywords, ssn.pois().get(o).keywords);
+            assert_eq!(back.pois().get(o).position, ssn.pois().get(o).position);
+        }
+        for u in 0..ssn.social().num_users() as u32 {
+            assert_eq!(back.social().interest(u), ssn.social().interest(u));
+            assert_eq!(back.home(u), ssn.home(u));
+        }
+        // Distances agree, so query results will too.
+        assert_eq!(back.user_poi_distance(0, 0), ssn.user_poi_distance(0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_ssn("nonsense\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 13);
+        let mut buf = Vec::new();
+        write_ssn(&ssn, &mut buf).unwrap();
+        let cut = &buf[..buf.len() / 2];
+        assert!(read_ssn(cut).is_err());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 14);
+        let path = std::env::temp_dir().join("gpssn_io_test.ssn");
+        save_ssn(&ssn, &path).unwrap();
+        let back = load_ssn(&path).unwrap();
+        assert_eq!(back.social().num_users(), ssn.social().num_users());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,29 @@
+//! # gpssn-ssn — integrated spatial-social networks `G_rs`
+//!
+//! Implements Definition 4 of the paper: the combination of a road network
+//! `G_r` (with POIs) and a social network `G_s`, where every user's home
+//! is a location on a road-network edge.
+//!
+//! * [`network`] — [`SpatialSocialNetwork`] tying the two layers together.
+//! * [`scores`] — the user–POI-set matching score `Match_Score(u_j, R)`
+//!   (Eq. 2) in exact and keyword-set forms.
+//! * [`datasets`] — dataset builders: the paper's synthetic `UNI`/`ZIPF`
+//!   pipelines and the surrogate `Bri+Cal` / `Gow+Col` spatial-social
+//!   networks (simulated check-in histories; see DESIGN.md §5 for the
+//!   substitution argument).
+//! * [`stats`] — Table-2 style dataset statistics.
+
+pub mod datasets;
+pub mod io;
+pub mod network;
+pub mod scores;
+pub mod stats;
+
+pub use datasets::{
+    bri_cal_surrogate, gow_col_surrogate, synthetic, DatasetKind, SurrogateConfig,
+    SyntheticConfig,
+};
+pub use io::{load_ssn, read_ssn, save_ssn, write_ssn};
+pub use network::SpatialSocialNetwork;
+pub use scores::{match_score, match_score_keywords};
+pub use stats::DatasetStats;

@@ -1,0 +1,91 @@
+//! The user–POI-set matching score `Match_Score(u_j, R)` — Eq. (2).
+//!
+//! `Match_Score(u_j, R) = Σ_f w_f^{(j)} · χ(w_f^{(j)} ∈ ∪_{o∈R} o.K)`:
+//! the total interest weight of the user's topics that are covered by at
+//! least one POI of `R`. It is monotone in `R` (Lemma 2), which is what
+//! makes superset-based upper bounds safe.
+
+use crate::network::SpatialSocialNetwork;
+use gpssn_road::PoiId;
+use gpssn_social::{InterestVector, UserId};
+
+/// Matching score of an interest vector against a keyword set. Keywords
+/// are topic ids indexing the vector; out-of-range keywords contribute
+/// nothing (weight 0).
+pub fn match_score_keywords(interest: &InterestVector, keywords: &[u32]) -> f64 {
+    let mut covered = vec![false; interest.dim()];
+    for &k in keywords {
+        if (k as usize) < covered.len() {
+            covered[k as usize] = true;
+        }
+    }
+    covered
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c)
+        .map(|(f, _)| interest.weight(f))
+        .sum()
+}
+
+/// `Match_Score(u_j, R)` over a spatial-social network: the user's
+/// interest weight covered by the keyword union of the POI set `R`.
+pub fn match_score(ssn: &SpatialSocialNetwork, user: UserId, pois: &[PoiId]) -> f64 {
+    let union = ssn.pois().keyword_union(pois);
+    match_score_keywords(ssn.social().interest(user), &union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scores_covered_topics_only() {
+        let w = InterestVector::new(vec![0.7, 0.3, 0.7]);
+        assert!((match_score_keywords(&w, &[0]) - 0.7).abs() < 1e-12);
+        assert!((match_score_keywords(&w, &[0, 2]) - 1.4).abs() < 1e-12);
+        assert!((match_score_keywords(&w, &[0, 1, 2]) - 1.7).abs() < 1e-12);
+        assert_eq!(match_score_keywords(&w, &[]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_keywords_count_once() {
+        let w = InterestVector::new(vec![0.5, 0.5]);
+        assert!((match_score_keywords(&w, &[0, 0, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_keywords_ignored() {
+        let w = InterestVector::new(vec![0.5]);
+        assert_eq!(match_score_keywords(&w, &[7]), 0.0);
+    }
+
+    proptest! {
+        /// Monotonicity (Lemma 2): adding POI keywords never lowers the
+        /// score, and the superset score upper-bounds the subset score.
+        #[test]
+        fn monotone_in_keyword_set(
+            weights in proptest::collection::vec(0.0f64..1.0, 1..8),
+            ks in proptest::collection::vec(0u32..8, 0..10),
+            extra in proptest::collection::vec(0u32..8, 0..5),
+        ) {
+            let w = InterestVector::new(weights);
+            let base = match_score_keywords(&w, &ks);
+            let mut bigger = ks.clone();
+            bigger.extend(extra);
+            let sup = match_score_keywords(&w, &bigger);
+            prop_assert!(sup + 1e-12 >= base);
+        }
+
+        /// Score never exceeds the total interest mass.
+        #[test]
+        fn bounded_by_total_weight(
+            weights in proptest::collection::vec(0.0f64..1.0, 1..8),
+            ks in proptest::collection::vec(0u32..16, 0..16),
+        ) {
+            let w = InterestVector::new(weights.clone());
+            let total: f64 = weights.iter().sum();
+            prop_assert!(match_score_keywords(&w, &ks) <= total + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Dataset statistics in the shape of the paper's Table 2.
+
+use crate::network::SpatialSocialNetwork;
+use std::fmt;
+
+/// Summary statistics of a spatial-social network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// `|V(G_s)|` — number of users.
+    pub users: usize,
+    /// `deg(G_s)` — average friendship degree.
+    pub avg_social_degree: f64,
+    /// `|V(G_r)|` — number of road intersections.
+    pub road_vertices: usize,
+    /// `deg(G_r)` — average road degree.
+    pub avg_road_degree: f64,
+    /// `n` — number of POIs.
+    pub pois: usize,
+    /// `d` — topic dimensionality.
+    pub topics: usize,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `ssn`.
+    pub fn of(ssn: &SpatialSocialNetwork) -> Self {
+        DatasetStats {
+            users: ssn.social().num_users(),
+            avg_social_degree: ssn.social().average_degree(),
+            road_vertices: ssn.road().num_vertices(),
+            avg_road_degree: ssn.road().average_degree(),
+            pois: ssn.pois().len(),
+            topics: ssn.social().num_topics(),
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V(Gs)|={} deg(Gs)={:.1} |V(Gr)|={} deg(Gr)={:.1} n={} d={}",
+            self.users,
+            self.avg_social_degree,
+            self.road_vertices,
+            self.avg_road_degree,
+            self.pois,
+            self.topics
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{synthetic, SyntheticConfig};
+
+    #[test]
+    fn stats_reflect_network() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 5);
+        let st = DatasetStats::of(&ssn);
+        assert_eq!(st.users, ssn.social().num_users());
+        assert_eq!(st.road_vertices, ssn.road().num_vertices());
+        assert_eq!(st.pois, ssn.pois().len());
+        assert_eq!(st.topics, 5);
+        assert!(st.avg_road_degree > 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 5);
+        let s = DatasetStats::of(&ssn).to_string();
+        assert!(s.contains("|V(Gs)|="));
+        assert!(s.contains("n="));
+    }
+}

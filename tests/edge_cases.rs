@@ -1,0 +1,163 @@
+//! Failure injection and boundary conditions: degenerate networks,
+//! unreachable road components, boundary parameter values.
+
+use gpssn::core::{EngineConfig, GpSsnEngine, GpSsnQuery};
+use gpssn::index::{PivotSelectConfig, SocialIndexConfig};
+use gpssn::road::{NetworkPoint, Poi, PoiSet, RoadNetwork};
+use gpssn::social::{InterestVector, SocialNetwork};
+use gpssn::spatial::Point;
+use gpssn::ssn::SpatialSocialNetwork;
+
+fn tiny_engine_cfg() -> EngineConfig {
+    EngineConfig {
+        num_road_pivots: 1,
+        num_social_pivots: 1,
+        social_index: SocialIndexConfig { leaf_size: 4, fanout: 2, ..Default::default() },
+        pivot_select: PivotSelectConfig { sample_pairs: 8, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Two-component road network: a west segment and an east segment with
+/// no connection between them.
+fn split_world() -> SpatialSocialNetwork {
+    let locs = vec![
+        Point::new(0.0, 0.0),
+        Point::new(2.0, 0.0),
+        Point::new(50.0, 0.0),
+        Point::new(52.0, 0.0),
+    ];
+    let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (2, 3)]);
+    let pois = PoiSet::new(
+        &road,
+        vec![
+            Poi::new(NetworkPoint::new(&road, 0, 1.0), vec![0, 1]), // west
+            Poi::new(NetworkPoint::new(&road, 1, 1.0), vec![0, 1]), // east
+        ],
+    );
+    let iv = |w: [f64; 2]| InterestVector::new(w.to_vec());
+    let social = SocialNetwork::new(
+        vec![iv([0.9, 0.5]), iv([0.8, 0.6]), iv([0.7, 0.7])],
+        &[(0, 1), (1, 2)],
+    );
+    let homes = vec![
+        NetworkPoint::new(&road, 0, 0.0), // west
+        NetworkPoint::new(&road, 0, 2.0), // west
+        NetworkPoint::new(&road, 1, 0.0), // east!
+    ];
+    SpatialSocialNetwork::new(road, pois, social, homes)
+}
+
+#[test]
+fn disconnected_road_components_do_not_panic() {
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    // Users 0 and 1 live west: a west POI works; user 2 lives east and
+    // can never reach west POIs (infinite maxdist), so groups including
+    // user 2 are never optimal.
+    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.0 };
+    let out = engine.query(&q);
+    let ans = out.answer.expect("west pair is feasible");
+    assert_eq!(ans.users, vec![0, 1]);
+    assert!(ans.maxdist.is_finite());
+}
+
+#[test]
+fn group_forced_across_components_is_infeasible_in_practice() {
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    // tau = 3 forces user 2 (east) into the group: every candidate ball
+    // is unreachable for someone, so maxdist is infinite for all centers
+    // and no finite answer should be produced.
+    let q = GpSsnQuery { user: 0, tau: 3, gamma: 0.2, theta: 0.2, radius: 2.0 };
+    if let Some(ans) = engine.query(&q).answer {
+        assert!(
+            !ans.maxdist.is_finite() || ans.maxdist > 1e9,
+            "cross-component group got finite maxdist {}",
+            ans.maxdist
+        );
+    }
+}
+
+#[test]
+fn tau_larger_than_population_returns_none() {
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery { user: 0, tau: 10, gamma: 0.0, theta: 0.0, radius: 2.0 };
+    assert!(engine.query(&q).answer.is_none());
+}
+
+#[test]
+fn tau_one_is_a_solo_trip() {
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery { user: 2, tau: 1, gamma: 9.0, theta: 0.5, radius: 2.0 };
+    let ans = engine.query(&q).answer.expect("solo trip east");
+    assert_eq!(ans.users, vec![2]);
+    assert!(ans.maxdist.is_finite());
+}
+
+#[test]
+fn friendless_user_with_tau_two_returns_none() {
+    let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
+    let pois = PoiSet::new(&road, vec![Poi::new(NetworkPoint::new(&road, 0, 0.5), vec![0])]);
+    let social = SocialNetwork::new(
+        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        &[], // no friendships at all
+    );
+    let homes = vec![NetworkPoint::new(&road, 0, 0.0), NetworkPoint::new(&road, 0, 1.0)];
+    let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 1.0 };
+    assert!(engine.query(&q).answer.is_none());
+}
+
+#[test]
+fn boundary_radii_are_accepted() {
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let cfg = gpssn::index::RoadIndexConfig::default();
+    for radius in [cfg.r_min, cfg.r_max] {
+        let q = GpSsnQuery { user: 0, tau: 1, gamma: 0.0, theta: 0.0, radius };
+        let _ = engine.query(&q); // must not panic
+    }
+}
+
+#[test]
+fn empty_poi_set_yields_none() {
+    let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
+    let pois = PoiSet::new(&road, vec![]);
+    let social = SocialNetwork::new(
+        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        &[(0, 1)],
+    );
+    let homes = vec![NetworkPoint::new(&road, 0, 0.0), NetworkPoint::new(&road, 0, 1.0)];
+    let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 1.0 };
+    assert!(engine.query(&q).answer.is_none());
+}
+
+#[test]
+fn colocated_users_and_pois_work() {
+    // Everyone lives on the same spot; all POIs stacked on one point.
+    let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
+    let spot = NetworkPoint::new(&road, 0, 0.5);
+    let pois = PoiSet::new(
+        &road,
+        vec![Poi::new(spot, vec![0]), Poi::new(spot, vec![0])],
+    );
+    let social = SocialNetwork::new(
+        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        &[(0, 1)],
+    );
+    let homes = vec![spot, spot];
+    let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 0.5 };
+    let ans = engine.query(&q).answer.expect("trivially feasible");
+    assert_eq!(ans.maxdist, 0.0);
+}
