@@ -22,17 +22,32 @@ fn bench_pruning_ablation(c: &mut Criterion) {
         ("all_rules", QueryOptions::default()),
         (
             "no_interest",
-            QueryOptions { use_interest_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_interest_pruning: false,
+                ..Default::default()
+            },
         ),
         (
             "no_social_distance",
-            QueryOptions { use_social_distance_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_social_distance_pruning: false,
+                ..Default::default()
+            },
         ),
         (
             "no_matching",
-            QueryOptions { use_matching_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_matching_pruning: false,
+                ..Default::default()
+            },
         ),
-        ("no_delta", QueryOptions { use_delta_pruning: false, ..Default::default() }),
+        (
+            "no_delta",
+            QueryOptions {
+                use_delta_pruning: false,
+                ..Default::default()
+            },
+        ),
         (
             "no_pruning_at_all",
             QueryOptions {
@@ -61,7 +76,11 @@ fn engine_with_pivot_cfg(ssn: &SpatialSocialNetwork, swap_iter: usize) -> GpSsnE
     GpSsnEngine::build(
         ssn,
         EngineConfig {
-            pivot_select: PivotSelectConfig { swap_iter, global_iter: 1, ..Default::default() },
+            pivot_select: PivotSelectConfig {
+                swap_iter,
+                global_iter: 1,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -79,7 +98,9 @@ fn bench_pivot_quality(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     group.bench_function("random_pivots", |b| b.iter(|| black_box(random.query(&q))));
-    group.bench_function("algorithm1_pivots", |b| b.iter(|| black_box(optimized.query(&q))));
+    group.bench_function("algorithm1_pivots", |b| {
+        b.iter(|| black_box(optimized.query(&q)))
+    });
     group.finish();
 }
 
@@ -101,7 +122,10 @@ fn bench_refinement_modes(c: &mut Criterion) {
         b.iter(|| black_box(eng.query_approximate(&q, 128, 7)))
     });
     group.bench_function("tight_mbr_test", |b| {
-        let opts = QueryOptions { use_tight_mbr_test: true, ..Default::default() };
+        let opts = QueryOptions {
+            use_tight_mbr_test: true,
+            ..Default::default()
+        };
         b.iter(|| black_box(eng.query_with_options(&q, &opts)))
     });
     group.finish();
@@ -112,7 +136,10 @@ fn bench_buffer_pool(c: &mut Criterion) {
     let raw = GpSsnEngine::build(&ssn, EngineConfig::default());
     let pooled = GpSsnEngine::build(
         &ssn,
-        EngineConfig { page_cache_capacity: Some(256), ..Default::default() },
+        EngineConfig {
+            page_cache_capacity: Some(256),
+            ..Default::default()
+        },
     );
     let q = GpSsnQuery::with_defaults(11);
     let mut group = c.benchmark_group("ablation_buffer_pool");
@@ -124,7 +151,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

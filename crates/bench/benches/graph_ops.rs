@@ -12,7 +12,13 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 fn random_graph(n: usize, extra: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges: Vec<(NodeId, NodeId, f64)> = (1..n)
-        .map(|v| (rng.gen_range(0..v) as NodeId, v as NodeId, rng.gen_range(0.1..2.0)))
+        .map(|v| {
+            (
+                rng.gen_range(0..v) as NodeId,
+                v as NodeId,
+                rng.gen_range(0.1..2.0),
+            )
+        })
         .collect();
     for _ in 0..extra {
         let u = rng.gen_range(0..n) as NodeId;
@@ -90,7 +96,7 @@ fn bench_alt_vs_dijkstra(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

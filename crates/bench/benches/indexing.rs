@@ -18,11 +18,17 @@ fn bench_indexing(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("pivot_select_road_h5", |b| {
-        let cfg = PivotSelectConfig { count: 5, ..Default::default() };
+        let cfg = PivotSelectConfig {
+            count: 5,
+            ..Default::default()
+        };
         b.iter(|| black_box(select_road_pivots(ssn.road(), &cfg)));
     });
     group.bench_function("pivot_select_social_l5", |b| {
-        let cfg = PivotSelectConfig { count: 5, ..Default::default() };
+        let cfg = PivotSelectConfig {
+            count: 5,
+            ..Default::default()
+        };
         b.iter(|| black_box(select_social_pivots(ssn.social(), &cfg)));
     });
 
@@ -52,7 +58,7 @@ fn bench_indexing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

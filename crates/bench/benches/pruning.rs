@@ -2,11 +2,11 @@
 //! paid inside the index traversal.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpssn_core::pruning::social_distance::{lb_dist_sn_node, lb_dist_sn_users};
 use gpssn_core::pruning::{
     lb_maxdist_node, lb_maxdist_poi, ub_match_score_keywords, ub_match_score_signature,
     PruningRegion,
 };
-use gpssn_core::pruning::social_distance::{lb_dist_sn_node, lb_dist_sn_users};
 use gpssn_social::InterestVector;
 use gpssn_spatial::KeywordSignature;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -72,7 +72,7 @@ fn bench_rules(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

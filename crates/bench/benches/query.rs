@@ -35,7 +35,10 @@ fn bench_tau(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for &tau in &[2usize, 5, 10] {
-        let q = GpSsnQuery { tau, ..GpSsnQuery::with_defaults(11) };
+        let q = GpSsnQuery {
+            tau,
+            ..GpSsnQuery::with_defaults(11)
+        };
         group.bench_with_input(BenchmarkId::from_parameter(tau), &q, |b, q| {
             b.iter(|| black_box(eng.query(q)));
         });
@@ -51,7 +54,10 @@ fn bench_radius(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for &r in &[0.5f64, 2.0, 4.0] {
-        let q = GpSsnQuery { radius: r, ..GpSsnQuery::with_defaults(11) };
+        let q = GpSsnQuery {
+            radius: r,
+            ..GpSsnQuery::with_defaults(11)
+        };
         group.bench_with_input(BenchmarkId::from_parameter(r), &q, |b, q| {
             b.iter(|| black_box(eng.query(q)));
         });
@@ -59,7 +65,7 @@ fn bench_radius(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

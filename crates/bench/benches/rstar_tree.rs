@@ -6,7 +6,9 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_points(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect()
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect()
 }
 
 fn bench_build(c: &mut Criterion) {
@@ -49,7 +51,7 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

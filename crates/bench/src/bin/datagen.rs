@@ -57,7 +57,10 @@ fn main() {
         }
         i += 1;
     }
-    eprintln!("generating {} at scale {scale} (seed {seed})...", kind.name());
+    eprintln!(
+        "generating {} at scale {scale} (seed {seed})...",
+        kind.name()
+    );
     let ssn = kind.build(scale, seed);
     eprintln!("  {}", DatasetStats::of(&ssn));
     save_ssn(&ssn, &out).expect("failed to write dataset");

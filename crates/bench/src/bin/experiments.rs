@@ -12,32 +12,53 @@ use gpssn_bench::experiments::{fig7, fig8, sweeps, tables};
 use gpssn_bench::runner::ExperimentContext;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "appP-theta", "appP-r",
-    "appP-gamma", "appP-pivots", "appP-vs", "cache",
+    "table1",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "appP-theta",
+    "appP-r",
+    "appP-gamma",
+    "appP-pivots",
+    "appP-vs",
+    "cache",
 ];
+
+fn die_usage(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    eprintln!("usage: experiments [IDS...] [--scale F] [--seed N] [--queries N]  (ids: {ALL:?})");
+    std::process::exit(2);
+}
+
+/// Parses the value following flag `name`, exiting with usage on errors.
+fn take<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str, what: &str) -> T {
+    *i += 1;
+    let Some(raw) = args.get(*i) else {
+        die_usage(&format!("{name} takes {what}"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| die_usage(&format!("{name} takes {what}, got {raw:?}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = ExperimentContext::default();
     if let Ok(s) = std::env::var("GPSSN_SCALE") {
-        ctx.scale = s.parse().expect("GPSSN_SCALE must be a float");
+        ctx.scale = s
+            .parse()
+            .unwrap_or_else(|_| die_usage(&format!("GPSSN_SCALE must be a float, got {s:?}")));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                ctx.scale = args[i].parse().expect("--scale takes a float");
-            }
-            "--seed" => {
-                i += 1;
-                ctx.seed = args[i].parse().expect("--seed takes an integer");
-            }
-            "--queries" => {
-                i += 1;
-                ctx.queries_per_point = args[i].parse().expect("--queries takes an integer");
-            }
+            "--scale" => ctx.scale = take(&args, &mut i, "--scale", "a float"),
+            "--seed" => ctx.seed = take(&args, &mut i, "--seed", "an integer"),
+            "--queries" => ctx.queries_per_point = take(&args, &mut i, "--queries", "an integer"),
+            flag if flag.starts_with("--") => die_usage(&format!("unknown flag {flag:?}")),
             other => ids.push(other.to_string()),
         }
         i += 1;
@@ -77,6 +98,6 @@ fn run(id: &str, ctx: &ExperimentContext) {
         "appP-pivots" => sweeps::app_p_pivots(ctx).print(),
         "appP-vs" => sweeps::app_p_vs(ctx).print(),
         "cache" => sweeps::cache_sweep(ctx).print(),
-        other => eprintln!("unknown experiment id: {other} (known: {ALL:?})"),
+        other => die_usage(&format!("unknown experiment id: {other}")),
     }
 }

@@ -4,11 +4,69 @@
 //! ```text
 //! cargo run --release -p gpssn-bench --bin gpq -- \
 //!     --data city.ssn --user 11 --tau 4 --gamma 0.3 --theta 0.4 --r 2 \
-//!     [--top-k 3] [--approx 64] [--tune 0.7]
+//!     [--top-k 3] [--approx 64] [--tune 0.7] \
+//!     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N]
 //! ```
+//!
+//! Every error prints a single line on stderr and maps to a stable exit
+//! code so scripts can dispatch on the failure class:
+//!
+//! | code | class                      |
+//! |------|----------------------------|
+//! | 2    | usage / invalid query      |
+//! | 3    | unknown user               |
+//! | 4    | radius outside index range |
+//! | 5    | infeasible query           |
+//! | 6    | deadline exceeded          |
+//! | 7    | resource budget exhausted  |
+//! | 66   | dataset unreadable         |
+//! | 70   | internal error             |
+//!
+//! A *tripped budget with an answer in hand* is not an error: the answer
+//! is printed with its optimality-gap bound and the exit code is 0.
 
-use gpssn_core::{suggest_parameters, EngineConfig, GpSsnEngine, GpSsnQuery};
+use gpssn_core::{
+    suggest_parameters, Completion, EngineConfig, GpSsnEngine, GpSsnError, GpSsnQuery, QueryBudget,
+};
 use gpssn_ssn::{load_ssn, DatasetStats};
+use std::time::Duration;
+
+const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
+     [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] \
+     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N]";
+
+fn die_usage(msg: &str) -> ! {
+    eprintln!("gpq: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn exit_code(e: &GpSsnError) -> i32 {
+    match e {
+        GpSsnError::InvalidQuery(_) => 2,
+        GpSsnError::UnknownUser { .. } => 3,
+        GpSsnError::RadiusOutOfIndexRange { .. } => 4,
+        GpSsnError::Infeasible { .. } => 5,
+        GpSsnError::DeadlineExceeded => 6,
+        GpSsnError::BudgetExhausted { .. } => 7,
+        GpSsnError::Internal(_) => 70,
+    }
+}
+
+fn fail(e: &GpSsnError) -> ! {
+    eprintln!("gpq: {e}");
+    std::process::exit(exit_code(e));
+}
+
+/// Parses the value following flag `name`, exiting with usage on errors.
+fn take<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str, what: &str) -> T {
+    *i += 1;
+    let Some(raw) = args.get(*i) else {
+        die_usage(&format!("{name} takes {what}"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| die_usage(&format!("{name} takes {what}, got {raw:?}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,62 +75,56 @@ fn main() {
     let mut top_k = 1usize;
     let mut approx: Option<usize> = None;
     let mut tune: Option<f64> = None;
+    let mut budget = QueryBudget::unlimited();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--data" => {
                 i += 1;
-                data = args[i].clone();
+                match args.get(i) {
+                    Some(v) => data = v.clone(),
+                    None => die_usage("--data takes a file path"),
+                }
             }
-            "--user" => {
-                i += 1;
-                q.user = args[i].parse().expect("--user takes an id");
+            "--user" => q.user = take(&args, &mut i, "--user", "an id"),
+            "--tau" => q.tau = take(&args, &mut i, "--tau", "an integer"),
+            "--gamma" => q.gamma = take(&args, &mut i, "--gamma", "a float"),
+            "--theta" => q.theta = take(&args, &mut i, "--theta", "a float"),
+            "--r" => q.radius = take(&args, &mut i, "--r", "a float"),
+            "--top-k" => top_k = take(&args, &mut i, "--top-k", "an integer"),
+            "--approx" => approx = Some(take(&args, &mut i, "--approx", "a sample count")),
+            "--tune" => tune = Some(take(&args, &mut i, "--tune", "a percentile in [0,1]")),
+            "--timeout-ms" => {
+                budget.deadline = Some(Duration::from_millis(take(
+                    &args,
+                    &mut i,
+                    "--timeout-ms",
+                    "milliseconds",
+                )))
             }
-            "--tau" => {
-                i += 1;
-                q.tau = args[i].parse().expect("--tau takes an integer");
+            "--max-pops" => {
+                budget.max_heap_pops = Some(take(&args, &mut i, "--max-pops", "a count"))
             }
-            "--gamma" => {
-                i += 1;
-                q.gamma = args[i].parse().expect("--gamma takes a float");
+            "--max-groups" => {
+                budget.max_groups_enumerated = Some(take(&args, &mut i, "--max-groups", "a count"))
             }
-            "--theta" => {
-                i += 1;
-                q.theta = args[i].parse().expect("--theta takes a float");
-            }
-            "--r" => {
-                i += 1;
-                q.radius = args[i].parse().expect("--r takes a float");
-            }
-            "--top-k" => {
-                i += 1;
-                top_k = args[i].parse().expect("--top-k takes an integer");
-            }
-            "--approx" => {
-                i += 1;
-                approx = Some(args[i].parse().expect("--approx takes a sample count"));
-            }
-            "--tune" => {
-                i += 1;
-                tune = Some(args[i].parse().expect("--tune takes a percentile in [0,1]"));
+            "--max-settles" => {
+                budget.max_dijkstra_settles = Some(take(&args, &mut i, "--max-settles", "a count"))
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
-                     [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL]"
-                );
+                eprintln!("{USAGE}");
                 return;
             }
-            other => {
-                eprintln!("unknown flag {other:?} (try --help)");
-                std::process::exit(2);
-            }
+            other => die_usage(&format!("unknown flag {other:?}")),
         }
         i += 1;
     }
 
     eprintln!("loading {data}...");
-    let ssn = load_ssn(&data).expect("failed to load dataset");
+    let ssn = load_ssn(&data).unwrap_or_else(|e| {
+        eprintln!("gpq: cannot load {data}: {e}");
+        std::process::exit(66);
+    });
     eprintln!("  {}", DatasetStats::of(&ssn));
 
     if let Some(pctl) = tune {
@@ -95,16 +147,29 @@ fn main() {
     eprintln!("query: {q:?}");
 
     if let Some(samples) = approx {
-        let out = engine.query_approximate(&q, samples, 7);
-        report("approximate", &out.answer, out.metrics.io_pages, out.metrics.cpu);
+        let out = match engine.try_query_approximate(&q, samples, 7, &budget) {
+            Ok(out) => out,
+            Err(e) => fail(&e),
+        };
+        report_completion(&out.completion);
+        report(
+            "approximate",
+            &out.answer,
+            out.metrics.io_pages,
+            out.metrics.cpu,
+        );
         return;
     }
     if top_k > 1 {
-        let answers = engine.query_top_k(&q, top_k);
-        if answers.is_empty() {
+        let out = match engine.try_query_top_k(&q, top_k, &budget) {
+            Ok(out) => out,
+            Err(e) => fail(&e),
+        };
+        report_completion(&out.completion);
+        if out.answers.is_empty() {
             println!("no feasible answers");
         }
-        for (rank, ans) in answers.iter().enumerate() {
+        for (rank, ans) in out.answers.iter().enumerate() {
             println!(
                 "#{}: maxdist={:.4} S={:?} R={:?}",
                 rank + 1,
@@ -115,16 +180,33 @@ fn main() {
         }
         return;
     }
-    let out = engine.query(&q);
-    report("exact", &out.answer, out.metrics.io_pages, out.metrics.cpu);
+    let out = match engine.try_query(&q, &budget) {
+        Ok(out) => out,
+        Err(e) => fail(&e),
+    };
+    report_completion(&out.completion);
+    let mode = if matches!(out.completion, Completion::Exact) {
+        "exact"
+    } else {
+        "anytime"
+    };
+    report(mode, &out.answer, out.metrics.io_pages, out.metrics.cpu);
 }
 
-fn report(
-    mode: &str,
-    answer: &Option<gpssn_core::GpSsnAnswer>,
-    io: u64,
-    cpu: std::time::Duration,
-) {
+/// A `Failed` completion is a hard error (the budget tripped before any
+/// answer was verified); a truncation with an answer is reported as a
+/// success carrying its optimality-gap bound.
+fn report_completion(c: &Completion) {
+    match c {
+        Completion::Exact => {}
+        Completion::TruncatedWithGap(gap) => {
+            println!("completion: truncated (optimum within {gap:.4} below reported maxdist)")
+        }
+        Completion::Failed(e) => fail(e),
+    }
+}
+
+fn report(mode: &str, answer: &Option<gpssn_core::GpSsnAnswer>, io: u64, cpu: std::time::Duration) {
     match answer {
         Some(ans) => println!(
             "{mode} answer: maxdist={:.4} S={:?} R={:?}",

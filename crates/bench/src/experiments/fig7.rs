@@ -45,7 +45,10 @@ pub fn fig7(ctx: &ExperimentContext) -> Vec<Table> {
             pct(avg.road_distance_power),
             pct(avg.matching_power),
         ]);
-        d.push_row(vec![kind.name().into(), format!("{:.5}%", 100.0 * avg.pair_power)]);
+        d.push_row(vec![
+            kind.name().into(),
+            format!("{:.5}%", 100.0 * avg.pair_power),
+        ]);
     }
     vec![a, b, c, d]
 }
@@ -56,7 +59,11 @@ mod tests {
 
     #[test]
     fn fig7_produces_four_panels() {
-        let ctx = ExperimentContext { scale: 0.006, queries_per_point: 1, ..Default::default() };
+        let ctx = ExperimentContext {
+            scale: 0.006,
+            queries_per_point: 1,
+            ..Default::default()
+        };
         let tables = fig7(&ctx);
         assert_eq!(tables.len(), 4);
         assert!(tables[0].render().contains("UNI"));

@@ -14,14 +14,24 @@ use gpssn_ssn::DatasetKind;
 pub fn fig8(ctx: &ExperimentContext) -> Table {
     let mut t = Table::new(
         "Fig 8: GP-SSN vs Baseline (CPU time, I/O cost)",
-        &["dataset", "GP-SSN CPU", "GP-SSN I/O", "answered", "Baseline CPU (est.)", "Baseline I/O (est.)"],
+        &[
+            "dataset",
+            "GP-SSN CPU",
+            "GP-SSN I/O",
+            "answered",
+            "Baseline CPU (est.)",
+            "Baseline I/O (est.)",
+        ],
     );
     for kind in DatasetKind::all() {
         let ssn = kind.build(ctx.scale, ctx.seed);
         let engine = ctx.engine(&ssn, ctx.engine_config());
         let avg = run_queries(ctx, &engine, &ctx.default_query(), false);
         let users = ctx.sample_query_users(&ssn, 1);
-        let q = GpSsnQuery { user: users[0], ..ctx.default_query() };
+        let q = GpSsnQuery {
+            user: users[0],
+            ..ctx.default_query()
+        };
         let est = estimate_baseline_cost(&ssn, &q, 100);
         t.push_row(vec![
             kind.name().into(),
@@ -41,7 +51,11 @@ mod tests {
 
     #[test]
     fn fig8_reports_orders_of_magnitude_gap() {
-        let ctx = ExperimentContext { scale: 0.006, queries_per_point: 1, ..Default::default() };
+        let ctx = ExperimentContext {
+            scale: 0.006,
+            queries_per_point: 1,
+            ..Default::default()
+        };
         let t = fig8(&ctx);
         let r = t.render();
         assert!(r.contains("UNI"));

@@ -7,8 +7,8 @@ pub mod sweeps;
 pub mod tables;
 
 use crate::runner::ExperimentContext;
-use gpssn_core::{GpSsnEngine, GpSsnQuery};
 use gpssn_core::algorithm::QueryOptions;
+use gpssn_core::{GpSsnEngine, GpSsnQuery};
 
 /// Metrics averaged over several query users.
 #[derive(Debug, Clone, Default)]
@@ -48,11 +48,17 @@ pub fn run_queries(
     collect_stats: bool,
 ) -> Averaged {
     let users = ctx.sample_query_users(engine.ssn(), ctx.queries_per_point);
-    let opts = QueryOptions { collect_stats, ..Default::default() };
+    let opts = QueryOptions {
+        collect_stats,
+        ..Default::default()
+    };
     let mut acc = Averaged::default();
     let n = users.len().max(1) as f64;
     for u in users {
-        let q = GpSsnQuery { user: u, ..base.clone() };
+        let q = GpSsnQuery {
+            user: u,
+            ..base.clone()
+        };
         let out = engine.query_with_options(&q, &opts);
         acc.cpu_seconds += out.metrics.cpu.as_secs_f64() / n;
         acc.io_pages += out.metrics.io_pages as f64 / n;

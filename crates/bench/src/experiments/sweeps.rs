@@ -11,7 +11,10 @@ fn ms(x: f64) -> String {
     format!("{:.2}ms", x * 1e3)
 }
 
-fn synthetic_pair(ctx: &ExperimentContext, tweak: impl Fn(&mut SyntheticConfig)) -> [(String, gpssn_ssn::SpatialSocialNetwork); 2] {
+fn synthetic_pair(
+    ctx: &ExperimentContext,
+    tweak: impl Fn(&mut SyntheticConfig),
+) -> [(String, gpssn_ssn::SpatialSocialNetwork); 2] {
     let mut uni = SyntheticConfig::uni().scaled(ctx.scale);
     let mut zipf = SyntheticConfig::zipf().scaled(ctx.scale);
     tweak(&mut uni);
@@ -35,8 +38,10 @@ fn query_sweep(
         &["value", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
     );
     let pair = synthetic_pair(ctx, |_| {});
-    let engines: Vec<_> =
-        pair.iter().map(|(_, ssn)| ctx.engine(ssn, ctx.engine_config())).collect();
+    let engines: Vec<_> = pair
+        .iter()
+        .map(|(_, ssn)| ctx.engine(ssn, ctx.engine_config()))
+        .collect();
     for &v in values {
         let mut cells = vec![label(v)];
         for engine in &engines {
@@ -104,7 +109,13 @@ fn dataset_sweep(
 ) -> Table {
     let mut t = Table::new(
         title,
-        &["value (paper-scale)", "UNI CPU", "UNI I/O", "ZIPF CPU", "ZIPF I/O"],
+        &[
+            "value (paper-scale)",
+            "UNI CPU",
+            "UNI I/O",
+            "ZIPF CPU",
+            "ZIPF I/O",
+        ],
     );
     for &v in values {
         let scaled = ((v as f64 * ctx.scale) as usize).max(16);
@@ -184,7 +195,11 @@ pub fn cache_sweep(ctx: &ExperimentContext) -> Table {
     );
     let pair = synthetic_pair(ctx, |_| {});
     for &cap in &[0usize, 16, 64, 256, 1024] {
-        let mut cells = vec![if cap == 0 { "none".to_string() } else { cap.to_string() }];
+        let mut cells = vec![if cap == 0 {
+            "none".to_string()
+        } else {
+            cap.to_string()
+        }];
         for (_, ssn) in &pair {
             let mut cfg = ctx.engine_config();
             cfg.page_cache_capacity = if cap == 0 { None } else { Some(cap) };
@@ -205,7 +220,11 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> ExperimentContext {
-        ExperimentContext { scale: 0.005, queries_per_point: 1, ..Default::default() }
+        ExperimentContext {
+            scale: 0.005,
+            queries_per_point: 1,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub fn table1() -> Vec<Table> {
 pub fn table2(ctx: &ExperimentContext) -> Table {
     let mut t = Table::new(
         format!("Table 2: dataset statistics (scale {})", ctx.scale),
-        &["dataset", "|V(Gs)|", "deg(Gs)", "|V(Gr)|", "deg(Gr)", "n POIs"],
+        &[
+            "dataset", "|V(Gs)|", "deg(Gs)", "|V(Gr)|", "deg(Gr)", "n POIs",
+        ],
     );
     for kind in DatasetKind::all() {
         let ssn = kind.build(ctx.scale, ctx.seed);
@@ -79,7 +81,11 @@ mod tests {
 
     #[test]
     fn table2_has_four_rows() {
-        let ctx = ExperimentContext { scale: 0.005, queries_per_point: 1, ..Default::default() };
+        let ctx = ExperimentContext {
+            scale: 0.005,
+            queries_per_point: 1,
+            ..Default::default()
+        };
         let t = table2(&ctx);
         let r = t.render();
         for name in ["UNI", "ZIPF", "Bri+Cal", "Gow+Col"] {

@@ -21,7 +21,11 @@ pub struct ExperimentContext {
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { scale: 0.1, seed: 42, queries_per_point: 5 }
+        ExperimentContext {
+            scale: 0.1,
+            seed: 42,
+            queries_per_point: 5,
+        }
     }
 }
 
@@ -40,17 +44,16 @@ impl ExperimentContext {
             num_social_pivots: 5,
             road_index: RoadIndexConfig::default(),
             social_index: SocialIndexConfig::default(),
-            pivot_select: PivotSelectConfig { seed: self.seed, ..Default::default() },
+            pivot_select: PivotSelectConfig {
+                seed: self.seed,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
 
     /// Builds an engine over `ssn` with `cfg`.
-    pub fn engine<'a>(
-        &self,
-        ssn: &'a SpatialSocialNetwork,
-        cfg: EngineConfig,
-    ) -> GpSsnEngine<'a> {
+    pub fn engine<'a>(&self, ssn: &'a SpatialSocialNetwork, cfg: EngineConfig) -> GpSsnEngine<'a> {
         GpSsnEngine::build(ssn, cfg)
     }
 
@@ -184,7 +187,10 @@ mod tests {
 
     #[test]
     fn query_users_have_friends() {
-        let ctx = ExperimentContext { scale: 0.01, ..Default::default() };
+        let ctx = ExperimentContext {
+            scale: 0.01,
+            ..Default::default()
+        };
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 1);
         let users = ctx.sample_query_users(&ssn, 5);
         assert_eq!(users.len(), 5);

@@ -28,14 +28,15 @@
 //! the engine stays exact (the property tests against brute force check
 //! this).
 
+use crate::error::{BudgetState, Completion, GpSsnError, QueryBudget};
 use crate::pruning::{
-    lb_match_score_node, lb_maxdist_node, lb_maxdist_poi, prune_node_by_social_distance,
-    prune_user_by_social_distance, ub_match_score_keywords, ub_match_score_signature,
-    ub_maxdist_node, ub_maxdist_poi, corollary2_filter, PruningRegion,
+    corollary2_filter, lb_match_score_node, lb_maxdist_node, lb_maxdist_poi,
+    prune_node_by_social_distance, prune_user_by_social_distance, ub_match_score_keywords,
+    ub_match_score_signature, ub_maxdist_node, ub_maxdist_poi, PruningRegion,
 };
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use crate::refinement::verify_center;
-use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome};
+use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 use gpssn_index::{
     select_road_pivots, select_social_pivots, IoCounter, PivotSelectConfig, RoadIndex,
     RoadIndexConfig, SocialIndex, SocialIndexConfig,
@@ -166,7 +167,14 @@ impl<'a> GpSsnEngine<'a> {
         let hop_labels = cfg
             .exact_social_distance
             .then(|| gpssn_graph::HopLabels::build(ssn.social().graph()));
-        GpSsnEngine { ssn, road_index, social_index, cfg, page_cache, hop_labels }
+        GpSsnEngine {
+            ssn,
+            road_index,
+            social_index,
+            cfg,
+            page_cache,
+            hop_labels,
+        }
     }
 
     /// The spatial-social network this engine serves.
@@ -184,18 +192,48 @@ impl<'a> GpSsnEngine<'a> {
         &self.social_index
     }
 
-    /// Runs a query with default options.
+    /// Runs a query with default options, panicking on invalid input.
+    /// Prefer [`GpSsnEngine::try_query`] in serving paths.
     pub fn query(&self, q: &GpSsnQuery) -> QueryOutcome {
         self.query_with_options(q, &QueryOptions::default())
     }
 
-    /// Runs a query with explicit options.
+    /// Runs a query with explicit options, panicking on invalid input.
+    /// Prefer [`GpSsnEngine::try_query_with_options`] in serving paths.
     pub fn query_with_options(&self, q: &GpSsnQuery, opts: &QueryOptions) -> QueryOutcome {
-        q.validate().expect("invalid query parameters");
-        assert!(
-            q.radius >= self.cfg.road_index.r_min && q.radius <= self.cfg.road_index.r_max,
-            "query radius outside the index's [r_min, r_max] range"
-        );
+        unwrap_outcome(self.try_query_with_options(q, opts, &QueryBudget::unlimited()))
+    }
+
+    /// Fallible query with default options under a resource budget.
+    ///
+    /// Validation failures return `Err` ([`GpSsnError::InvalidQuery`],
+    /// [`GpSsnError::UnknownUser`], [`GpSsnError::RadiusOutOfIndexRange`],
+    /// [`GpSsnError::Infeasible`]); a query that *starts* always returns
+    /// `Ok` and reports budget trips through
+    /// [`QueryOutcome::completion`] — the anytime contract: the best
+    /// verified answer so far plus an optimality-gap bound, or
+    /// [`Completion::Failed`] when nothing was verified in time.
+    pub fn try_query(
+        &self,
+        q: &GpSsnQuery,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, GpSsnError> {
+        self.try_query_with_options(q, &QueryOptions::default(), budget)
+    }
+
+    /// Fallible query with explicit options under a resource budget. See
+    /// [`GpSsnEngine::try_query`] for the error/anytime contract.
+    pub fn try_query_with_options(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, GpSsnError> {
+        self.validate_query(q)?;
+        self.validate_radius(q)?;
+        self.check_static_feasibility(q)?;
+        let meter = BudgetState::new(budget);
+
         let start = Instant::now();
         let io = IoCounter::new();
         let mut stats = PruningStats {
@@ -205,7 +243,8 @@ impl<'a> GpSsnEngine<'a> {
         };
 
         let candidates = self.social_phase(q, opts, &io, &mut stats);
-        let (answer, delta) = self.road_phase(q, opts, &candidates, &io, &mut stats);
+        let (answer, delta, completion) =
+            self.road_phase(q, opts, &candidates, &io, &mut stats, &meter);
 
         if opts.collect_stats {
             self.independent_rule_measurement(q, delta, &mut stats);
@@ -214,32 +253,131 @@ impl<'a> GpSsnEngine<'a> {
         }
         stats.candidate_users = candidates.len();
 
-        QueryOutcome {
+        Ok(QueryOutcome {
             answer,
-            metrics: QueryMetrics { cpu: start.elapsed(), io_pages: io.count(), stats },
+            completion,
+            metrics: QueryMetrics {
+                cpu: start.elapsed(),
+                io_pages: io.count(),
+                heap_pops: meter.pops(),
+                groups_enumerated: meter.groups(),
+                dijkstra_settles: meter.settles(),
+                stats,
+            },
+        })
+    }
+
+    /// `Err(InvalidQuery)` / `Err(UnknownUser)` for malformed parameters.
+    fn validate_query(&self, q: &GpSsnQuery) -> Result<(), GpSsnError> {
+        q.validate().map_err(GpSsnError::InvalidQuery)?;
+        let num_users = self.ssn.social().num_users();
+        if q.user as usize >= num_users {
+            return Err(GpSsnError::UnknownUser {
+                user: q.user,
+                num_users,
+            });
         }
+        Ok(())
+    }
+
+    /// `Err(RadiusOutOfIndexRange)` when `r` is outside what `I_R` serves.
+    fn validate_radius(&self, q: &GpSsnQuery) -> Result<(), GpSsnError> {
+        let (r_min, r_max) = (self.cfg.road_index.r_min, self.cfg.road_index.r_max);
+        if !(q.radius >= r_min && q.radius <= r_max) {
+            return Err(GpSsnError::RadiusOutOfIndexRange {
+                radius: q.radius,
+                r_min,
+                r_max,
+            });
+        }
+        Ok(())
+    }
+
+    /// `Err(Infeasible)` for queries provably unanswerable before any
+    /// index work: `τ` beyond the population, or a friendless query user
+    /// with `τ ≥ 2` (a connected group of that size cannot exist).
+    fn check_static_feasibility(&self, q: &GpSsnQuery) -> Result<(), GpSsnError> {
+        let m = self.ssn.social().num_users();
+        if q.tau > m {
+            return Err(GpSsnError::Infeasible {
+                reason: format!(
+                    "group size tau = {} exceeds the user population m = {m}",
+                    q.tau
+                ),
+            });
+        }
+        if q.tau >= 2 && self.ssn.social().graph().neighbors(q.user).is_empty() {
+            return Err(GpSsnError::Infeasible {
+                reason: format!(
+                    "query user {} has no friends, so no connected group of size {} exists",
+                    q.user, q.tau
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Answers a batch of queries in parallel on `threads` OS threads
     /// (the engine is immutable after construction, so queries share the
-    /// indexes freely). Results come back in input order.
+    /// indexes freely). `threads = 0` uses the machine's available
+    /// parallelism, and thread counts beyond the batch size are clamped.
+    /// Results come back in input order. Errors panic per the legacy
+    /// contract; prefer [`GpSsnEngine::try_query_batch`] in serving
+    /// paths.
     pub fn query_batch(&self, queries: &[GpSsnQuery], threads: usize) -> Vec<QueryOutcome> {
-        assert!(threads >= 1, "need at least one thread");
+        self.try_query_batch(queries, threads, &QueryBudget::unlimited())
+            .into_iter()
+            .map(unwrap_outcome)
+            .collect()
+    }
+
+    /// Panic-isolated parallel batch under a shared per-query budget.
+    ///
+    /// Each query is answered as by [`GpSsnEngine::try_query`];
+    /// `threads = 0` means available parallelism and larger counts are
+    /// clamped to the batch size. A panic inside one query is caught at
+    /// that query's boundary and surfaced as [`GpSsnError::Internal`] in
+    /// its slot — the rest of the batch still completes, in input order.
+    pub fn try_query_batch(
+        &self,
+        queries: &[GpSsnQuery],
+        threads: usize,
+        budget: &QueryBudget,
+    ) -> Vec<Result<QueryOutcome, GpSsnError>> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len().max(1));
+        install_panic_capture();
+        let run_one = |q: &GpSsnQuery| -> Result<QueryOutcome, GpSsnError> {
+            LAST_PANIC_MSG.with(|m| m.borrow_mut().take()); // drop stale captures
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.try_query(q, budget)))
+                .unwrap_or_else(|payload| Err(GpSsnError::Internal(panic_message(&payload))))
+        };
         if threads == 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.query(q)).collect();
+            return queries.iter().map(run_one).collect();
         }
         let chunk = queries.len().div_ceil(threads);
-        let mut results: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<QueryOutcome, GpSsnError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let run_one = &run_one;
         std::thread::scope(|scope| {
             for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for (q, r) in qs.iter().zip(rs.iter_mut()) {
-                        *r = Some(self.query(q));
+                        *r = Some(run_one(q));
                     }
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 
     /// Approximate query using the paper's future-work *subset sampling*
@@ -254,7 +392,28 @@ impl<'a> GpSsnEngine<'a> {
         samples_per_center: usize,
         seed: u64,
     ) -> QueryOutcome {
-        q.validate().expect("invalid query parameters");
+        unwrap_outcome(self.try_query_approximate(
+            q,
+            samples_per_center,
+            seed,
+            &QueryBudget::unlimited(),
+        ))
+    }
+
+    /// Fallible [`GpSsnEngine::query_approximate`] under a resource
+    /// budget; same error/anytime contract as [`GpSsnEngine::try_query`]
+    /// (sampled draws count against `max_groups_enumerated`).
+    pub fn try_query_approximate(
+        &self,
+        q: &GpSsnQuery,
+        samples_per_center: usize,
+        seed: u64,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, GpSsnError> {
+        self.validate_query(q)?;
+        self.validate_radius(q)?;
+        self.check_static_feasibility(q)?;
+        let meter = BudgetState::new(budget);
         let start = Instant::now();
         let io = IoCounter::new();
         let opts = QueryOptions::default();
@@ -264,7 +423,8 @@ impl<'a> GpSsnEngine<'a> {
             ..Default::default()
         };
         let candidates = self.social_phase(q, &opts, &io, &mut stats);
-        let mut centers = self.collect_centers(q, &opts, &candidates, &io, &mut stats);
+        let (mut centers, mut outstanding) =
+            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
         centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut best: Option<GpSsnAnswer> = None;
@@ -273,18 +433,42 @@ impl<'a> GpSsnEngine<'a> {
             if lb >= best_val {
                 break;
             }
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
             let filtered = self.filter_candidates_for_center(&candidates, center, best_val);
             if let Some(ans) = crate::sampling::verify_center_sampled(
-                self.ssn, q, &filtered, center, best_val, samples_per_center, &mut rng,
+                self.ssn,
+                q,
+                &filtered,
+                center,
+                best_val,
+                samples_per_center,
+                &mut rng,
+                &meter,
             ) {
                 best_val = ans.maxdist;
                 best = Some(ans);
             }
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
         }
-        QueryOutcome {
+        let completion = completion_of(&meter, best_val, outstanding);
+        Ok(QueryOutcome {
             answer: best,
-            metrics: QueryMetrics { cpu: start.elapsed(), io_pages: io.count(), stats },
-        }
+            completion,
+            metrics: QueryMetrics {
+                cpu: start.elapsed(),
+                io_pages: io.count(),
+                heap_pops: meter.pops(),
+                groups_enumerated: meter.groups(),
+                dijkstra_settles: meter.settles(),
+                stats,
+            },
+        })
     }
 
     /// Top-`k` GP-SSN: the `k` best answers over *distinct candidate
@@ -293,12 +477,39 @@ impl<'a> GpSsnEngine<'a> {
     /// [`GpSsnEngine::query`]'s optimum.
     pub fn query_top_k(&self, q: &GpSsnQuery, k: usize) -> Vec<GpSsnAnswer> {
         assert!(k >= 1, "k must be positive");
-        q.validate().expect("invalid query parameters");
+        match self.try_query_top_k(q, k, &QueryBudget::unlimited()) {
+            Ok(out) => out.answers,
+            Err(GpSsnError::Infeasible { .. }) => Vec::new(),
+            Err(e) => panic_like_legacy(e),
+        }
+    }
+
+    /// Fallible top-`k` under a resource budget. Under truncation the
+    /// returned answers are all verified; [`TopKOutcome::completion`]
+    /// carries the optimality gap of the `k`-th slot
+    /// (`f64::INFINITY` when fewer than `k` answers were verified).
+    pub fn try_query_top_k(
+        &self,
+        q: &GpSsnQuery,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<TopKOutcome, GpSsnError> {
+        if k == 0 {
+            return Err(GpSsnError::InvalidQuery("k must be positive".to_string()));
+        }
+        self.validate_query(q)?;
+        self.validate_radius(q)?;
+        self.check_static_feasibility(q)?;
+        let meter = BudgetState::new(budget);
         let io = IoCounter::new();
-        let opts = QueryOptions { use_delta_pruning: false, ..Default::default() };
+        let opts = QueryOptions {
+            use_delta_pruning: false,
+            ..Default::default()
+        };
         let mut stats = PruningStats::default();
         let candidates = self.social_phase(q, &opts, &io, &mut stats);
-        let mut centers = self.collect_centers(q, &opts, &candidates, &io, &mut stats);
+        let (mut centers, mut outstanding) =
+            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
         centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut best_k: Vec<GpSsnAnswer> = Vec::new();
         for &(lb, center) in &centers {
@@ -310,21 +521,57 @@ impl<'a> GpSsnEngine<'a> {
             if lb >= bound {
                 break;
             }
-            let v = verify_center(self.ssn, q, &candidates, center, bound, self.cfg.enumeration_cap);
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
+            let v = verify_center(
+                self.ssn,
+                q,
+                &candidates,
+                center,
+                bound,
+                self.cfg.enumeration_cap,
+                &meter,
+            );
             if let Some(ans) = v.answer {
-                if !best_k.iter().any(|b| b.users == ans.users && b.pois == ans.pois) {
+                if !best_k
+                    .iter()
+                    .any(|b| b.users == ans.users && b.pois == ans.pois)
+                {
                     best_k.push(ans);
                     best_k.sort_by(|a, b| a.maxdist.partial_cmp(&b.maxdist).unwrap());
                     best_k.truncate(k);
                 }
             }
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
         }
-        best_k
+        let kth_val = if best_k.len() >= k {
+            best_k.last().expect("non-empty").maxdist
+        } else {
+            f64::INFINITY
+        };
+        let completion = match meter.trip() {
+            None => Completion::Exact,
+            Some(_) if outstanding >= kth_val => Completion::Exact,
+            Some(trip) if best_k.is_empty() => Completion::Failed(trip.into()),
+            Some(_) if best_k.len() < k => Completion::TruncatedWithGap(f64::INFINITY),
+            Some(_) => Completion::TruncatedWithGap(kth_val - outstanding),
+        };
+        Ok(TopKOutcome {
+            answers: best_k,
+            completion,
+        })
     }
 
     /// Traversal-only road phase: collects candidate centers with their
     /// lower bounds, without refinement (shared by the approximate and
-    /// top-k paths). δ-cut items are dropped, not deferred.
+    /// top-k paths). δ-cut items are dropped, not deferred. The second
+    /// return value is the smallest lower bound left unexplored when the
+    /// budget tripped mid-traversal (`f64::INFINITY` otherwise).
     fn collect_centers(
         &self,
         q: &GpSsnQuery,
@@ -332,7 +579,8 @@ impl<'a> GpSsnEngine<'a> {
         candidates: &[UserId],
         io: &IoCounter,
         stats: &mut PruningStats,
-    ) -> Vec<(f64, PoiId)> {
+        meter: &BudgetState,
+    ) -> (Vec<(f64, PoiId)>, f64) {
         let idx = &self.road_index;
         let uq_interest = self.ssn.social().interest(q.user);
         let uq_rn = self.social_index.user_rn_dists(q.user);
@@ -349,8 +597,14 @@ impl<'a> GpSsnEngine<'a> {
         let mut heap = MinHeap::new();
         let mut centers = Vec::new();
         let mut delta = f64::INFINITY;
+        let mut outstanding = f64::INFINITY;
         heap.push(0.0, Item::Node(idx.tree().root()));
         while let Some((lb, item)) = heap.pop() {
+            meter.note_pop();
+            if meter.is_tripped() {
+                outstanding = lb;
+                break;
+            }
             if opts.use_delta_pruning && lb > delta {
                 break;
             }
@@ -358,14 +612,23 @@ impl<'a> GpSsnEngine<'a> {
                 Item::Node(n) => {
                     self.touch(io, gpssn_index::io::page_ids::road(n));
                     self.expand_node(
-                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut heap, &mut centers,
-                        &mut delta, stats, false,
+                        q,
+                        opts,
+                        n,
+                        uq_interest,
+                        uq_rn,
+                        &scand_ub,
+                        &mut heap,
+                        &mut centers,
+                        &mut delta,
+                        stats,
+                        false,
                     );
                 }
                 Item::Center(o) => centers.push((lb, o)),
             }
         }
-        centers
+        (centers, outstanding)
     }
 
     // ------------------------------------------------------------------
@@ -434,8 +697,8 @@ impl<'a> GpSsnEngine<'a> {
                         Some(labels) => labels.dist(q.user, u) as usize >= q.tau,
                         None => prune_user_by_social_distance(uq_sn, idx.user_sn_dists(u), q.tau),
                     };
-                let by_interest = opts.use_interest_pruning
-                    && region.prunes_point(self.ssn.social().interest(u));
+                let by_interest =
+                    opts.use_interest_pruning && region.prunes_point(self.ssn.social().interest(u));
                 if by_dist || by_interest {
                     stats.users_pruned_object += 1;
                 } else {
@@ -495,15 +758,18 @@ impl<'a> GpSsnEngine<'a> {
         candidates: &[UserId],
         io: &IoCounter,
         stats: &mut PruningStats,
-    ) -> (Option<GpSsnAnswer>, f64) {
+        meter: &BudgetState,
+    ) -> (Option<GpSsnAnswer>, f64, Completion) {
         let idx = &self.road_index;
         let uq_interest = self.ssn.social().interest(q.user);
         let uq_rn = self.social_index.user_rn_dists(q.user);
 
         // If no feasible user group exists at all (independent of R),
         // every center is infeasible: answer None without touching I_R.
-        if !self.any_feasible_group(q, candidates, stats) {
-            return (None, f64::INFINITY);
+        // `None` means the check itself ran out of budget — proceed; the
+        // traversal below trips on its first pop and degrades cleanly.
+        if self.any_feasible_group(q, candidates, stats, meter) == Some(false) {
+            return (None, f64::INFINITY, Completion::Exact);
         }
 
         // Eq. 16's `max_{u_j ∈ S}` term. The loosest sound choice is the
@@ -537,9 +803,19 @@ impl<'a> GpSsnEngine<'a> {
         let mut deferred: Vec<(f64, Item)> = Vec::new();
         let mut centers: Vec<(f64, PoiId)> = Vec::new();
         let mut delta = f64::INFINITY;
+        // Smallest lower bound left unresolved when the budget trips:
+        // heap pops come out in ascending `lb`, so the lb in hand at the
+        // trip bounds everything still queued; deferred items and
+        // unverified centers fold in separately.
+        let mut outstanding = f64::INFINITY;
         heap.push(0.0, Item::Node(idx.tree().root()));
 
         while let Some((lb, item)) = heap.pop() {
+            meter.note_pop();
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
             if opts.use_delta_pruning && lb > delta {
                 // Paper line 14: everything remaining is δ-cut. Keep for
                 // the exactness fallback; no I/O is spent on them now.
@@ -558,8 +834,17 @@ impl<'a> GpSsnEngine<'a> {
                 Item::Node(n) => {
                     self.touch(io, gpssn_index::io::page_ids::road(n));
                     self.expand_node(
-                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut heap, &mut centers,
-                        &mut delta, stats, true,
+                        q,
+                        opts,
+                        n,
+                        uq_interest,
+                        uq_rn,
+                        &scand_ub,
+                        &mut heap,
+                        &mut centers,
+                        &mut delta,
+                        stats,
+                        true,
                     );
                 }
                 Item::Center(o) => centers.push((lb, o)),
@@ -570,60 +855,116 @@ impl<'a> GpSsnEngine<'a> {
         centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut best: Option<GpSsnAnswer> = None;
         let mut best_val = f64::INFINITY;
+        if meter.is_tripped() {
+            // Traversal was cut short: every collected center is still
+            // unverified, so its lb is outstanding.
+            outstanding = centers.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
+        }
         for &(lb, center) in &centers {
             if lb >= best_val {
                 break;
             }
+            if meter.is_tripped() {
+                outstanding = outstanding.min(lb);
+                break;
+            }
             let filtered = self.filter_candidates_for_center(candidates, center, best_val);
-            let v =
-                verify_center(self.ssn, q, &filtered, center, best_val, self.cfg.enumeration_cap);
+            let v = verify_center(
+                self.ssn,
+                q,
+                &filtered,
+                center,
+                best_val,
+                self.cfg.enumeration_cap,
+                meter,
+            );
             stats.pairs_refined += v.subsets_examined;
             if let Some(ans) = v.answer {
                 best_val = ans.maxdist;
                 best = Some(ans);
             }
+            if meter.is_tripped() {
+                // This center's verification was itself cut short, so it
+                // remains unresolved (centers are sorted, so `lb` also
+                // bounds every center we will now skip).
+                outstanding = outstanding.min(lb);
+                break;
+            }
         }
 
         // Exactness fallback: deferred items that still beat the best.
         deferred.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut fallback = MinHeap::new();
-        for (lb, item) in deferred {
-            if lb < best_val {
-                fallback.push(lb, item);
-            }
-        }
-        while let Some((lb, item)) = fallback.pop() {
-            if lb >= best_val {
-                break;
-            }
-            match item {
-                Item::Node(n) => {
-                    self.touch(io, gpssn_index::io::page_ids::road(n));
-                    let mut local_centers = Vec::new();
-                    self.expand_node(
-                        q, opts, n, uq_interest, uq_rn, &scand_ub, &mut fallback,
-                        &mut local_centers, &mut delta, stats, false,
-                    );
-                    for (clb, c) in local_centers {
-                        fallback.push(clb, Item::Center(c));
-                    }
+        if meter.is_tripped() {
+            // Deferred work never ran; anything cheaper than the best
+            // verified answer is unresolved (folding in resolved items
+            // only widens the reported gap — conservative, never wrong).
+            outstanding = deferred.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
+        } else {
+            let mut fallback = MinHeap::new();
+            for (lb, item) in deferred {
+                if lb < best_val {
+                    fallback.push(lb, item);
                 }
-                Item::Center(center) => {
-                    let filtered = self.filter_candidates_for_center(candidates, center, best_val);
-                    let v = verify_center(
-                        self.ssn, q, &filtered, center, best_val, self.cfg.enumeration_cap,
-                    );
-                    stats.pairs_refined += v.subsets_examined;
-                    if let Some(ans) = v.answer {
-                        best_val = ans.maxdist;
-                        best = Some(ans);
+            }
+            while let Some((lb, item)) = fallback.pop() {
+                if lb >= best_val {
+                    break;
+                }
+                meter.note_pop();
+                if meter.is_tripped() {
+                    outstanding = outstanding.min(lb);
+                    break;
+                }
+                match item {
+                    Item::Node(n) => {
+                        self.touch(io, gpssn_index::io::page_ids::road(n));
+                        let mut local_centers = Vec::new();
+                        self.expand_node(
+                            q,
+                            opts,
+                            n,
+                            uq_interest,
+                            uq_rn,
+                            &scand_ub,
+                            &mut fallback,
+                            &mut local_centers,
+                            &mut delta,
+                            stats,
+                            false,
+                        );
+                        for (clb, c) in local_centers {
+                            fallback.push(clb, Item::Center(c));
+                        }
+                    }
+                    Item::Center(center) => {
+                        let filtered =
+                            self.filter_candidates_for_center(candidates, center, best_val);
+                        let v = verify_center(
+                            self.ssn,
+                            q,
+                            &filtered,
+                            center,
+                            best_val,
+                            self.cfg.enumeration_cap,
+                            meter,
+                        );
+                        stats.pairs_refined += v.subsets_examined;
+                        if let Some(ans) = v.answer {
+                            best_val = ans.maxdist;
+                            best = Some(ans);
+                        }
+                        if meter.is_tripped() {
+                            outstanding = outstanding.min(lb);
+                            break;
+                        }
                     }
                 }
             }
         }
 
         stats.candidate_pois = centers.len();
-        (best, delta)
+        let completion = completion_of(meter, best_val, outstanding);
+        (best, delta, completion)
     }
 
     /// Records an access to index page `page`: a physical read unless the
@@ -632,7 +973,13 @@ impl<'a> GpSsnEngine<'a> {
         match &self.page_cache {
             None => io.touch(),
             Some(pool) => {
-                if !pool.lock().expect("page cache lock").access(page) {
+                // A panic caught by the batch isolation layer may leave
+                // this lock poisoned; the cache tolerates a torn update
+                // (worst case: one page access double-counted), so
+                // recover the inner value rather than cascade a failure
+                // into every later query.
+                let mut pool = pool.lock().unwrap_or_else(|p| p.into_inner());
+                if !pool.access(page) {
                     io.touch();
                 }
             }
@@ -641,20 +988,24 @@ impl<'a> GpSsnEngine<'a> {
 
     /// Whether any connected `τ`-group containing `u_q` with pairwise
     /// interest `>= γ` exists among the candidates (ignores `R`).
+    /// `None` means the check was cut short (budget trip or enumeration
+    /// cap) before either outcome was proven.
     fn any_feasible_group(
         &self,
         q: &GpSsnQuery,
         candidates: &[UserId],
         stats: &mut PruningStats,
-    ) -> bool {
+        meter: &BudgetState,
+    ) -> Option<bool> {
         if candidates.len() < q.tau {
-            return false;
+            return Some(false);
         }
         let mut allowed = vec![false; self.ssn.social().num_users()];
         for &u in candidates {
             allowed[u as usize] = true;
         }
         let mut found = false;
+        let mut complete = true;
         let mut visits = 0u64;
         gpssn_graph::enumerate_connected_subsets(
             self.ssn.social().graph(),
@@ -663,15 +1014,30 @@ impl<'a> GpSsnEngine<'a> {
             Some(&allowed),
             &mut |s| {
                 visits += 1;
+                meter.note_group();
+                if meter.is_tripped() {
+                    complete = false;
+                    return false;
+                }
                 if self.ssn.social().pairwise_interest_holds(s, q.gamma) {
                     found = true;
                     return false;
                 }
-                visits < self.cfg.enumeration_cap as u64
+                if visits >= self.cfg.enumeration_cap as u64 {
+                    complete = false;
+                    return false;
+                }
+                true
             },
         );
         stats.pairs_refined += visits;
-        found
+        if found {
+            Some(true)
+        } else if complete {
+            Some(false)
+        } else {
+            None
+        }
     }
 
     /// Drops candidates whose pivot lower bound to `center` already
@@ -781,7 +1147,11 @@ impl<'a> GpSsnEngine<'a> {
         }
         let uq_rn = self.social_index.user_rn_dists(q.user);
         let uq_interest = social.interest(q.user);
-        let threshold = if delta.is_finite() { delta } else { f64::INFINITY };
+        let threshold = if delta.is_finite() {
+            delta
+        } else {
+            f64::INFINITY
+        };
         for o in 0..self.ssn.pois().len() as PoiId {
             let aug = self.road_index.poi(o);
             if lb_maxdist_poi(uq_rn, &aug.pivot_dists) > threshold {
@@ -790,6 +1160,94 @@ impl<'a> GpSsnEngine<'a> {
                 stats.pois_pruned_by_matching += 1;
             }
         }
+    }
+}
+
+/// Derives the completion state after a (possibly tripped) search.
+///
+/// `best_val` is the best *verified* objective (`f64::INFINITY` when no
+/// answer was verified); `outstanding` is the smallest lower bound left
+/// unresolved by the trip (`f64::INFINITY` when the search space was
+/// exhausted anyway). No trip means the answer is exact; with a trip, an
+/// answer whose value is `<=` every unresolved bound is still provably
+/// optimal, otherwise the answer carries the gap `best_val − outstanding`
+/// (the true optimum lies within it). A trip with nothing verified and
+/// work left unresolved is a failure — there is no anytime answer to
+/// degrade to.
+fn completion_of(meter: &BudgetState, best_val: f64, outstanding: f64) -> Completion {
+    match meter.trip() {
+        None => Completion::Exact,
+        Some(_) if outstanding >= best_val => Completion::Exact,
+        Some(_) if best_val.is_finite() => {
+            Completion::TruncatedWithGap((best_val - outstanding).max(0.0))
+        }
+        Some(trip) => Completion::Failed(trip.into()),
+    }
+}
+
+/// Collapses a `try_` result into the legacy panicking API: infeasible
+/// queries degrade to an exact "no answer" outcome; validation errors
+/// panic with the historical messages.
+fn unwrap_outcome(res: Result<QueryOutcome, GpSsnError>) -> QueryOutcome {
+    match res {
+        Ok(out) => out,
+        Err(GpSsnError::Infeasible { .. }) => QueryOutcome::infeasible(),
+        Err(e) => panic_like_legacy(e),
+    }
+}
+
+/// Panics with the historical message for each error class (so code and
+/// tests written against the panicking API keep their expectations).
+fn panic_like_legacy(e: GpSsnError) -> ! {
+    match e {
+        GpSsnError::InvalidQuery(_) | GpSsnError::UnknownUser { .. } => {
+            panic!("invalid query parameters: {e}")
+        }
+        GpSsnError::RadiusOutOfIndexRange { .. } => {
+            panic!("query radius outside the index's [r_min, r_max] range: {e}")
+        }
+        other => panic!("{other}"),
+    }
+}
+
+std::thread_local! {
+    /// Message of the most recent panic on this thread, captured by the
+    /// process-wide hook installed in [`install_panic_capture`].
+    static LAST_PANIC_MSG: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// message into a thread-local before delegating to the previous hook.
+/// Formatted panics no longer hand `catch_unwind` a `String` payload —
+/// the rendered message only exists inside the hook — so this is the
+/// only reliable way for the batch isolation layer to report *what*
+/// panicked in its [`GpSsnError::Internal`] slots.
+fn install_panic_capture() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = match info.payload_as_str() {
+                Some(s) => s.to_string(),
+                None => info.to_string().replace('\n', "; "),
+            };
+            LAST_PANIC_MSG.with(|m| *m.borrow_mut() = Some(msg));
+            prev(info);
+        }));
+    });
+}
+
+/// Best-effort extraction of a caught panic payload into a string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = LAST_PANIC_MSG.with(|m| m.borrow_mut().take()) {
+        s
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -852,7 +1310,11 @@ mod tests {
         let cfg = EngineConfig {
             num_road_pivots: 3,
             num_social_pivots: 3,
-            social_index: SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+            social_index: SocialIndexConfig {
+                leaf_size: 16,
+                fanout: 4,
+                ..Default::default()
+            },
             ..Default::default()
         };
         GpSsnEngine::build(ssn, cfg)
@@ -862,7 +1324,13 @@ mod tests {
     fn answers_validate_against_definition5() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
         let engine = small_engine(&ssn);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 3.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 3.0,
+        };
         let out = engine.query(&q);
         if let Some(ans) = &out.answer {
             crate::query::check_answer(&ssn, &q, ans).expect("answer must satisfy Definition 5");
@@ -875,7 +1343,13 @@ mod tests {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
         let engine = small_engine(&ssn);
         // gamma = 2.0 is unattainable for unit-norm vectors.
-        let q = GpSsnQuery { user: 0, tau: 3, gamma: 2.0, theta: 0.1, radius: 3.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 3,
+            gamma: 2.0,
+            theta: 0.1,
+            radius: 3.0,
+        };
         assert!(engine.query(&q).answer.is_none());
     }
 
@@ -883,8 +1357,17 @@ mod tests {
     fn stats_collection_populates_counters() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 13);
         let engine = small_engine(&ssn);
-        let q = GpSsnQuery { user: 1, tau: 3, gamma: 0.5, theta: 0.4, radius: 2.0 };
-        let opts = QueryOptions { collect_stats: true, ..Default::default() };
+        let q = GpSsnQuery {
+            user: 1,
+            tau: 3,
+            gamma: 0.5,
+            theta: 0.4,
+            radius: 2.0,
+        };
+        let opts = QueryOptions {
+            collect_stats: true,
+            ..Default::default()
+        };
         let out = engine.query_with_options(&q, &opts);
         let s = &out.metrics.stats;
         assert_eq!(s.users_total, ssn.social().num_users());
@@ -896,7 +1379,13 @@ mod tests {
     fn ablation_modes_produce_same_answer() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.012), 29);
         let engine = small_engine(&ssn);
-        let q = GpSsnQuery { user: 2, tau: 2, gamma: 0.4, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user: 2,
+            tau: 2,
+            gamma: 0.4,
+            theta: 0.3,
+            radius: 2.5,
+        };
         let full = engine.query(&q);
         let no_prune = engine.query_with_options(
             &q,
@@ -911,7 +1400,12 @@ mod tests {
         );
         match (&full.answer, &no_prune.answer) {
             (Some(a), Some(b)) => {
-                assert!((a.maxdist - b.maxdist).abs() < 1e-6, "{} vs {}", a.maxdist, b.maxdist)
+                assert!(
+                    (a.maxdist - b.maxdist).abs() < 1e-6,
+                    "{} vs {}",
+                    a.maxdist,
+                    b.maxdist
+                )
             }
             (None, None) => {}
             other => panic!("pruned and unpruned disagree: {other:?}"),
@@ -923,7 +1417,13 @@ mod tests {
     fn rejects_radius_outside_index_range() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 11);
         let engine = small_engine(&ssn);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 100.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 100.0,
+        };
         engine.query(&q);
     }
 
@@ -932,7 +1432,13 @@ mod tests {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 41);
         let engine = small_engine(&ssn);
         let queries: Vec<GpSsnQuery> = (0..8u32)
-            .map(|u| GpSsnQuery { user: u, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.5 })
+            .map(|u| GpSsnQuery {
+                user: u,
+                tau: 2,
+                gamma: 0.3,
+                theta: 0.3,
+                radius: 2.5,
+            })
             .collect();
         let sequential = engine.query_batch(&queries, 1);
         let parallel = engine.query_batch(&queries, 4);

@@ -14,10 +14,11 @@
 //! extrapolating by the total pair count `C(m, τ)`; we reproduce that in
 //! [`estimate_baseline_cost`].
 
+use crate::error::{BudgetState, GpSsnError, QueryBudget};
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use crate::stats::binomial_f64;
 use gpssn_graph::enumerate_connected_subsets;
-use gpssn_road::{dist_rn_many, NetworkPoint, PoiId};
+use gpssn_road::{dist_rn_many, dist_rn_many_counted, NetworkPoint, PoiId};
 use gpssn_social::UserId;
 use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
 use std::time::Instant;
@@ -29,17 +30,48 @@ use std::time::Instant;
 ///
 /// Complexity is exponential in `τ` — use only on small instances.
 pub fn exact_baseline(ssn: &SpatialSocialNetwork, q: &GpSsnQuery) -> Option<GpSsnAnswer> {
-    q.validate().expect("invalid query parameters");
+    match try_exact_baseline(ssn, q, &QueryBudget::unlimited()) {
+        Ok(ans) => ans,
+        Err(e @ GpSsnError::InvalidQuery(_)) => panic!("invalid query parameters: {e}"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`exact_baseline`] under a resource budget. The Baseline
+/// enumerates in arbitrary (not best-first) order, so there is no sound
+/// anytime gap to report: a budget trip returns the trip's error rather
+/// than a partial answer.
+pub fn try_exact_baseline(
+    ssn: &SpatialSocialNetwork,
+    q: &GpSsnQuery,
+    budget: &QueryBudget,
+) -> Result<Option<GpSsnAnswer>, GpSsnError> {
+    q.validate().map_err(GpSsnError::InvalidQuery)?;
+    let num_users = ssn.social().num_users();
+    if q.user as usize >= num_users {
+        return Err(GpSsnError::UnknownUser {
+            user: q.user,
+            num_users,
+        });
+    }
+    let meter = BudgetState::new(budget);
     // All feasible user groups.
     let mut groups: Vec<Vec<UserId>> = Vec::new();
     enumerate_connected_subsets(ssn.social().graph(), q.user, q.tau, None, &mut |s| {
+        meter.note_group();
+        if meter.is_tripped() {
+            return false;
+        }
         if ssn.social().pairwise_interest_holds(s, q.gamma) {
             groups.push(s.to_vec());
         }
         true
     });
+    if let Some(trip) = meter.trip() {
+        return Err(trip.into());
+    }
     if groups.is_empty() {
-        return None;
+        return Ok(None);
     }
     // All candidate balls.
     let n = ssn.pois().len();
@@ -57,6 +89,10 @@ pub fn exact_baseline(ssn: &SpatialSocialNetwork, q: &GpSsnQuery) -> Option<GpSs
         // Cache per-user costs for this ball.
         let mut cost_cache: std::collections::HashMap<UserId, f64> = Default::default();
         for group in &groups {
+            meter.note_group();
+            if let Some(trip) = meter.trip() {
+                return Err(trip.into());
+            }
             if group
                 .iter()
                 .any(|&u| match_score_keywords(ssn.social().interest(u), &union) < q.theta)
@@ -66,22 +102,30 @@ pub fn exact_baseline(ssn: &SpatialSocialNetwork, q: &GpSsnQuery) -> Option<GpSs
             let mut maxdist = 0.0f64;
             for &u in group {
                 let c = *cost_cache.entry(u).or_insert_with(|| {
-                    dist_rn_many(ssn.road(), &ssn.home(u), &positions)
-                        .into_iter()
-                        .fold(0.0f64, f64::max)
+                    let (dists, settled) =
+                        dist_rn_many_counted(ssn.road(), &ssn.home(u), &positions);
+                    meter.add_settles(settled);
+                    dists.into_iter().fold(0.0f64, f64::max)
                 });
                 maxdist = maxdist.max(c);
+            }
+            if let Some(trip) = meter.trip() {
+                return Err(trip.into());
             }
             if best.as_ref().is_none_or(|b| maxdist < b.maxdist) {
                 let mut users = group.clone();
                 users.sort_unstable();
                 let mut pois = r_ids.clone();
                 pois.sort_unstable();
-                best = Some(GpSsnAnswer { users, pois, maxdist });
+                best = Some(GpSsnAnswer {
+                    users,
+                    pois,
+                    maxdist,
+                });
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// Exhaustive top-`k`: the best feasible answer of every candidate
@@ -136,7 +180,11 @@ pub fn exact_baseline_top_k(
                 users.sort_unstable();
                 let mut pois = r_ids.clone();
                 pois.sort_unstable();
-                best_here = Some(GpSsnAnswer { users, pois, maxdist });
+                best_here = Some(GpSsnAnswer {
+                    users,
+                    pois,
+                    maxdist,
+                });
             }
         }
         if let Some(a) = best_here {
@@ -210,7 +258,11 @@ pub fn estimate_baseline_cost(
     });
     std::hint::black_box(sink);
     let elapsed = started.elapsed().as_secs_f64();
-    let per_pair = if sampled == 0 { 0.0 } else { elapsed / sampled as f64 };
+    let per_pair = if sampled == 0 {
+        0.0
+    } else {
+        elapsed / sampled as f64
+    };
     // Each pair scans the POI stream once: page accesses ~ n / capacity.
     let pages_per_pair = (n as f64 / 32.0).max(1.0);
     BaselineEstimate {
@@ -230,7 +282,13 @@ mod tests {
     #[test]
     fn exact_baseline_answers_validate() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 23);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.2, radius: 3.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.2,
+            radius: 3.0,
+        };
         if let Some(ans) = exact_baseline(&ssn, &q) {
             check_answer(&ssn, &q, &ans).expect("baseline answer satisfies Definition 5");
         }
@@ -239,14 +297,26 @@ mod tests {
     #[test]
     fn baseline_none_when_gamma_unattainable() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 23);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 5.0, theta: 0.2, radius: 3.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 5.0,
+            theta: 0.2,
+            radius: 3.0,
+        };
         assert!(exact_baseline(&ssn, &q).is_none());
     }
 
     #[test]
     fn estimate_scales_with_binomial() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 7);
-        let q = GpSsnQuery { user: 0, tau: 3, gamma: 0.2, theta: 0.2, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 3,
+            gamma: 0.2,
+            theta: 0.2,
+            radius: 2.0,
+        };
         let est = estimate_baseline_cost(&ssn, &q, 20);
         assert!(est.samples > 0);
         assert_eq!(est.total_pairs, binomial_f64(ssn.social().num_users(), 3));

@@ -20,9 +20,13 @@
 //!   paper's 100-sample extrapolated cost estimate (large inputs).
 //! * [`stats`] — pruning-power counters and query metrics feeding the
 //!   experiment harness (Figures 7–11).
+//! * [`error`] — the typed error hierarchy ([`GpSsnError`]), resource
+//!   budgets with deadlines ([`QueryBudget`]), and the anytime-completion
+//!   taxonomy ([`Completion`]) behind the engine's `try_*` serving API.
 
 pub mod algorithm;
 pub mod baseline;
+pub mod error;
 pub mod pruning;
 pub mod query;
 pub mod refinement;
@@ -31,8 +35,12 @@ pub mod stats;
 pub mod tuning;
 
 pub use algorithm::{EngineConfig, GpSsnEngine};
-pub use sampling::{sample_connected_group, verify_center_sampled};
-pub use baseline::{estimate_baseline_cost, exact_baseline, exact_baseline_top_k, BaselineEstimate};
+pub use baseline::{
+    estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
+    BaselineEstimate,
+};
+pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};
-pub use stats::{PruningStats, QueryMetrics, QueryOutcome};
+pub use sampling::{sample_connected_group, verify_center_sampled};
+pub use stats::{PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

@@ -22,5 +22,7 @@ pub mod user;
 
 pub use matching::{lb_match_score_node, ub_match_score_keywords, ub_match_score_signature};
 pub use road_distance::{lb_maxdist_node, lb_maxdist_poi, ub_maxdist_node, ub_maxdist_poi};
-pub use social_distance::{lb_dist_sn_node, prune_node_by_social_distance, prune_user_by_social_distance};
+pub use social_distance::{
+    lb_dist_sn_node, prune_node_by_social_distance, prune_user_by_social_distance,
+};
 pub use user::{corollary2_filter, PruningRegion};

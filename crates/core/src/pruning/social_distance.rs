@@ -12,7 +12,11 @@
 /// per-pivot hop vectors.
 pub fn lb_dist_sn_users(a: &[u32], b: &[u32]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(&x, &y)| x.abs_diff(y)).max().unwrap_or(0)
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x.abs_diff(y))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Lemma 4: prune user `u_k` when `lb_dist_SN(u_k, u_q) >= τ`.
@@ -30,7 +34,9 @@ pub fn lb_dist_sn_node(uq_dists: &[u32], lb_sn: &[u32], ub_sn: &[u32]) -> u32 {
         let d = uq_dists[k];
         let bound = if d < lb_sn[k] {
             lb_sn[k] - d
-        } else { d.saturating_sub(ub_sn[k]) };
+        } else {
+            d.saturating_sub(ub_sn[k])
+        };
         best = best.max(bound);
     }
     best

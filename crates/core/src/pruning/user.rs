@@ -57,7 +57,14 @@ impl PruningRegion {
         }
         let scale = (2.0 * gamma - n) / n;
         let b_prime: Vec<f64> = a.iter().map(|x| x * scale).collect();
-        PruningRegion { b: a.clone(), b_prime, case1: gamma <= n, anchor: a, gamma, zero_anchor: false }
+        PruningRegion {
+            b: a.clone(),
+            b_prime,
+            case1: gamma <= n,
+            anchor: a,
+            gamma,
+            zero_anchor: false,
+        }
     }
 
     /// Whether interest vector `x` falls in the pruning region
@@ -101,7 +108,12 @@ impl PruningRegion {
         if self.zero_anchor {
             return self.gamma > 0.0;
         }
-        let best: f64 = self.anchor.iter().zip(ub_w.iter()).map(|(a, u)| a * u).sum();
+        let best: f64 = self
+            .anchor
+            .iter()
+            .zip(ub_w.iter())
+            .map(|(a, u)| a * u)
+            .sum();
         best < self.gamma
     }
 
@@ -158,7 +170,12 @@ pub fn corollary2_filter(
         let before = alive.len();
         let counts: Vec<usize> = alive
             .iter()
-            .map(|&u| alive.iter().filter(|&&v| v != u && score(u, v) >= gamma).count())
+            .map(|&u| {
+                alive
+                    .iter()
+                    .filter(|&&v| v != u && score(u, v) >= gamma)
+                    .count()
+            })
             .collect();
         let survivors: Vec<UserId> = alive
             .iter()

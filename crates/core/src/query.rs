@@ -28,7 +28,13 @@ impl GpSsnQuery {
     /// lost in the extended abstract's extraction — we pick the values
     /// that keep the default workload feasible, see EXPERIMENTS.md).
     pub fn with_defaults(user: UserId) -> Self {
-        GpSsnQuery { user, tau: 5, gamma: 0.3, theta: 0.5, radius: 2.0 }
+        GpSsnQuery {
+            user,
+            tau: 5,
+            gamma: 0.3,
+            theta: 0.5,
+            radius: 2.0,
+        }
     }
 
     /// Sanity-checks the parameters.
@@ -69,7 +75,11 @@ pub fn check_answer(
     q: &GpSsnQuery,
     answer: &GpSsnAnswer,
 ) -> Result<(), String> {
-    let GpSsnAnswer { users, pois, maxdist } = answer;
+    let GpSsnAnswer {
+        users,
+        pois,
+        maxdist,
+    } = answer;
     // (1) u_q ∈ S and |S| = τ.
     if !users.contains(&q.user) {
         return Err("query user not in S".into());
@@ -120,7 +130,11 @@ mod tests {
     use gpssn_spatial::Point;
 
     fn tiny() -> SpatialSocialNetwork {
-        let locs = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(4.0, 0.0)];
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(4.0, 0.0),
+        ];
         let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2)]);
         let pois = PoiSet::new(
             &road,
@@ -166,53 +180,113 @@ mod tests {
     #[test]
     fn accepts_a_correct_answer() {
         let ssn = tiny();
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.9, theta: 0.5, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.9,
+            theta: 0.5,
+            radius: 2.0,
+        };
         // S = {0,1}: friends, score 0.48+0.48 = 0.96 >= 0.9.
         // R = {0,1}: dist = 1.5 <= 4. Matching: u0 covers {0,1} -> 1.4.
         let users = vec![0, 1];
         let pois = vec![0, 1];
         let maxdist = ssn.maxdist_rn(&users, &pois);
-        let ans = GpSsnAnswer { users, pois, maxdist };
+        let ans = GpSsnAnswer {
+            users,
+            pois,
+            maxdist,
+        };
         assert_eq!(check_answer(&ssn, &q, &ans), Ok(()));
     }
 
     #[test]
     fn rejects_wrong_size_disconnected_and_low_scores() {
         let ssn = tiny();
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.9, theta: 0.5, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.9,
+            theta: 0.5,
+            radius: 2.0,
+        };
         let md = |u: &Vec<u32>, p: &Vec<u32>| ssn.maxdist_rn(u, p);
 
         // Missing query user.
-        let ans = GpSsnAnswer { users: vec![1, 2], pois: vec![0], maxdist: md(&vec![1, 2], &vec![0]) };
-        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("query user"));
+        let ans = GpSsnAnswer {
+            users: vec![1, 2],
+            pois: vec![0],
+            maxdist: md(&vec![1, 2], &vec![0]),
+        };
+        assert!(check_answer(&ssn, &q, &ans)
+            .unwrap_err()
+            .contains("query user"));
 
         // Wrong size.
-        let ans = GpSsnAnswer { users: vec![0], pois: vec![0], maxdist: md(&vec![0], &vec![0]) };
+        let ans = GpSsnAnswer {
+            users: vec![0],
+            pois: vec![0],
+            maxdist: md(&vec![0], &vec![0]),
+        };
         assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("|S|"));
 
         // Disconnected: 0 and 2 are not adjacent.
-        let ans =
-            GpSsnAnswer { users: vec![0, 2], pois: vec![0], maxdist: md(&vec![0, 2], &vec![0]) };
-        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("connected"));
+        let ans = GpSsnAnswer {
+            users: vec![0, 2],
+            pois: vec![0],
+            maxdist: md(&vec![0, 2], &vec![0]),
+        };
+        assert!(check_answer(&ssn, &q, &ans)
+            .unwrap_err()
+            .contains("connected"));
 
         // Interest too low: score(0,1)=0.96 < gamma=0.99.
-        let strict = GpSsnQuery { gamma: 0.99, ..q.clone() };
-        let ans =
-            GpSsnAnswer { users: vec![0, 1], pois: vec![0, 1], maxdist: md(&vec![0, 1], &vec![0, 1]) };
-        assert!(check_answer(&ssn, &strict, &ans).unwrap_err().contains("interest"));
+        let strict = GpSsnQuery {
+            gamma: 0.99,
+            ..q.clone()
+        };
+        let ans = GpSsnAnswer {
+            users: vec![0, 1],
+            pois: vec![0, 1],
+            maxdist: md(&vec![0, 1], &vec![0, 1]),
+        };
+        assert!(check_answer(&ssn, &strict, &ans)
+            .unwrap_err()
+            .contains("interest"));
 
         // Matching too low: u2=(1.0, 0.0) against R={1} (keyword 1) -> 0.
-        let q3 = GpSsnQuery { user: 2, tau: 2, gamma: 0.0, theta: 0.5, radius: 2.0 };
-        let ans =
-            GpSsnAnswer { users: vec![1, 2], pois: vec![1], maxdist: md(&vec![1, 2], &vec![1]) };
-        assert!(check_answer(&ssn, &q3, &ans).unwrap_err().contains("match score"));
+        let q3 = GpSsnQuery {
+            user: 2,
+            tau: 2,
+            gamma: 0.0,
+            theta: 0.5,
+            radius: 2.0,
+        };
+        let ans = GpSsnAnswer {
+            users: vec![1, 2],
+            pois: vec![1],
+            maxdist: md(&vec![1, 2], &vec![1]),
+        };
+        assert!(check_answer(&ssn, &q3, &ans)
+            .unwrap_err()
+            .contains("match score"));
 
         // Wrong maxdist.
-        let ans = GpSsnAnswer { users: vec![0, 1], pois: vec![0, 1], maxdist: 0.0 };
-        assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("maxdist"));
+        let ans = GpSsnAnswer {
+            users: vec![0, 1],
+            pois: vec![0, 1],
+            maxdist: 0.0,
+        };
+        assert!(check_answer(&ssn, &q, &ans)
+            .unwrap_err()
+            .contains("maxdist"));
 
         // Empty R.
-        let ans = GpSsnAnswer { users: vec![0, 1], pois: vec![], maxdist: 0.0 };
+        let ans = GpSsnAnswer {
+            users: vec![0, 1],
+            pois: vec![],
+            maxdist: 0.0,
+        };
         assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("empty"));
     }
 
@@ -220,11 +294,21 @@ mod tests {
     fn radius_violation_detected() {
         let ssn = tiny();
         // POIs 0 and 1 are 1.5 apart; with r = 0.5, 2r = 1.0 < 1.5.
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 0.5 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.0,
+            theta: 0.0,
+            radius: 0.5,
+        };
         let users = vec![0, 1];
         let pois = vec![0, 1];
         let maxdist = ssn.maxdist_rn(&users, &pois);
-        let ans = GpSsnAnswer { users, pois, maxdist };
+        let ans = GpSsnAnswer {
+            users,
+            pois,
+            maxdist,
+        };
         assert!(check_answer(&ssn, &q, &ans).unwrap_err().contains("2r"));
     }
 }

@@ -17,16 +17,35 @@
 //!    the optimal objective `c_k` exactly (any group with smaller maximum
 //!    cost would fit inside a shorter, infeasible prefix).
 
+use crate::error::BudgetState;
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use gpssn_graph::enumerate_connected_subsets;
-use gpssn_road::{dist_rn_many, NetworkPoint, PoiId};
+use gpssn_road::{dist_rn_many_counted, NetworkPoint, PoiId};
 use gpssn_social::UserId;
 use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
+
+/// Fault-injection points for the panic-isolation tests. Always compiled
+/// (the hot-path cost is one relaxed atomic load per verified center);
+/// disabled unless a test arms them.
+pub mod test_hooks {
+    use std::sync::atomic::AtomicU32;
+
+    /// When set to a user id, [`super::verify_center`] panics on entry
+    /// for queries from that user — simulating a defect deep inside
+    /// refinement. `u32::MAX` (the default) disarms the hook.
+    pub static PANIC_ON_USER: AtomicU32 = AtomicU32::new(u32::MAX);
+}
 
 /// Outcome of verifying one candidate center.
 #[derive(Debug, Clone)]
 pub struct CenterVerification {
-    /// Best feasible answer for this center, if any.
+    /// Best feasible answer for this center, if any. When the budget
+    /// trips mid-verification this holds the best *fully verified* group
+    /// found before the trip (possibly none) — every group a feasibility
+    /// probe returns has had connectivity and pairwise interest checked
+    /// exactly, so it is a valid answer even if the probe's *verdict* was
+    /// cut short. The caller must still treat the center as unresolved
+    /// for gap purposes (a better group may exist at a shorter prefix).
     pub answer: Option<GpSsnAnswer>,
     /// Number of `(S, R)` pairs (connected subsets) examined.
     pub subsets_examined: u64,
@@ -36,6 +55,9 @@ pub struct CenterVerification {
 /// a center whose query-user cost already reaches it cannot improve the
 /// global answer. `enumeration_cap` bounds the subsets examined per
 /// feasibility check (a safety valve; `u32::MAX as usize` disables it).
+/// Dijkstra settles and enumerated subsets are charged to `budget`; once
+/// it trips the verification stops early, reporting the best group it had
+/// fully verified by then (see [`CenterVerification::answer`]).
 pub fn verify_center(
     ssn: &SpatialSocialNetwork,
     q: &GpSsnQuery,
@@ -43,8 +65,15 @@ pub fn verify_center(
     center: PoiId,
     best_so_far: f64,
     enumeration_cap: usize,
+    budget: &BudgetState,
 ) -> CenterVerification {
-    let mut out = CenterVerification { answer: None, subsets_examined: 0 };
+    if q.user == test_hooks::PANIC_ON_USER.load(std::sync::atomic::Ordering::Relaxed) {
+        panic!("test hook: injected refinement fault for user {}", q.user);
+    }
+    let mut out = CenterVerification {
+        answer: None,
+        subsets_examined: 0,
+    };
     let center_pos = ssn.pois().get(center).position;
     let ball = ssn.pois().network_ball(ssn.road(), &center_pos, q.radius);
     if ball.is_empty() {
@@ -60,10 +89,10 @@ pub fn verify_center(
 
     // Exact cost of the query user first — one Dijkstra, cheapest exit.
     let positions: Vec<NetworkPoint> = r_ids.iter().map(|&o| ssn.pois().get(o).position).collect();
-    let cq = dist_rn_many(ssn.road(), &ssn.home(q.user), &positions)
-        .into_iter()
-        .fold(0.0f64, f64::max);
-    if cq >= best_so_far {
+    let (cq_dists, settled) = dist_rn_many_counted(ssn.road(), &ssn.home(q.user), &positions);
+    budget.add_settles(settled);
+    let cq = cq_dists.into_iter().fold(0.0f64, f64::max);
+    if cq >= best_so_far || budget.is_tripped() {
         return out; // any group containing u_q costs at least cq
     }
 
@@ -86,20 +115,26 @@ pub fn verify_center(
     let mut cost_vec = vec![0.0f64; eligible.len()];
     if positions.len() <= eligible.len() {
         for pos in &positions {
-            let col = dist_rn_many(ssn.road(), pos, &homes);
+            let (col, settled) = dist_rn_many_counted(ssn.road(), pos, &homes);
+            budget.add_settles(settled);
+            if budget.is_tripped() {
+                return out;
+            }
             for (c, d) in cost_vec.iter_mut().zip(col) {
                 *c = c.max(d);
             }
         }
     } else {
         for (c, home) in cost_vec.iter_mut().zip(&homes) {
-            *c = dist_rn_many(ssn.road(), home, &positions)
-                .into_iter()
-                .fold(0.0f64, f64::max);
+            let (col, settled) = dist_rn_many_counted(ssn.road(), home, &positions);
+            budget.add_settles(settled);
+            if budget.is_tripped() {
+                return out;
+            }
+            *c = col.into_iter().fold(0.0f64, f64::max);
         }
     }
-    let mut costs: Vec<(UserId, f64)> =
-        eligible.iter().copied().zip(cost_vec).collect();
+    let mut costs: Vec<(UserId, f64)> = eligible.iter().copied().zip(cost_vec).collect();
     costs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     // Only prefixes that beat the incumbent are worth exploring.
     let usable = costs.partition_point(|&(_, c)| c < best_so_far);
@@ -124,6 +159,10 @@ pub fn verify_center(
         let mut visits = 0u64;
         enumerate_connected_subsets(graph, q.user, q.tau, Some(&allowed), &mut |s| {
             visits += 1;
+            budget.note_group();
+            if budget.is_tripped() {
+                return false;
+            }
             if ssn.social().pairwise_interest_holds(s, q.gamma) {
                 found = Some(s.to_vec());
                 return false;
@@ -134,33 +173,63 @@ pub fn verify_center(
         found
     };
 
+    // Every feasibility probe below may be cut short by the budget. A
+    // trip only invalidates the probe's *verdict* (a truncated `None`
+    // proves nothing, so the binary search must never narrow on it); a
+    // group the probe did return was checked exactly before the trip and
+    // stays a valid answer. So: keep the cheapest group seen, and on a
+    // trip stop searching and report it — the caller folds this center's
+    // lower bound into the anytime gap, which keeps the bound sound.
+    let group_maxdist = |g: &[UserId]| -> f64 {
+        g.iter()
+            .map(|&u| costs.iter().find(|&&(v, _)| v == u).unwrap().1)
+            .fold(0.0f64, f64::max)
+    };
+    let mut best_group: Option<(Vec<UserId>, f64)> = None;
+    let consider = |g: Vec<UserId>, best: &mut Option<(Vec<UserId>, f64)>| {
+        let md = group_maxdist(&g);
+        if best.as_ref().is_none_or(|&(_, b)| md < b) {
+            *best = Some((g, md));
+        }
+    };
     let mut lo = q.tau; // smallest prefix that could host a group
     let mut hi = costs.len();
-    if feasible_at(hi, &mut out).is_none() {
-        return out;
+    match feasible_at(hi, &mut out) {
+        Some(g) => consider(g, &mut best_group),
+        None => return out, // infeasible (or truncated before any find)
     }
-    while lo < hi {
+    while lo < hi && !budget.is_tripped() {
         let mid = (lo + hi) / 2;
-        if feasible_at(mid, &mut out).is_some() {
-            hi = mid;
-        } else {
-            lo = mid + 1;
+        match feasible_at(mid, &mut out) {
+            Some(g) => {
+                consider(g, &mut best_group);
+                hi = mid;
+            }
+            None => {
+                if budget.is_tripped() {
+                    break; // verdict truncated: proves nothing
+                }
+                lo = mid + 1;
+            }
         }
     }
-    let group = feasible_at(hi, &mut out).expect("hi is feasible by invariant");
-    // The objective is the cost of the most expensive *needed* member:
-    // the true maxdist of the found group (<= costs[hi-1].1, and no group
-    // with smaller maximum cost fits in a shorter prefix).
-    let maxdist = group.iter().map(|&u| costs.iter().find(|&&(v, _)| v == u).unwrap().1).fold(
-        0.0f64,
-        f64::max,
-    );
-    if maxdist < best_so_far {
-        let mut users = group;
-        users.sort_unstable();
-        let mut pois = r_ids;
-        pois.sort_unstable();
-        out.answer = Some(GpSsnAnswer { users, pois, maxdist });
+    // When the search ran to completion, `hi` is the minimal feasible
+    // prefix and its probe's group (already considered) is optimal: its
+    // maxdist <= costs[hi-1].1, and any cheaper group would fit inside a
+    // shorter, infeasible prefix. On a trip, `best_group` is merely the
+    // best verified so far.
+    if let Some((group, maxdist)) = best_group {
+        if maxdist < best_so_far {
+            let mut users = group;
+            users.sort_unstable();
+            let mut pois = r_ids;
+            pois.sort_unstable();
+            out.answer = Some(GpSsnAnswer {
+                users,
+                pois,
+                maxdist,
+            });
+        }
     }
     out
 }
@@ -176,8 +245,7 @@ mod tests {
     /// Users: 0 at x=0, 1 at x=2, 2 at x=4, 3 at x=8.
     fn fixture() -> SpatialSocialNetwork {
         let locs: Vec<Point> = (0..5).map(|i| Point::new(2.0 * i as f64, 0.0)).collect();
-        let road =
-            RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let pois = PoiSet::new(
             &road,
             vec![
@@ -208,8 +276,22 @@ mod tests {
     fn finds_best_group_for_center() {
         let ssn = fixture();
         // Center POI 0 (x=1), r=2.1: ball = {POI0 (x=1), POI1 (x=3)}.
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.1 };
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.5,
+            theta: 0.5,
+            radius: 2.1,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         let ans = v.answer.expect("feasible");
         assert_eq!(ans.users, vec![0, 1]);
         // c(0)=dist to x=3 -> 3; c(1)=max(1,1)=1 -> maxdist = 3.
@@ -223,8 +305,22 @@ mod tests {
         // Ball around POI 0 with tiny radius: only keyword 0. User 2 has
         // w=(0.9,0.1): match=0.9. All users match keyword 0 well except
         // none fail... use theta high enough to exclude user 1 (0.8).
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.85, radius: 0.5 };
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.0,
+            theta: 0.85,
+            radius: 0.5,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         // Eligible: users 0 (0.9), 2 (0.9), 3 (0.9); group must be
         // connected & contain 0: {0,2}? not adjacent (0-1,1-2) -> no.
         assert!(v.answer.is_none());
@@ -234,25 +330,67 @@ mod tests {
     fn gamma_blocks_incompatible_groups() {
         let ssn = fixture();
         // score(0,1) = 0.72+0.72 = 1.44; gamma above that blocks {0,1}.
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 1.5, theta: 0.0, radius: 2.1 };
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 1.5,
+            theta: 0.0,
+            radius: 2.1,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         assert!(v.answer.is_none());
     }
 
     #[test]
     fn best_so_far_short_circuits() {
         let ssn = fixture();
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.1 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.5,
+            theta: 0.5,
+            radius: 2.1,
+        };
         // Optimal is 3.0; a bound of 2.9 must yield nothing.
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, 2.9, usize::MAX);
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            2.9,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         assert!(v.answer.is_none());
     }
 
     #[test]
     fn tau_one_returns_query_user_alone() {
         let ssn = fixture();
-        let q = GpSsnQuery { user: 1, tau: 1, gamma: 9.9, theta: 0.5, radius: 2.1 };
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 1,
+            tau: 1,
+            gamma: 9.9,
+            theta: 0.5,
+            radius: 2.1,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         let ans = v.answer.expect("singleton group");
         assert_eq!(ans.users, vec![1]);
         assert!((ans.maxdist - 1.0).abs() < 1e-9); // max(dist to x=1, x=3) = 1
@@ -261,16 +399,44 @@ mod tests {
     #[test]
     fn empty_candidates_still_considers_query_user() {
         let ssn = fixture();
-        let q = GpSsnQuery { user: 0, tau: 1, gamma: 0.0, theta: 0.0, radius: 2.1 };
-        let v = verify_center(&ssn, &q, &[], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 1,
+            gamma: 0.0,
+            theta: 0.0,
+            radius: 2.1,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         assert!(v.answer.is_some());
     }
 
     #[test]
     fn infeasible_tau_returns_none() {
         let ssn = fixture();
-        let q = GpSsnQuery { user: 0, tau: 5, gamma: 0.0, theta: 0.0, radius: 2.1 };
-        let v = verify_center(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY, usize::MAX);
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 5,
+            gamma: 0.0,
+            theta: 0.0,
+            radius: 2.1,
+        };
+        let v = verify_center(
+            &ssn,
+            &q,
+            &[0, 1, 2, 3],
+            0,
+            f64::INFINITY,
+            usize::MAX,
+            &BudgetState::unlimited(),
+        );
         assert!(v.answer.is_none());
     }
 }

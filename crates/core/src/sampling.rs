@@ -11,8 +11,9 @@
 //! predicate is still checked exactly) but may be suboptimal or missed —
 //! the classic sampling trade-off, quantified in the ablation benches.
 
+use crate::error::BudgetState;
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use gpssn_road::{dist_rn_many, NetworkPoint, PoiId};
+use gpssn_road::{dist_rn_many_counted, NetworkPoint, PoiId};
 use gpssn_social::UserId;
 use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
 use rand::Rng;
@@ -61,7 +62,12 @@ pub fn sample_connected_group<R: Rng + ?Sized>(
 /// Sampled counterpart of [`crate::refinement::verify_center`]: draws up
 /// to `samples` random connected groups among the `θ`-eligible candidate
 /// users and keeps the best feasible one. Exact in its *checks*,
-/// approximate in its *search*.
+/// approximate in its *search*. Each draw counts against the budget's
+/// group allowance and each cost Dijkstra against its settle allowance;
+/// a trip abandons the center (returning whatever was already verified
+/// stays sound, but we return `None` to keep the anytime gap
+/// conservative — the caller treats the center as unresolved).
+#[allow(clippy::too_many_arguments)]
 pub fn verify_center_sampled<R: Rng + ?Sized>(
     ssn: &SpatialSocialNetwork,
     q: &GpSsnQuery,
@@ -70,6 +76,7 @@ pub fn verify_center_sampled<R: Rng + ?Sized>(
     best_so_far: f64,
     samples: usize,
     rng: &mut R,
+    budget: &BudgetState,
 ) -> Option<GpSsnAnswer> {
     let center_pos = ssn.pois().get(center).position;
     let ball = ssn.pois().network_ball(ssn.road(), &center_pos, q.radius);
@@ -101,18 +108,22 @@ pub fn verify_center_sampled<R: Rng + ?Sized>(
     let mut cost_cache: std::collections::HashMap<UserId, f64> = Default::default();
     let cost = |u: UserId, cache: &mut std::collections::HashMap<UserId, f64>| -> f64 {
         *cache.entry(u).or_insert_with(|| {
-            dist_rn_many(ssn.road(), &ssn.home(u), &positions)
-                .into_iter()
-                .fold(0.0f64, f64::max)
+            let (dists, settled) = dist_rn_many_counted(ssn.road(), &ssn.home(u), &positions);
+            budget.add_settles(settled);
+            dists.into_iter().fold(0.0f64, f64::max)
         })
     };
-    if cost(q.user, &mut cost_cache) >= best_so_far {
+    if cost(q.user, &mut cost_cache) >= best_so_far || budget.is_tripped() {
         return None;
     }
 
     let mut best: Option<GpSsnAnswer> = None;
     let mut best_val = best_so_far;
     for _ in 0..samples {
+        budget.note_group();
+        if budget.is_tripped() {
+            return None;
+        }
         let Some(group) =
             sample_connected_group(ssn.social().graph(), q.user, q.tau, &allowed, rng)
         else {
@@ -121,12 +132,22 @@ pub fn verify_center_sampled<R: Rng + ?Sized>(
         if !ssn.social().pairwise_interest_holds(&group, q.gamma) {
             continue;
         }
-        let maxdist = group.iter().map(|&u| cost(u, &mut cost_cache)).fold(0.0f64, f64::max);
+        let maxdist = group
+            .iter()
+            .map(|&u| cost(u, &mut cost_cache))
+            .fold(0.0f64, f64::max);
+        if budget.is_tripped() {
+            return None;
+        }
         if maxdist < best_val {
             best_val = maxdist;
             let mut pois = r_ids.clone();
             pois.sort_unstable();
-            best = Some(GpSsnAnswer { users: group, pois, maxdist });
+            best = Some(GpSsnAnswer {
+                users: group,
+                pois,
+                maxdist,
+            });
         }
     }
     best
@@ -170,23 +191,39 @@ mod tests {
     #[test]
     fn sampled_answers_are_valid_and_no_better_than_exact() {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.006), 9);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.5,
+        };
         let exact = exact_baseline(&ssn, &q);
         let mut rng = StdRng::seed_from_u64(1);
         let candidates: Vec<u32> = (0..ssn.social().num_users() as u32).collect();
         let mut best: Option<GpSsnAnswer> = None;
         for center in 0..ssn.pois().len() as u32 {
             let bound = best.as_ref().map_or(f64::INFINITY, |b| b.maxdist);
-            if let Some(a) =
-                verify_center_sampled(&ssn, &q, &candidates, center, bound, 20, &mut rng)
-            {
+            if let Some(a) = verify_center_sampled(
+                &ssn,
+                &q,
+                &candidates,
+                center,
+                bound,
+                20,
+                &mut rng,
+                &BudgetState::unlimited(),
+            ) {
                 best = Some(a);
             }
         }
         if let Some(ans) = &best {
             check_answer(&ssn, &q, ans).expect("sampled answer violates Definition 5");
             if let Some(e) = &exact {
-                assert!(ans.maxdist + 1e-9 >= e.maxdist, "sampling beat the exact optimum");
+                assert!(
+                    ans.maxdist + 1e-9 >= e.maxdist,
+                    "sampling beat the exact optimum"
+                );
             }
         }
     }

@@ -3,6 +3,7 @@
 //! These counters feed the experiment harness directly: Figure 7 reports
 //! pruning powers, Figures 8–11 report CPU time and I/O cost.
 
+use crate::error::Completion;
 use crate::query::GpSsnAnswer;
 use std::time::Duration;
 
@@ -53,7 +54,10 @@ impl PruningStats {
     /// Fig. 7a: social object-level pruning power (relative to index
     /// survivors).
     pub fn social_object_power(&self) -> f64 {
-        ratio(self.users_pruned_object, self.users_total - self.users_pruned_index)
+        ratio(
+            self.users_pruned_object,
+            self.users_total - self.users_pruned_index,
+        )
     }
 
     /// Fig. 7a: road index-level pruning power.
@@ -64,7 +68,10 @@ impl PruningStats {
     /// Fig. 7a: road object-level pruning power (relative to index
     /// survivors).
     pub fn road_object_power(&self) -> f64 {
-        ratio(self.pois_pruned_object, self.pois_total - self.pois_pruned_index)
+        ratio(
+            self.pois_pruned_object,
+            self.pois_total - self.pois_pruned_index,
+        )
     }
 
     /// Fig. 7b: social-distance pruning power over all users.
@@ -74,7 +81,10 @@ impl PruningStats {
 
     /// Fig. 7b: interest-score pruning power over distance survivors.
     pub fn interest_power(&self) -> f64 {
-        ratio(self.users_pruned_by_interest, self.users_total - self.users_pruned_by_distance)
+        ratio(
+            self.users_pruned_by_interest,
+            self.users_total - self.users_pruned_by_distance,
+        )
     }
 
     /// Fig. 7c: road-distance pruning power over all POIs.
@@ -84,7 +94,10 @@ impl PruningStats {
 
     /// Fig. 7c: matching-score pruning power over distance survivors.
     pub fn matching_power(&self) -> f64 {
-        ratio(self.pois_pruned_by_matching, self.pois_total - self.pois_pruned_by_distance)
+        ratio(
+            self.pois_pruned_by_matching,
+            self.pois_total - self.pois_pruned_by_distance,
+        )
     }
 
     /// Fig. 7d: overall pruning power of user–POI group pairs.
@@ -111,6 +124,15 @@ pub struct QueryMetrics {
     pub cpu: Duration,
     /// Page accesses (index nodes touched).
     pub io_pages: u64,
+    /// Best-first heap pops performed (the unit of
+    /// [`crate::QueryBudget::max_heap_pops`]).
+    pub heap_pops: u64,
+    /// Connected user subsets enumerated (the unit of
+    /// [`crate::QueryBudget::max_groups_enumerated`]).
+    pub groups_enumerated: u64,
+    /// Vertices settled by refinement-time Dijkstra runs (the unit of
+    /// [`crate::QueryBudget::max_dijkstra_settles`]).
+    pub dijkstra_settles: u64,
     /// Pruning counters.
     pub stats: PruningStats,
 }
@@ -118,11 +140,40 @@ pub struct QueryMetrics {
 /// The result of running a GP-SSN query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// The optimal answer, or `None` when no group/POI pair satisfies the
-    /// predicates.
+    /// The best verified answer — the optimum when
+    /// [`QueryOutcome::completion`] is [`Completion::Exact`], otherwise
+    /// the best found before the budget tripped. `None` when no feasible
+    /// pair exists (exact) or none was verified in time (truncated).
     pub answer: Option<GpSsnAnswer>,
+    /// How the search terminated (exact, truncated with an optimality-gap
+    /// bound, or failed on a budget with nothing to show).
+    pub completion: Completion,
     /// Measured metrics.
     pub metrics: QueryMetrics,
+}
+
+impl QueryOutcome {
+    /// The outcome of a query proven infeasible before any index work:
+    /// an exact "no answer" with empty metrics.
+    pub fn infeasible() -> Self {
+        QueryOutcome {
+            answer: None,
+            completion: Completion::Exact,
+            metrics: Default::default(),
+        }
+    }
+}
+
+/// The result of a top-`k` query under a budget.
+#[derive(Debug, Clone)]
+pub struct TopKOutcome {
+    /// Up to `k` answers over distinct candidate centers, ascending
+    /// `maxdist`.
+    pub answers: Vec<GpSsnAnswer>,
+    /// [`Completion::Exact`] when the list is the true top-`k`; under
+    /// truncation with fewer than `k` answers the gap is
+    /// `f64::INFINITY`.
+    pub completion: Completion,
 }
 
 /// `C(n, k)` in `f64` (saturating to `f64::INFINITY` for huge values) —

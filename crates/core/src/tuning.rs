@@ -38,7 +38,12 @@ pub struct TunedParameters {
 /// `γ` as the `percentile`-th percentile of sampled pairwise interest
 /// scores (`percentile` in `[0, 1]`; e.g. `0.7` keeps the top 30% most
 /// compatible pairs eligible).
-pub fn suggest_gamma(ssn: &SpatialSocialNetwork, percentile: f64, samples: usize, seed: u64) -> f64 {
+pub fn suggest_gamma(
+    ssn: &SpatialSocialNetwork,
+    percentile: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
     let m = ssn.social().num_users();
     assert!(m >= 2, "need at least two users");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -136,7 +141,13 @@ impl TunedParameters {
     /// Materializes a query for `user` with the tuned thresholds and a
     /// user-specified group size `τ`.
     pub fn query(&self, user: UserId, tau: usize) -> GpSsnQuery {
-        GpSsnQuery { user, tau, gamma: self.gamma, theta: self.theta, radius: self.radius }
+        GpSsnQuery {
+            user,
+            tau,
+            gamma: self.gamma,
+            theta: self.theta,
+            radius: self.radius,
+        }
     }
 }
 
@@ -219,6 +230,9 @@ mod tests {
     #[test]
     fn tuning_is_deterministic_under_seed() {
         let ssn = fixture();
-        assert_eq!(suggest_gamma(&ssn, 0.5, 300, 9), suggest_gamma(&ssn, 0.5, 300, 9));
+        assert_eq!(
+            suggest_gamma(&ssn, 0.5, 300, 9),
+            suggest_gamma(&ssn, 0.5, 300, 9)
+        );
     }
 }

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn bounded_zero_is_source_only() {
         let d = bounded_hops(&path5(), 2, 0);
-        assert_eq!(d, vec![UNREACHABLE, UNREACHABLE, 0, UNREACHABLE, UNREACHABLE]);
+        assert_eq!(
+            d,
+            vec![UNREACHABLE, UNREACHABLE, 0, UNREACHABLE, UNREACHABLE]
+        );
     }
 
     #[test]

@@ -49,9 +49,15 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, f64)]) -> Self {
         let mut degree = vec![0u32; n];
         for &(u, v, w) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             assert!(u != v, "self-loops are not supported");
-            assert!(w.is_finite() && w >= 0.0, "edge weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "edge weights must be finite and non-negative"
+            );
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
@@ -64,17 +70,33 @@ impl CsrGraph {
         }
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut neighbors = vec![
-            Neighbor { node: 0, weight: 0.0, edge: 0 };
+            Neighbor {
+                node: 0,
+                weight: 0.0,
+                edge: 0
+            };
             edges.len() * 2
         ];
         for (i, &(u, v, w)) in edges.iter().enumerate() {
             let e = i as EdgeId;
-            neighbors[cursor[u as usize] as usize] = Neighbor { node: v, weight: w, edge: e };
+            neighbors[cursor[u as usize] as usize] = Neighbor {
+                node: v,
+                weight: w,
+                edge: e,
+            };
             cursor[u as usize] += 1;
-            neighbors[cursor[v as usize] as usize] = Neighbor { node: u, weight: w, edge: e };
+            neighbors[cursor[v as usize] as usize] = Neighbor {
+                node: u,
+                weight: w,
+                edge: e,
+            };
             cursor[v as usize] += 1;
         }
-        CsrGraph { offsets, neighbors, edges: edges.to_vec() }
+        CsrGraph {
+            offsets,
+            neighbors,
+            edges: edges.to_vec(),
+        }
     }
 
     /// Number of vertices.
@@ -126,7 +148,11 @@ impl CsrGraph {
     /// Whether the vertices `u` and `v` are adjacent.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Scan the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).iter().any(|nb| nb.node == b)
     }
 
@@ -157,8 +183,14 @@ mod tests {
     fn neighbors_are_symmetric() {
         let g = triangle();
         for (u, v, w) in g.edges() {
-            assert!(g.neighbors(u).iter().any(|nb| nb.node == v && nb.weight == w));
-            assert!(g.neighbors(v).iter().any(|nb| nb.node == u && nb.weight == w));
+            assert!(g
+                .neighbors(u)
+                .iter()
+                .any(|nb| nb.node == v && nb.weight == w));
+            assert!(g
+                .neighbors(v)
+                .iter()
+                .any(|nb| nb.node == u && nb.weight == w));
         }
     }
 

@@ -55,6 +55,17 @@ pub fn dijkstra_targets(
     run(graph, seeds, INFINITY, Some(targets)).0
 }
 
+/// Like [`dijkstra_targets`], but also reports how many vertices the
+/// search settled — the unit in which query budgets meter Dijkstra work.
+pub fn dijkstra_targets_counted(
+    graph: &CsrGraph,
+    seeds: &[(NodeId, f64)],
+    targets: &[NodeId],
+) -> (DistanceMap, u64) {
+    let (dist, settled) = run(graph, seeds, INFINITY, Some(targets));
+    (dist, settled.len() as u64)
+}
+
 fn run(
     graph: &CsrGraph,
     seeds: &[(NodeId, f64)],
@@ -262,7 +273,7 @@ mod tests {
         let (dist, parent) = dijkstra_with_parents(&g, &[(0, 0.0)]);
         let path = extract_path(&parent, 3);
         assert_eq!(path, vec![0, 1, 3]); // length 2.0 beats 0-2-3 (3.5)
-        // Path lengths telescope to the distance map.
+                                         // Path lengths telescope to the distance map.
         let mut acc = 0.0;
         for w in path.windows(2) {
             let (u, v) = (w[0], w[1]);

@@ -22,7 +22,10 @@ const NOT_IN_HEAP: u32 = u32::MAX;
 impl IndexedMinHeap {
     /// Creates a heap able to hold items `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        IndexedMinHeap { heap: Vec::new(), pos: vec![NOT_IN_HEAP; capacity] }
+        IndexedMinHeap {
+            heap: Vec::new(),
+            pos: vec![NOT_IN_HEAP; capacity],
+        }
     }
 
     /// Number of items currently in the heap.

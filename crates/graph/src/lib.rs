@@ -36,7 +36,8 @@ pub use bfs::{bounded_hops, hop_distances};
 pub use components::{connected_components, is_connected_subset};
 pub use csr::{CsrGraph, EdgeId, NodeId};
 pub use dijkstra::{
-    dijkstra_all, dijkstra_bounded, dijkstra_targets, DistanceMap, INFINITY,
+    dijkstra_all, dijkstra_bounded, dijkstra_targets, dijkstra_targets_counted, DistanceMap,
+    INFINITY,
 };
 pub use heap::IndexedMinHeap;
 pub use hop_labels::HopLabels;

@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn partitions_path_graph() {
-        let edges: Vec<_> = (0..9).map(|i| (i as NodeId, i as NodeId + 1, 1.0)).collect();
+        let edges: Vec<_> = (0..9)
+            .map(|i| (i as NodeId, i as NodeId + 1, 1.0))
+            .collect();
         let g = CsrGraph::from_edges(10, &edges);
         let p = partition_graph(&g, 3);
         check_invariants(&g, &p, 3);
@@ -190,7 +192,10 @@ mod tests {
     #[test]
     fn edge_cut_counts_cross_edges() {
         let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (1, 2, 1.0)]);
-        let p = Partitioning { assignment: vec![0, 0, 1, 1], parts: vec![vec![0, 1], vec![2, 3]] };
+        let p = Partitioning {
+            assignment: vec![0, 0, 1, 1],
+            parts: vec![vec![0, 1], vec![2, 3]],
+        };
         assert_eq!(p.edge_cut(&g), 1);
     }
 

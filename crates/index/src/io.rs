@@ -110,7 +110,11 @@ impl PageCache {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "page cache needs capacity");
-        PageCache { capacity, resident: HashMap::with_capacity(capacity + 1), clock: 0 }
+        PageCache {
+            capacity,
+            resident: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+        }
     }
 
     /// Touches `page`: `true` on hit, `false` on miss (page is brought

@@ -25,8 +25,6 @@ pub mod road_index;
 pub mod social_index;
 
 pub use io::IoCounter;
-pub use pivot_select::{
-    select_road_pivots, select_social_pivots, PivotSelectConfig,
-};
+pub use pivot_select::{select_road_pivots, select_social_pivots, PivotSelectConfig};
 pub use road_index::{PoiAugment, RoadIndex, RoadIndexConfig, RoadNodeAugment};
 pub use social_index::{SocialIndex, SocialIndexConfig, SocialNode};

@@ -41,7 +41,13 @@ pub struct PivotSelectConfig {
 
 impl Default for PivotSelectConfig {
     fn default() -> Self {
-        PivotSelectConfig { count: 5, global_iter: 3, swap_iter: 24, sample_pairs: 64, seed: 0x9d17 }
+        PivotSelectConfig {
+            count: 5,
+            global_iter: 3,
+            swap_iter: 24,
+            sample_pairs: 64,
+            seed: 0x9d17,
+        }
     }
 }
 
@@ -161,7 +167,10 @@ mod tests {
     #[test]
     fn selects_requested_number_distinct() {
         let net = grid(6, 6);
-        let cfg = PivotSelectConfig { count: 4, ..Default::default() };
+        let cfg = PivotSelectConfig {
+            count: 4,
+            ..Default::default()
+        };
         let pivots = select_road_pivots(&net, &cfg);
         assert_eq!(pivots.len(), 4);
         let mut dedup = pivots.clone();
@@ -173,8 +182,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let net = grid(5, 5);
-        let cfg = PivotSelectConfig { count: 3, ..Default::default() };
-        assert_eq!(select_road_pivots(&net, &cfg), select_road_pivots(&net, &cfg));
+        let cfg = PivotSelectConfig {
+            count: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            select_road_pivots(&net, &cfg),
+            select_road_pivots(&net, &cfg)
+        );
     }
 
     #[test]
@@ -182,22 +197,29 @@ mod tests {
         // With swaps disabled the result is a random set; the cost model
         // must make the optimized set at least as good on its own sample.
         let net = grid(8, 8);
-        let base_cfg =
-            PivotSelectConfig { count: 3, global_iter: 1, swap_iter: 0, ..Default::default() };
-        let opt_cfg =
-            PivotSelectConfig { count: 3, global_iter: 4, swap_iter: 40, ..Default::default() };
+        let base_cfg = PivotSelectConfig {
+            count: 3,
+            global_iter: 1,
+            swap_iter: 0,
+            ..Default::default()
+        };
+        let opt_cfg = PivotSelectConfig {
+            count: 3,
+            global_iter: 4,
+            swap_iter: 40,
+            ..Default::default()
+        };
         // Evaluate both sets on a common fresh sample of pairs.
         let eval = |pivots: &[NodeId]| -> f64 {
-            let cols: Vec<Vec<f64>> =
-                pivots.iter().map(|&p| dijkstra_all(net.graph(), &[(p, 0.0)])).collect();
+            let cols: Vec<Vec<f64>> = pivots
+                .iter()
+                .map(|&p| dijkstra_all(net.graph(), &[(p, 0.0)]))
+                .collect();
             let mut total = 0.0;
             let n = net.num_vertices();
             for a in (0..n).step_by(5) {
                 for b in (0..n).step_by(7) {
-                    total += cols
-                        .iter()
-                        .map(|c| (c[a] - c[b]).abs())
-                        .fold(0.0, f64::max);
+                    total += cols.iter().map(|c| (c[a] - c[b]).abs()).fold(0.0, f64::max);
                 }
             }
             total
@@ -213,10 +235,18 @@ mod tests {
     #[test]
     fn social_pivots_work_on_disconnected_graphs() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cfg = SocialGenConfig { num_users: 200, ..Default::default() };
+        let cfg = SocialGenConfig {
+            num_users: 200,
+            ..Default::default()
+        };
         let net = generate_social_network(&cfg, &mut rng);
-        let pivots =
-            select_social_pivots(&net, &PivotSelectConfig { count: 3, ..Default::default() });
+        let pivots = select_social_pivots(
+            &net,
+            &PivotSelectConfig {
+                count: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(pivots.len(), 3);
     }
 
@@ -224,6 +254,12 @@ mod tests {
     #[should_panic(expected = "more pivots")]
     fn rejects_too_many_pivots() {
         let net = grid(2, 2);
-        select_road_pivots(&net, &PivotSelectConfig { count: 10, ..Default::default() });
+        select_road_pivots(
+            &net,
+            &PivotSelectConfig {
+                count: 10,
+                ..Default::default()
+            },
+        );
     }
 }

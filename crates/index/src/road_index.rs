@@ -30,7 +30,12 @@ pub struct RoadIndexConfig {
 
 impl Default for RoadIndexConfig {
     fn default() -> Self {
-        RoadIndexConfig { node_capacity: 32, r_min: 0.5, r_max: 4.0, samples_per_node: 3 }
+        RoadIndexConfig {
+            node_capacity: 32,
+            r_min: 0.5,
+            r_max: 4.0,
+            samples_per_node: 3,
+        }
     }
 }
 
@@ -86,7 +91,10 @@ impl RoadIndex {
         pivots: RoadPivots,
         cfg: RoadIndexConfig,
     ) -> Self {
-        assert!(cfg.r_min > 0.0 && cfg.r_max >= cfg.r_min, "invalid radius range");
+        assert!(
+            cfg.r_min > 0.0 && cfg.r_max >= cfg.r_min,
+            "invalid radius range"
+        );
         let n = pois.len();
         let mut poi_aug = Vec::with_capacity(n);
         for id in 0..n as PoiId {
@@ -106,7 +114,13 @@ impl RoadIndex {
             let sup_sig = KeywordSignature::from_keywords(sup_keywords.iter().copied());
             let sub_sig = KeywordSignature::from_keywords(sub_keywords.iter().copied());
             let pivot_dists = pivots.point_dists(road, &center);
-            poi_aug.push(PoiAugment { sup_keywords, sub_keywords, sup_sig, sub_sig, pivot_dists });
+            poi_aug.push(PoiAugment {
+                sup_keywords,
+                sub_keywords,
+                sup_sig,
+                sub_sig,
+                pivot_dists,
+            });
         }
 
         let tree = RStarTree::bulk_build(
@@ -114,7 +128,13 @@ impl RoadIndex {
             (0..n as PoiId).map(|id| (id, pois.location(id))),
         );
         let node_aug = aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node);
-        RoadIndex { tree, poi_aug, node_aug, pivots, cfg }
+        RoadIndex {
+            tree,
+            poi_aug,
+            node_aug,
+            pivots,
+            cfg,
+        }
     }
 
     /// The underlying R\*-tree.
@@ -221,15 +241,17 @@ fn aggregate(
 mod tests {
     use super::*;
     use gpssn_graph::ValueDistribution;
-    use gpssn_road::{
-        generate_pois, generate_road_network, PoiGenConfig, RoadGenConfig,
-    };
+    use gpssn_road::{generate_pois, generate_road_network, PoiGenConfig, RoadGenConfig};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn small_instance() -> (RoadNetwork, PoiSet) {
         let mut rng = StdRng::seed_from_u64(21);
         let road = generate_road_network(
-            &RoadGenConfig { num_vertices: 300, space_size: 30.0, neighbors_per_vertex: 2 },
+            &RoadGenConfig {
+                num_vertices: 300,
+                space_size: 30.0,
+                neighbors_per_vertex: 2,
+            },
             &mut rng,
         );
         let pois = PoiSet::new(
@@ -251,7 +273,15 @@ mod tests {
 
     fn build(road: &RoadNetwork, pois: &PoiSet) -> RoadIndex {
         let pivots = RoadPivots::new(road, vec![0, 50, 100]);
-        RoadIndex::build(road, pois, pivots, RoadIndexConfig { r_max: 3.0, ..Default::default() })
+        RoadIndex::build(
+            road,
+            pois,
+            pivots,
+            RoadIndexConfig {
+                r_max: 3.0,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -262,8 +292,14 @@ mod tests {
             let a = idx.poi(id);
             // A POI is in its own sup and sub balls.
             for &k in &pois.get(id).keywords {
-                assert!(a.sup_keywords.contains(&k), "poi {id} sup misses own keyword {k}");
-                assert!(a.sub_keywords.contains(&k), "poi {id} sub misses own keyword {k}");
+                assert!(
+                    a.sup_keywords.contains(&k),
+                    "poi {id} sup misses own keyword {k}"
+                );
+                assert!(
+                    a.sub_keywords.contains(&k),
+                    "poi {id} sub misses own keyword {k}"
+                );
             }
             // sub ⊆ sup (r_min <= 2*r_max).
             for &k in &a.sub_keywords {
@@ -330,19 +366,30 @@ mod tests {
             &road,
             &pois,
             pivots.clone(),
-            RoadIndexConfig { r_min: 2.0, r_max: 3.0, ..Default::default() },
+            RoadIndexConfig {
+                r_min: 2.0,
+                r_max: 3.0,
+                ..Default::default()
+            },
         );
         let narrow = RoadIndex::build(
             &road,
             &pois,
             pivots,
-            RoadIndexConfig { r_min: 0.2, r_max: 3.0, ..Default::default() },
+            RoadIndexConfig {
+                r_min: 0.2,
+                r_max: 3.0,
+                ..Default::default()
+            },
         );
         let mut narrower_somewhere = false;
         for id in 0..pois.len() as PoiId {
             let w = &wide.poi(id).sub_keywords;
             let n = &narrow.poi(id).sub_keywords;
-            assert!(n.iter().all(|k| w.contains(k)), "narrow sub ⊄ wide sub for poi {id}");
+            assert!(
+                n.iter().all(|k| w.contains(k)),
+                "narrow sub ⊄ wide sub for poi {id}"
+            );
             if n.len() < w.len() {
                 narrower_somewhere = true;
             }
@@ -359,7 +406,11 @@ mod tests {
             &road,
             &pois,
             pivots,
-            RoadIndexConfig { r_min: 2.0, r_max: 1.0, ..Default::default() },
+            RoadIndexConfig {
+                r_min: 2.0,
+                r_max: 1.0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -102,10 +102,21 @@ impl SocialIndex {
         let social = ssn.social();
         let m = social.num_users();
         let hop_saturation = (m + 1) as u32;
-        let saturate =
-            |h: u32| if h == UNREACHABLE_HOPS { hop_saturation } else { h };
+        let saturate = |h: u32| {
+            if h == UNREACHABLE_HOPS {
+                hop_saturation
+            } else {
+                h
+            }
+        };
         let user_sn: Vec<Vec<u32>> = (0..m as UserId)
-            .map(|u| social_pivots.user_dists(u).into_iter().map(saturate).collect())
+            .map(|u| {
+                social_pivots
+                    .user_dists(u)
+                    .into_iter()
+                    .map(saturate)
+                    .collect()
+            })
             .collect();
         let user_rn: Vec<Vec<f64>> = (0..m as UserId)
             .map(|u| road_pivots.point_dists(ssn.road(), &ssn.home(u)))
@@ -168,8 +179,11 @@ impl SocialIndex {
         while current.len() > 1 {
             level += 1;
             // Quotient graph over `current` nodes.
-            let idx_of: std::collections::HashMap<u32, u32> =
-                current.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+            let idx_of: std::collections::HashMap<u32, u32> = current
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, i as u32))
+                .collect();
             let mut qedges: std::collections::HashSet<(GraphNodeId, GraphNodeId)> =
                 Default::default();
             for (a, b, _) in social.graph().edges() {
@@ -186,7 +200,7 @@ impl SocialIndex {
             // instance and would leak into the partition structure.
             let mut qedge_list: Vec<(GraphNodeId, GraphNodeId, f64)> =
                 qedges.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
-            qedge_list.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            qedge_list.sort_by_key(|a| (a.0, a.1));
             let quotient = CsrGraph::from_edges(current.len(), &qedge_list);
             let grouping = partition_graph(&quotient, cfg.fanout);
             let groups: Vec<Vec<u32>> = if grouping.num_parts() < current.len() {
@@ -237,7 +251,14 @@ impl SocialIndex {
             nodes.push(blank(0));
             (nodes.len() - 1) as u32
         });
-        SocialIndex { nodes, root, user_sn, user_rn, social_pivots, hop_saturation }
+        SocialIndex {
+            nodes,
+            root,
+            user_sn,
+            user_rn,
+            social_pivots,
+            hop_saturation,
+        }
     }
 
     /// Builds `I_S`, first selecting `l` social pivots with Algorithm 1.
@@ -324,7 +345,9 @@ fn topic_aware_partition(ssn: &SpatialSocialNetwork, leaf_size: usize) -> Vec<Ve
     let dominant: Vec<usize> = (0..m as UserId)
         .map(|u| {
             let w = social.interest(u);
-            (0..d).max_by(|&a, &b| w.weight(a).partial_cmp(&w.weight(b)).unwrap()).unwrap_or(0)
+            (0..d)
+                .max_by(|&a, &b| w.weight(a).partial_cmp(&w.weight(b)).unwrap())
+                .unwrap_or(0)
         })
         .collect();
     let mut buckets: Vec<Vec<UserId>> = vec![Vec::new(); d];
@@ -337,8 +360,11 @@ fn topic_aware_partition(ssn: &SpatialSocialNetwork, leaf_size: usize) -> Vec<Ve
             continue;
         }
         // Induced subgraph of the bucket (compact ids), then partition.
-        let index_of: std::collections::HashMap<UserId, u32> =
-            bucket.iter().enumerate().map(|(i, &u)| (u, i as u32)).collect();
+        let index_of: std::collections::HashMap<UserId, u32> = bucket
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as u32))
+            .collect();
         let mut edges: Vec<(GraphNodeId, GraphNodeId, f64)> = Vec::new();
         for (a, b, _) in social.graph().edges() {
             if let (Some(&x), Some(&y)) = (index_of.get(&a), index_of.get(&b)) {
@@ -370,7 +396,11 @@ fn topic_aware_partition(ssn: &SpatialSocialNetwork, leaf_size: usize) -> Vec<Ve
 /// table (`u32::MAX` marks "no parent yet").
 fn ancestor_at(nodes: &[SocialNode], parent: &[u32], mut id: u32, level: u32) -> u32 {
     while nodes[id as usize].level < level {
-        debug_assert_ne!(parent[id as usize], u32::MAX, "parent recorded during construction");
+        debug_assert_ne!(
+            parent[id as usize],
+            u32::MAX,
+            "parent recorded during construction"
+        );
         id = parent[id as usize];
     }
     id
@@ -392,7 +422,11 @@ mod tests {
             ssn,
             sp,
             &rp,
-            &SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+            &SocialIndexConfig {
+                leaf_size: 16,
+                fanout: 4,
+                ..Default::default()
+            },
         )
     }
 

@@ -8,7 +8,7 @@
 
 use crate::network::RoadNetwork;
 use crate::poi::NetworkPoint;
-use gpssn_graph::{dijkstra_targets, DistanceMap, NodeId};
+use gpssn_graph::{dijkstra_targets, dijkstra_targets_counted, DistanceMap, NodeId};
 
 /// Exact road-network distance between two on-edge points.
 pub fn dist_rn(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> f64 {
@@ -28,7 +28,33 @@ pub fn dist_rn_many(net: &RoadNetwork, a: &NetworkPoint, targets: &[NetworkPoint
         endpoints.push(v);
     }
     let dist = dijkstra_targets(net.graph(), &a.seeds(net), &endpoints);
-    targets.iter().map(|t| point_dist_from_map(net, &dist, a, t)).collect()
+    targets
+        .iter()
+        .map(|t| point_dist_from_map(net, &dist, a, t))
+        .collect()
+}
+
+/// [`dist_rn_many`] plus the number of vertices the underlying Dijkstra
+/// settled, so callers can charge the work against a resource budget.
+pub fn dist_rn_many_counted(
+    net: &RoadNetwork,
+    a: &NetworkPoint,
+    targets: &[NetworkPoint],
+) -> (Vec<f64>, u64) {
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(targets.len() * 2);
+    for t in targets {
+        let (u, v, _) = net.edge(t.edge);
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    let (dist, settled) = dijkstra_targets_counted(net.graph(), &a.seeds(net), &endpoints);
+    (
+        targets
+            .iter()
+            .map(|t| point_dist_from_map(net, &dist, a, t))
+            .collect(),
+        settled,
+    )
 }
 
 /// Combines a vertex distance map seeded at `a` into the exact distance to
@@ -89,7 +115,10 @@ pub fn shortest_route(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> 
         let end = if via_u <= via_v { bu } else { bv };
         extract_path(&parents, end)
     };
-    Some(Route { length: best, vertices })
+    Some(Route {
+        length: best,
+        vertices,
+    })
 }
 
 #[cfg(test)]
@@ -121,11 +150,12 @@ mod tests {
     #[test]
     fn same_edge_can_go_around_when_shorter() {
         // Long chord edge vs short detour: make edge (0,1) long.
-        let locs = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 0.5)];
-        let net = RoadNetwork::from_weighted_edges(
-            locs,
-            &[(0, 1, 10.0), (0, 2, 5.1), (2, 1, 5.1)],
-        );
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.5),
+        ];
+        let net = RoadNetwork::from_weighted_edges(locs, &[(0, 1, 10.0), (0, 2, 5.1), (2, 1, 5.1)]);
         // Points near the two ends of the long edge: direct = 9.0,
         // around = 0.5 + 5.1 + 5.1 + 0.5 = 11.2 -> direct wins.
         let a = NetworkPoint::new(&net, 0, 0.5);
@@ -208,7 +238,9 @@ mod tests {
         let locs: Vec<Point> = (0..n)
             .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
             .collect();
-        let mut edges: Vec<(u32, u32)> = (1..n).map(|v| (rng.gen_range(0..v) as u32, v as u32)).collect();
+        let mut edges: Vec<(u32, u32)> = (1..n)
+            .map(|v| (rng.gen_range(0..v) as u32, v as u32))
+            .collect();
         for _ in 0..n {
             let u = rng.gen_range(0..n) as u32;
             let v = rng.gen_range(0..n) as u32;

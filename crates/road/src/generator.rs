@@ -35,7 +35,11 @@ pub struct RoadGenConfig {
 
 impl Default for RoadGenConfig {
     fn default() -> Self {
-        RoadGenConfig { num_vertices: 30_000, space_size: 100.0, neighbors_per_vertex: 2 }
+        RoadGenConfig {
+            num_vertices: 30_000,
+            space_size: 100.0,
+            neighbors_per_vertex: 2,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ pub fn generate_road_network<R: Rng + ?Sized>(cfg: &RoadGenConfig, rng: &mut R) 
     let n = cfg.num_vertices;
     let locations: Vec<Point> = (0..n)
         .map(|_| {
-            Point::new(rng.gen_range(0.0..cfg.space_size), rng.gen_range(0.0..cfg.space_size))
+            Point::new(
+                rng.gen_range(0.0..cfg.space_size),
+                rng.gen_range(0.0..cfg.space_size),
+            )
         })
         .collect();
 
@@ -105,7 +112,11 @@ pub fn generate_road_network<R: Rng + ?Sized>(cfg: &RoadGenConfig, rng: &mut R) 
     let mut seen = std::collections::HashSet::new();
     for v in 0..n {
         for u in nearest(v, cfg.neighbors_per_vertex) {
-            let key = if (v as u32) < u { (v as u32, u) } else { (u, v as u32) };
+            let key = if (v as u32) < u {
+                (v as u32, u)
+            } else {
+                (u, v as u32)
+            };
             if seen.insert(key) {
                 edges.push(key);
                 uf.union(v, u as usize);
@@ -135,7 +146,11 @@ pub fn generate_road_network<R: Rng + ?Sized>(cfg: &RoadGenConfig, rng: &mut R) 
                 .into_iter()
                 .find(|&u| uf.find(u as usize) != uf.find(other as usize))
                 .unwrap_or(base);
-            let key = if other < target { (other, target) } else { (target, other) };
+            let key = if other < target {
+                (other, target)
+            } else {
+                (target, other)
+            };
             if seen.insert(key) {
                 edges.push(key);
             }
@@ -205,7 +220,11 @@ pub fn generate_pois<R: Rng + ?Sized>(
     let district_of = |p: &Point| -> u32 {
         district_centers
             .iter()
-            .min_by(|a, b| p.distance_sq(&a.0).partial_cmp(&p.distance_sq(&b.0)).unwrap())
+            .min_by(|a, b| {
+                p.distance_sq(&a.0)
+                    .partial_cmp(&p.distance_sq(&b.0))
+                    .unwrap()
+            })
             .map(|&(_, k)| k)
             .unwrap_or(0)
     };
@@ -243,7 +262,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, v: usize) -> usize {
@@ -277,7 +298,11 @@ mod tests {
     #[test]
     fn generated_network_is_connected() {
         let mut rng = StdRng::seed_from_u64(42);
-        let cfg = RoadGenConfig { num_vertices: 500, space_size: 50.0, neighbors_per_vertex: 2 };
+        let cfg = RoadGenConfig {
+            num_vertices: 500,
+            space_size: 50.0,
+            neighbors_per_vertex: 2,
+        };
         let net = generate_road_network(&cfg, &mut rng);
         assert_eq!(net.num_vertices(), 500);
         let (_, k) = connected_components(net.graph());
@@ -287,20 +312,33 @@ mod tests {
     #[test]
     fn generated_degree_is_roadlike() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = RoadGenConfig { num_vertices: 2000, space_size: 100.0, neighbors_per_vertex: 2 };
+        let cfg = RoadGenConfig {
+            num_vertices: 2000,
+            space_size: 100.0,
+            neighbors_per_vertex: 2,
+        };
         let net = generate_road_network(&cfg, &mut rng);
         let deg = net.average_degree();
-        assert!((1.8..3.5).contains(&deg), "average degree {deg} not road-like");
+        assert!(
+            (1.8..3.5).contains(&deg),
+            "average degree {deg} not road-like"
+        );
     }
 
     #[test]
     fn edges_stay_local() {
         let mut rng = StdRng::seed_from_u64(9);
-        let cfg = RoadGenConfig { num_vertices: 1000, space_size: 100.0, neighbors_per_vertex: 3 };
+        let cfg = RoadGenConfig {
+            num_vertices: 1000,
+            space_size: 100.0,
+            neighbors_per_vertex: 3,
+        };
         let net = generate_road_network(&cfg, &mut rng);
         // kNN edges should be short relative to the space; allow the few
         // component-stitching edges to be longer.
-        let mut lengths: Vec<f64> = (0..net.num_edges() as u32).map(|e| net.edge_length(e)).collect();
+        let mut lengths: Vec<f64> = (0..net.num_edges() as u32)
+            .map(|e| net.edge_length(e))
+            .collect();
         lengths.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = lengths[lengths.len() / 2];
         assert!(median < 10.0, "median edge length {median} too long");
@@ -310,10 +348,18 @@ mod tests {
     fn pois_have_requested_count_and_valid_keywords() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = generate_road_network(
-            &RoadGenConfig { num_vertices: 200, space_size: 20.0, neighbors_per_vertex: 2 },
+            &RoadGenConfig {
+                num_vertices: 200,
+                space_size: 20.0,
+                neighbors_per_vertex: 2,
+            },
             &mut rng,
         );
-        let cfg = PoiGenConfig { num_pois: 300, num_keywords: 5, ..Default::default() };
+        let cfg = PoiGenConfig {
+            num_pois: 300,
+            num_keywords: 5,
+            ..Default::default()
+        };
         let pois = generate_pois(&net, &cfg, &mut rng);
         assert_eq!(pois.len(), 300);
         for p in &pois {
@@ -328,7 +374,11 @@ mod tests {
     fn zipf_pois_skew_keywords() {
         let mut rng = StdRng::seed_from_u64(11);
         let net = generate_road_network(
-            &RoadGenConfig { num_vertices: 200, space_size: 20.0, neighbors_per_vertex: 2 },
+            &RoadGenConfig {
+                num_vertices: 200,
+                space_size: 20.0,
+                neighbors_per_vertex: 2,
+            },
             &mut rng,
         );
         let cfg = PoiGenConfig {
@@ -343,12 +393,19 @@ mod tests {
         for p in &pois {
             counts[p.keywords[0] as usize] += 1;
         }
-        assert!(counts[0] > counts[4], "Zipf keyword skew missing: {counts:?}");
+        assert!(
+            counts[0] > counts[4],
+            "Zipf keyword skew missing: {counts:?}"
+        );
     }
 
     #[test]
     fn generation_is_deterministic_under_seed() {
-        let cfg = RoadGenConfig { num_vertices: 100, space_size: 10.0, neighbors_per_vertex: 2 };
+        let cfg = RoadGenConfig {
+            num_vertices: 100,
+            space_size: 10.0,
+            neighbors_per_vertex: 2,
+        };
         let a = generate_road_network(&cfg, &mut StdRng::seed_from_u64(5));
         let b = generate_road_network(&cfg, &mut StdRng::seed_from_u64(5));
         assert_eq!(a.num_edges(), b.num_edges());

@@ -22,7 +22,10 @@ impl NetworkPoint {
     /// Creates a network point, clamping `offset` into the edge.
     pub fn new(net: &RoadNetwork, edge: EdgeId, offset: f64) -> Self {
         let len = net.edge_length(edge);
-        NetworkPoint { edge, offset: offset.clamp(0.0, len) }
+        NetworkPoint {
+            edge,
+            offset: offset.clamp(0.0, len),
+        }
     }
 
     /// A network point sitting exactly on a vertex: uses any incident
@@ -36,7 +39,10 @@ impl NetworkPoint {
             .expect("cannot place a network point on an isolated vertex");
         let (a, _, len) = net.edge(nb.edge);
         let offset = if a == v { 0.0 } else { len };
-        NetworkPoint { edge: nb.edge, offset }
+        NetworkPoint {
+            edge: nb.edge,
+            offset,
+        }
     }
 
     /// 2-D location of the point (linear interpolation along the edge,
@@ -97,7 +103,11 @@ impl PoiSet {
             32,
             locations.iter().enumerate().map(|(i, &p)| (i as u32, p)),
         );
-        PoiSet { pois, locations, tree }
+        PoiSet {
+            pois,
+            locations,
+            tree,
+        }
     }
 
     /// Number of POIs (`n`).
@@ -139,7 +149,11 @@ impl PoiSet {
     /// POIs within *Euclidean* distance `radius` of `center` — a superset
     /// of any road-network ball of the same radius.
     pub fn euclidean_ball(&self, center: Point, radius: f64) -> Vec<PoiId> {
-        self.tree.within_radius(&center, radius).into_iter().map(|(id, _)| id).collect()
+        self.tree
+            .within_radius(&center, radius)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Exact road-network ball `⊙(center, radius)`: ids of POIs whose
@@ -171,7 +185,11 @@ impl PoiSet {
 
     /// Exact road-network distance between two POIs.
     pub fn poi_distance(&self, net: &RoadNetwork, a: PoiId, b: PoiId) -> f64 {
-        dist_rn(net, &self.pois[a as usize].position, &self.pois[b as usize].position)
+        dist_rn(
+            net,
+            &self.pois[a as usize].position,
+            &self.pois[b as usize].position,
+        )
     }
 
     /// The `k` POIs nearest to `from` by road-network distance, sorted
@@ -198,11 +216,12 @@ impl PoiSet {
         };
         loop {
             let candidates = self.euclidean_ball(origin, radius);
-            let positions: Vec<NetworkPoint> =
-                candidates.iter().map(|&id| self.pois[id as usize].position).collect();
+            let positions: Vec<NetworkPoint> = candidates
+                .iter()
+                .map(|&id| self.pois[id as usize].position)
+                .collect();
             let dists = crate::distance::dist_rn_many(net, from, &positions);
-            let mut verified: Vec<(PoiId, f64)> =
-                candidates.into_iter().zip(dists).collect();
+            let mut verified: Vec<(PoiId, f64)> = candidates.into_iter().zip(dists).collect();
             verified.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             // Safe stop: the k-th verified network distance fits inside
             // the Euclidean ring (nothing outside can be closer).
@@ -237,7 +256,11 @@ mod tests {
 
     fn line_network() -> RoadNetwork {
         // 0 --(2.0)-- 1 --(2.0)-- 2 on a straight line.
-        let locs = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(4.0, 0.0)];
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(4.0, 0.0),
+        ];
         RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2)])
     }
 
@@ -284,9 +307,9 @@ mod tests {
 
     fn sample_set(net: &RoadNetwork) -> PoiSet {
         let pois = vec![
-            Poi::new(NetworkPoint::new(net, 0, 0.5), vec![0]),  // at x=0.5
-            Poi::new(NetworkPoint::new(net, 0, 1.5), vec![1]),  // at x=1.5
-            Poi::new(NetworkPoint::new(net, 1, 1.0), vec![2]),  // at x=3.0
+            Poi::new(NetworkPoint::new(net, 0, 0.5), vec![0]), // at x=0.5
+            Poi::new(NetworkPoint::new(net, 0, 1.5), vec![1]), // at x=1.5
+            Poi::new(NetworkPoint::new(net, 1, 1.0), vec![2]), // at x=3.0
         ];
         PoiSet::new(net, pois)
     }

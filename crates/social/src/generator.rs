@@ -81,7 +81,11 @@ pub fn generate_social_network<R: Rng + ?Sized>(
             if v == u {
                 continue;
             }
-            let key = if u < v { (u as UserId, v as UserId) } else { (v as UserId, u as UserId) };
+            let key = if u < v {
+                (u as UserId, v as UserId)
+            } else {
+                (v as UserId, u as UserId)
+            };
             if seen.insert(key) {
                 edges.push(key);
             }
@@ -140,7 +144,9 @@ pub fn generate_power_law_network<R: Rng + ?Sized>(
     assert!(num_users >= 2 && avg_degree > 0.0);
     // Power-law expected degrees w_i ∝ (i+1)^{-0.5}, scaled to the target
     // mean; edge endpoints sampled ∝ w.
-    let weights: Vec<f64> = (0..num_users).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
+    let weights: Vec<f64> = (0..num_users)
+        .map(|i| 1.0 / ((i + 1) as f64).sqrt())
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(num_users);
     let mut acc = 0.0;
@@ -155,7 +161,11 @@ pub fn generate_power_law_network<R: Rng + ?Sized>(
             Err(i) => i.min(num_users - 1),
         }
     };
-    let cfg = SocialGenConfig { num_users, num_topics, ..Default::default() };
+    let cfg = SocialGenConfig {
+        num_users,
+        num_topics,
+        ..Default::default()
+    };
     let interests = generate_interests(&cfg, rng);
     let buckets = topic_buckets(&interests, num_topics);
     let target_edges = (num_users as f64 * avg_degree / 2.0).round() as usize;
@@ -169,7 +179,11 @@ pub fn generate_power_law_network<R: Rng + ?Sized>(
         if a == b {
             continue;
         }
-        let key = if a < b { (a as UserId, b as UserId) } else { (b as UserId, a as UserId) };
+        let key = if a < b {
+            (a as UserId, b as UserId)
+        } else {
+            (b as UserId, a as UserId)
+        };
         if seen.insert(key) {
             edges.push(key);
         }
@@ -188,15 +202,13 @@ pub fn generate_power_law_network<R: Rng + ?Sized>(
 /// dominant topic score well above `γ = 0.5` while unrelated users score
 /// near 0.1, which reproduces the paper's interest-pruning power
 /// (65%–75% at the default `γ`).
-fn generate_interests<R: Rng + ?Sized>(
-    cfg: &SocialGenConfig,
-    rng: &mut R,
-) -> Vec<InterestVector> {
+fn generate_interests<R: Rng + ?Sized>(cfg: &SocialGenConfig, rng: &mut R) -> Vec<InterestVector> {
     let topic = IndexSampler::new(cfg.distribution, cfg.num_topics);
     (0..cfg.num_users)
         .map(|_| {
-            let mut weights: Vec<f64> =
-                (0..cfg.num_topics).map(|_| rng.gen_range(0.0..0.08)).collect();
+            let mut weights: Vec<f64> = (0..cfg.num_topics)
+                .map(|_| rng.gen_range(0.0..0.08))
+                .collect();
             let dominant = topic.sample(rng);
             weights[dominant] = rng.gen_range(0.75..1.0);
             if cfg.num_topics > 1 {
@@ -224,7 +236,11 @@ mod tests {
     #[test]
     fn synthetic_network_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = SocialGenConfig { num_users: 1000, num_topics: 5, ..Default::default() };
+        let cfg = SocialGenConfig {
+            num_users: 1000,
+            num_topics: 5,
+            ..Default::default()
+        };
         let net = generate_social_network(&cfg, &mut rng);
         assert_eq!(net.num_users(), 1000);
         assert_eq!(net.num_topics(), 5);
@@ -237,7 +253,10 @@ mod tests {
     #[test]
     fn distribution_interests_sum_to_one() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = SocialGenConfig { num_users: 50, ..Default::default() };
+        let cfg = SocialGenConfig {
+            num_users: 50,
+            ..Default::default()
+        };
         let net = generate_social_network(&cfg, &mut rng);
         for u in 0..50u32 {
             let s: f64 = net.interest(u).weights().iter().sum();
@@ -270,7 +289,11 @@ mod tests {
         };
         let net = generate_social_network(&cfg, &mut rng);
         for u in 0..50u32 {
-            assert!(net.interest(u).weights().iter().all(|&w| (0.0..=1.0).contains(&w)));
+            assert!(net
+                .interest(u)
+                .weights()
+                .iter()
+                .all(|&w| (0.0..=1.0).contains(&w)));
         }
     }
 
@@ -290,7 +313,10 @@ mod tests {
         degrees.sort_unstable();
         let max = *degrees.last().unwrap();
         let median = degrees[1000];
-        assert!(max > 4 * median, "max {max} vs median {median}: not heavy-tailed");
+        assert!(
+            max > 4 * median,
+            "max {max} vs median {median}: not heavy-tailed"
+        );
     }
 
     #[test]
@@ -302,7 +328,10 @@ mod tests {
             ..Default::default()
         };
         let zipf = generate_social_network(&cfg, &mut rng);
-        let cfg_uni = SocialGenConfig { num_users: 2000, ..Default::default() };
+        let cfg_uni = SocialGenConfig {
+            num_users: 2000,
+            ..Default::default()
+        };
         let uni = generate_social_network(&cfg_uni, &mut StdRng::seed_from_u64(6));
         assert!(zipf.average_degree() < uni.average_degree());
     }

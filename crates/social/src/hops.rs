@@ -31,7 +31,10 @@ pub fn dist_sn(net: &SocialNetwork, a: UserId, b: UserId) -> u32 {
 
 /// Users within `max_hops` of `source`, in BFS order (includes `source`).
 pub fn users_within(net: &SocialNetwork, source: UserId, max_hops: u32) -> Vec<UserId> {
-    bfs::ball(net.graph(), source, max_hops).into_iter().map(|(u, _)| u).collect()
+    bfs::ball(net.graph(), source, max_hops)
+        .into_iter()
+        .map(|(u, _)| u)
+        .collect()
 }
 
 #[cfg(test)]

@@ -19,7 +19,9 @@ impl InterestVector {
     /// Panics if any weight is outside `[0, 1]` or non-finite.
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(
-            weights.iter().all(|w| w.is_finite() && (0.0..=1.0).contains(w)),
+            weights
+                .iter()
+                .all(|w| w.is_finite() && (0.0..=1.0).contains(w)),
             "interest weights must lie in [0, 1]"
         );
         InterestVector { weights }
@@ -27,7 +29,9 @@ impl InterestVector {
 
     /// The zero vector of dimension `d`.
     pub fn zeros(d: usize) -> Self {
-        InterestVector { weights: vec![0.0; d] }
+        InterestVector {
+            weights: vec![0.0; d],
+        }
     }
 
     /// Dimensionality `d` (number of topics).
@@ -56,7 +60,11 @@ impl InterestVector {
     /// Dot product with another vector of the same dimension.
     pub fn dot(&self, other: &InterestVector) -> f64 {
         debug_assert_eq!(self.dim(), other.dim(), "interest dimension mismatch");
-        self.weights.iter().zip(other.weights.iter()).map(|(a, b)| a * b).sum()
+        self.weights
+            .iter()
+            .zip(other.weights.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Returns a copy scaled to unit Euclidean norm. The zero vector is
@@ -67,7 +75,9 @@ impl InterestVector {
         if n == 0.0 {
             return self.clone();
         }
-        InterestVector { weights: self.weights.iter().map(|w| w / n).collect() }
+        InterestVector {
+            weights: self.weights.iter().map(|w| w / n).collect(),
+        }
     }
 
     /// Returns a copy scaled so weights sum to 1 (a topic distribution).
@@ -77,7 +87,9 @@ impl InterestVector {
         if s == 0.0 {
             return self.clone();
         }
-        InterestVector { weights: self.weights.iter().map(|w| w / s).collect() }
+        InterestVector {
+            weights: self.weights.iter().map(|w| w / s).collect(),
+        }
     }
 }
 

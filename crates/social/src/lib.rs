@@ -23,7 +23,9 @@ pub mod metrics;
 pub mod network;
 pub mod pivots;
 
-pub use generator::{generate_power_law_network, generate_social_network, InterestNormalization, SocialGenConfig};
+pub use generator::{
+    generate_power_law_network, generate_social_network, InterestNormalization, SocialGenConfig,
+};
 pub use hops::UNREACHABLE_HOPS;
 pub use interest::{interest_score, InterestVector};
 pub use metrics::{hamming_distance, jaccard_score};

@@ -31,7 +31,11 @@ impl SocialNetwork {
         let edges: Vec<(NodeId, NodeId, f64)> =
             friendships.iter().map(|&(a, b)| (a, b, 1.0)).collect();
         let graph = CsrGraph::from_edges(interests.len(), &edges);
-        SocialNetwork { graph, interests, num_topics }
+        SocialNetwork {
+            graph,
+            interests,
+            num_topics,
+        }
     }
 
     /// Underlying friendship graph.
@@ -155,7 +159,10 @@ mod tests {
     #[should_panic(expected = "dimension")]
     fn rejects_mixed_dimensions() {
         SocialNetwork::new(
-            vec![InterestVector::new(vec![0.1]), InterestVector::new(vec![0.1, 0.2])],
+            vec![
+                InterestVector::new(vec![0.1]),
+                InterestVector::new(vec![0.1, 0.2]),
+            ],
             &[],
         );
     }

@@ -24,7 +24,10 @@ impl SocialPivots {
     /// Precomputes hop tables for the given pivot users (one BFS each).
     pub fn new(net: &SocialNetwork, pivots: Vec<UserId>) -> Self {
         assert!(!pivots.is_empty(), "at least one pivot is required");
-        let table = pivots.iter().map(|&p| bfs::hop_distances(net.graph(), p)).collect();
+        let table = pivots
+            .iter()
+            .map(|&p| bfs::hop_distances(net.graph(), p))
+            .collect();
         SocialPivots { pivots, table }
     }
 
@@ -55,7 +58,9 @@ impl SocialPivots {
 
     /// Per-pivot distance vector of user `u` (stored in `I_S` leaves).
     pub fn user_dists(&self, u: UserId) -> Vec<u32> {
-        (0..self.pivots.len()).map(|k| self.table[k][u as usize]).collect()
+        (0..self.pivots.len())
+            .map(|k| self.table[k][u as usize])
+            .collect()
     }
 
     /// Triangle-inequality lower bound on `dist_SN(a, b)`:
@@ -68,7 +73,7 @@ impl SocialPivots {
             let db = self.table[k][b as usize];
             match (da == UNREACHABLE_HOPS, db == UNREACHABLE_HOPS) {
                 (false, false) => lb = lb.max(da.abs_diff(db)),
-                (true, true) => {} // pivot sees neither: no information
+                (true, true) => {}            // pivot sees neither: no information
                 _ => return UNREACHABLE_HOPS, // different components
             }
         }

@@ -92,7 +92,10 @@ impl KeywordSignature {
     /// Whether every set bit of `self` is set in `other` (signature-level
     /// subset test).
     pub fn is_subset_of(&self, other: &KeywordSignature) -> bool {
-        self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a & !b == 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether no keyword was inserted (all bits clear).

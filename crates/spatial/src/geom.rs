@@ -39,7 +39,10 @@ impl Point {
 
     /// Linear interpolation between `self` (t=0) and `other` (t=1).
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 }
 
@@ -116,7 +119,10 @@ impl Rect {
 
     /// Center point.
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// Whether `p` lies inside (boundary inclusive).
@@ -168,8 +174,12 @@ impl Rect {
     /// Minimum Euclidean distance between two rectangles (0 if they
     /// intersect). This is `mindist(e_Ri, e_Rj)` of Lemma 7.
     pub fn min_dist_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
 }

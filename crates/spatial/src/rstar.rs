@@ -119,7 +119,11 @@ impl RStarTree {
         assert!(max_entries >= 4, "R*-tree requires capacity >= 4");
         let min_entries = ((max_entries as f64 * 0.4).floor() as usize).max(2);
         RStarTree {
-            nodes: vec![Node { level: 0, parent: None, entries: Vec::new() }],
+            nodes: vec![Node {
+                level: 0,
+                parent: None,
+                entries: Vec::new(),
+            }],
             root: 0,
             max_entries,
             min_entries,
@@ -182,7 +186,10 @@ impl RStarTree {
     }
 
     /// Builds a tree from `(item, point)` pairs by repeated insertion.
-    pub fn bulk_build(max_entries: usize, items: impl IntoIterator<Item = (ItemId, Point)>) -> Self {
+    pub fn bulk_build(
+        max_entries: usize,
+        items: impl IntoIterator<Item = (ItemId, Point)>,
+    ) -> Self {
         let mut tree = RStarTree::new(max_entries);
         for (item, point) in items {
             tree.insert(item, point);
@@ -300,7 +307,8 @@ impl RStarTree {
         };
         let node = &mut self.nodes[leaf as usize];
         let before = node.entries.len();
-        node.entries.retain(|e| !matches!(*e, Entry::Item { item: i, .. } if i == item));
+        node.entries
+            .retain(|e| !matches!(*e, Entry::Item { item: i, .. } if i == item));
         debug_assert_eq!(node.entries.len() + 1, before);
         self.len -= 1;
         self.update_mbrs_upward(leaf);
@@ -433,9 +441,16 @@ impl RStarTree {
                 let id = tree.nodes.len() as NodeId;
                 let entries: Vec<Entry> = chunk
                     .iter()
-                    .map(|&c| Entry::Child { node: c, mbr: tree.node_mbr(c) })
+                    .map(|&c| Entry::Child {
+                        node: c,
+                        mbr: tree.node_mbr(c),
+                    })
                     .collect();
-                tree.nodes.push(Node { level, parent: None, entries });
+                tree.nodes.push(Node {
+                    level,
+                    parent: None,
+                    entries,
+                });
                 for &c in chunk.iter() {
                     tree.nodes[c as usize].parent = Some(id);
                 }
@@ -539,8 +554,14 @@ impl RStarTree {
         let center = self.node_mbr(node).center();
         let mut order: Vec<usize> = (0..self.nodes[node as usize].entries.len()).collect();
         order.sort_by(|&a, &b| {
-            let da = self.nodes[node as usize].entries[a].mbr().center().distance_sq(&center);
-            let db = self.nodes[node as usize].entries[b].mbr().center().distance_sq(&center);
+            let da = self.nodes[node as usize].entries[a]
+                .mbr()
+                .center()
+                .distance_sq(&center);
+            let db = self.nodes[node as usize].entries[b]
+                .mbr()
+                .center()
+                .distance_sq(&center);
             db.partial_cmp(&da).unwrap()
         });
         let p = ((self.nodes[node as usize].entries.len() as f64 * REINSERT_FRACTION).ceil()
@@ -571,7 +592,11 @@ impl RStarTree {
         let (keep, moved) = self.rstar_distribution(node);
         let level = self.nodes[node as usize].level;
         let sibling_id = self.nodes.len() as NodeId;
-        self.nodes.push(Node { level, parent: None, entries: moved });
+        self.nodes.push(Node {
+            level,
+            parent: None,
+            entries: moved,
+        });
         self.nodes[node as usize].entries = keep;
         // Fix parent pointers of moved children.
         let moved_children: Vec<NodeId> = self.nodes[sibling_id as usize]
@@ -589,9 +614,10 @@ impl RStarTree {
         match self.nodes[node as usize].parent {
             Some(parent) => {
                 self.nodes[sibling_id as usize].parent = Some(parent);
-                self.nodes[parent as usize]
-                    .entries
-                    .push(Entry::Child { node: sibling_id, mbr: sibling_mbr });
+                self.nodes[parent as usize].entries.push(Entry::Child {
+                    node: sibling_id,
+                    mbr: sibling_mbr,
+                });
                 self.update_mbrs_upward(node);
                 Some(parent)
             }
@@ -603,8 +629,14 @@ impl RStarTree {
                     level: level + 1,
                     parent: None,
                     entries: vec![
-                        Entry::Child { node, mbr: node_mbr },
-                        Entry::Child { node: sibling_id, mbr: sibling_mbr },
+                        Entry::Child {
+                            node,
+                            mbr: node_mbr,
+                        },
+                        Entry::Child {
+                            node: sibling_id,
+                            mbr: sibling_mbr,
+                        },
                     ],
                 });
                 self.nodes[node as usize].parent = Some(new_root);
@@ -806,7 +838,11 @@ mod tests {
     fn range_query_matches_filter() {
         let (tree, pts) = grid_tree(100);
         let rect = Rect::new(Point::new(2.0, 3.0), Point::new(5.0, 6.0));
-        let mut got: Vec<ItemId> = tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+        let mut got: Vec<ItemId> = tree
+            .range_query(&rect)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         got.sort_unstable();
         let mut expected: Vec<ItemId> = pts
             .iter()
@@ -823,8 +859,11 @@ mod tests {
         let (tree, pts) = grid_tree(100);
         let c = Point::new(4.5, 4.5);
         let r = 2.3;
-        let mut got: Vec<ItemId> =
-            tree.within_radius(&c, r).into_iter().map(|(i, _)| i).collect();
+        let mut got: Vec<ItemId> = tree
+            .within_radius(&c, r)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         got.sort_unstable();
         let mut expected: Vec<ItemId> = pts
             .iter()
@@ -855,8 +894,9 @@ mod tests {
 
     #[test]
     fn bulk_build_equals_inserts() {
-        let items: Vec<(ItemId, Point)> =
-            (0..50).map(|i| (i, Point::new(i as f64, (i * 7 % 13) as f64))).collect();
+        let items: Vec<(ItemId, Point)> = (0..50)
+            .map(|i| (i, Point::new(i as f64, (i * 7 % 13) as f64)))
+            .collect();
         let tree = RStarTree::bulk_build(8, items.clone());
         assert_eq!(tree.len(), 50);
         tree.validate();
@@ -921,7 +961,10 @@ mod tests {
     #[test]
     fn str_bulk_load_is_valid_and_complete() {
         let pts = (0..500).map(|i| {
-            (i as ItemId, Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64))
+            (
+                i as ItemId,
+                Point::new((i * 37 % 101) as f64, (i * 61 % 97) as f64),
+            )
         });
         let tree = RStarTree::str_bulk_load(16, pts);
         assert_eq!(tree.len(), 500);
@@ -939,8 +982,16 @@ mod tests {
         let str_tree = RStarTree::str_bulk_load(16, items.iter().copied());
         let ins_tree = RStarTree::bulk_build(16, items.iter().copied());
         let rect = Rect::new(Point::new(10.0, 10.0), Point::new(40.0, 40.0));
-        let mut a: Vec<ItemId> = str_tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
-        let mut b: Vec<ItemId> = ins_tree.range_query(&rect).into_iter().map(|(i, _)| i).collect();
+        let mut a: Vec<ItemId> = str_tree
+            .range_query(&rect)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let mut b: Vec<ItemId> = ins_tree
+            .range_query(&rect)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

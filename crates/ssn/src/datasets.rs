@@ -51,7 +51,12 @@ impl DatasetKind {
 
     /// All four datasets in the paper's presentation order.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::BriCal, DatasetKind::GowCol, DatasetKind::Uni, DatasetKind::Zipf]
+        [
+            DatasetKind::BriCal,
+            DatasetKind::GowCol,
+            DatasetKind::Uni,
+            DatasetKind::Zipf,
+        ]
     }
 
     /// Builds the dataset at `scale` (1.0 = the paper's full size).
@@ -214,8 +219,12 @@ pub fn build_surrogate(cfg: &SurrogateConfig, seed: u64) -> SpatialSocialNetwork
         ),
     );
     // Heavy-tailed friendship graph at the target average degree.
-    let skeleton =
-        generate_power_law_network(cfg.num_users, cfg.num_topics, cfg.avg_social_degree, &mut rng);
+    let skeleton = generate_power_law_network(
+        cfg.num_users,
+        cfg.num_topics,
+        cfg.avg_social_degree,
+        &mut rng,
+    );
 
     // Simulated check-ins: each user picks an anchor POI and repeatedly
     // visits POIs within `checkin_radius` of it. Interest vectors follow
@@ -223,7 +232,10 @@ pub fn build_surrogate(cfg: &SurrogateConfig, seed: u64) -> SpatialSocialNetwork
     // vertex nearest the check-in centroid.
     let vertex_tree = RStarTree::str_bulk_load(
         32,
-        road.locations().iter().enumerate().map(|(i, &p)| (i as u32, p)),
+        road.locations()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p)),
     );
     let mut interests = Vec::with_capacity(cfg.num_users);
     let mut homes = Vec::with_capacity(cfg.num_users);

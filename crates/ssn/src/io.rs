@@ -34,13 +34,29 @@ pub fn write_ssn<W: Write>(ssn: &SpatialSocialNetwork, w: W) -> io::Result<()> {
     writeln!(w, "pois {}", ssn.pois().len())?;
     for poi in ssn.pois().pois() {
         let ks: Vec<String> = poi.keywords.iter().map(|k| k.to_string()).collect();
-        writeln!(w, "{} {:?} {}", poi.position.edge, poi.position.offset, ks.join(","))?;
+        writeln!(
+            w,
+            "{} {:?} {}",
+            poi.position.edge,
+            poi.position.offset,
+            ks.join(",")
+        )?;
     }
 
     let social = ssn.social();
-    writeln!(w, "users {} topics {}", social.num_users(), social.num_topics())?;
+    writeln!(
+        w,
+        "users {} topics {}",
+        social.num_users(),
+        social.num_topics()
+    )?;
     for u in 0..social.num_users() as u32 {
-        let ws: Vec<String> = social.interest(u).weights().iter().map(|x| format!("{x:?}")).collect();
+        let ws: Vec<String> = social
+            .interest(u)
+            .weights()
+            .iter()
+            .map(|x| format!("{x:?}"))
+            .collect();
         writeln!(w, "{}", ws.join(" "))?;
     }
     writeln!(w, "friendships {}", social.num_friendships())?;
@@ -55,13 +71,25 @@ pub fn write_ssn<W: Write>(ssn: &SpatialSocialNetwork, w: W) -> io::Result<()> {
     w.flush()
 }
 
+/// Upper bound for pre-allocation from untrusted counts: a corrupt
+/// header claiming 10^18 vertices must not abort the process inside
+/// `with_capacity` — the vectors still grow to the real size on demand.
+const MAX_PREALLOC: usize = 1 << 16;
+
 /// Deserializes a spatial-social network from `r`.
+///
+/// Every malformed input — truncation, bad tokens, out-of-range ids,
+/// non-finite floats, inconsistent counts — is reported as an
+/// [`io::ErrorKind::InvalidData`] error. No input reachable through this
+/// function panics: all referential and numeric invariants the in-memory
+/// constructors assert are validated here first.
 pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
     let mut lines = BufReader::new(r).lines();
     let mut next = |what: &str| -> io::Result<String> {
         lines
             .next()
-            .ok_or_else(|| bad(format!("unexpected EOF: expected {what}")))?};
+            .ok_or_else(|| bad(format!("unexpected EOF: expected {what}")))?
+    };
 
     let header = next("header")?;
     if header.trim() != MAGIC {
@@ -69,39 +97,65 @@ pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
     }
 
     let nv: usize = field(&next("road-vertices")?, "road-vertices")?;
-    let mut locations = Vec::with_capacity(nv);
+    let mut locations = Vec::with_capacity(nv.min(MAX_PREALLOC));
     for _ in 0..nv {
         let line = next("vertex")?;
         let mut it = line.split_whitespace();
-        let x = parse_f64(it.next(), "vertex x")?;
-        let y = parse_f64(it.next(), "vertex y")?;
+        let x = parse_finite(it.next(), "vertex x")?;
+        let y = parse_finite(it.next(), "vertex y")?;
         locations.push(Point::new(x, y));
     }
     let ne: usize = field(&next("road-edges")?, "road-edges")?;
-    let mut edges = Vec::with_capacity(ne);
+    let mut edges = Vec::with_capacity(ne.min(MAX_PREALLOC));
     for _ in 0..ne {
         let line = next("edge")?;
         let mut it = line.split_whitespace();
         let u: u32 = parse(it.next(), "edge u")?;
         let v: u32 = parse(it.next(), "edge v")?;
-        let len = parse_f64(it.next(), "edge len")?;
+        let len = parse_finite(it.next(), "edge len")?;
+        if (u as usize) >= nv || (v as usize) >= nv {
+            return Err(bad(format!("edge ({u}, {v}) references a vertex >= {nv}")));
+        }
+        if u == v {
+            return Err(bad(format!("edge ({u}, {v}) is a self-loop")));
+        }
+        if len < 0.0 {
+            return Err(bad(format!("edge ({u}, {v}) has negative length {len}")));
+        }
+        // Euclidean-prefilter invariant: a road segment can never be
+        // shorter than the straight line between its endpoints.
+        let euclid = locations[u as usize].distance(&locations[v as usize]);
+        if len + 1e-9 < euclid {
+            return Err(bad(format!(
+                "edge ({u}, {v}) length {len} shorter than Euclidean distance {euclid}"
+            )));
+        }
         edges.push((u, v, len));
     }
     let road = RoadNetwork::from_weighted_edges(locations, &edges);
+    let num_edges = road.num_edges();
 
     let np: usize = field(&next("pois")?, "pois")?;
-    let mut pois = Vec::with_capacity(np);
+    let mut pois = Vec::with_capacity(np.min(MAX_PREALLOC));
     for _ in 0..np {
         let line = next("poi")?;
         let mut it = line.split_whitespace();
         let edge: u32 = parse(it.next(), "poi edge")?;
-        let offset = parse_f64(it.next(), "poi offset")?;
+        let offset = parse_finite(it.next(), "poi offset")?;
+        if (edge as usize) >= num_edges {
+            return Err(bad(format!(
+                "poi edge {edge} out of range (road has {num_edges} edges)"
+            )));
+        }
         let keywords: Vec<u32> = match it.next() {
             None | Some("") => Vec::new(),
             Some(ks) => ks
                 .split(',')
                 .filter(|s| !s.is_empty())
-                .map(|s| s.parse::<u32>().map_err(|e| bad(format!("poi keyword: {e}"))))
+                .map(|s| {
+                    s.parse::<u32>()
+                        .map_err(|e| bad(format!("poi keyword: {e}")))
+                })
                 .collect::<io::Result<_>>()?,
         };
         pois.push(Poi::new(NetworkPoint::new(&road, edge, offset), keywords));
@@ -114,25 +168,45 @@ pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
     let m: usize = parse(it.next(), "user count")?;
     expect(it.next(), "topics")?;
     let d: usize = parse(it.next(), "topic count")?;
-    let mut interests = Vec::with_capacity(m);
+    let mut interests = Vec::with_capacity(m.min(MAX_PREALLOC));
     for _ in 0..m {
         let line = next("interest vector")?;
         let ws: Vec<f64> = line
             .split_whitespace()
-            .map(|s| s.parse::<f64>().map_err(|e| bad(format!("interest weight: {e}"))))
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|e| bad(format!("interest weight: {e}")))
+            })
             .collect::<io::Result<_>>()?;
         if ws.len() != d {
-            return Err(bad(format!("interest vector has {} weights, expected {d}", ws.len())));
+            return Err(bad(format!(
+                "interest vector has {} weights, expected {d}",
+                ws.len()
+            )));
+        }
+        if let Some(w) = ws
+            .iter()
+            .find(|w| !w.is_finite() || !(0.0..=1.0).contains(*w))
+        {
+            return Err(bad(format!("interest weight {w} outside [0, 1]")));
         }
         interests.push(InterestVector::new(ws));
     }
     let nf: usize = field(&next("friendships")?, "friendships")?;
-    let mut friendships = Vec::with_capacity(nf);
+    let mut friendships = Vec::with_capacity(nf.min(MAX_PREALLOC));
     for _ in 0..nf {
         let line = next("friendship")?;
         let mut it = line.split_whitespace();
         let a: u32 = parse(it.next(), "friendship a")?;
         let b: u32 = parse(it.next(), "friendship b")?;
+        if (a as usize) >= m || (b as usize) >= m {
+            return Err(bad(format!(
+                "friendship ({a}, {b}) references a user >= {m}"
+            )));
+        }
+        if a == b {
+            return Err(bad(format!("friendship ({a}, {b}) is a self-loop")));
+        }
         friendships.push((a, b));
     }
     let social = SocialNetwork::new(interests, &friendships);
@@ -141,12 +215,17 @@ pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
     if nh != m {
         return Err(bad(format!("{nh} homes for {m} users")));
     }
-    let mut homes = Vec::with_capacity(nh);
+    let mut homes = Vec::with_capacity(nh.min(MAX_PREALLOC));
     for _ in 0..nh {
         let line = next("home")?;
         let mut it = line.split_whitespace();
         let edge: u32 = parse(it.next(), "home edge")?;
-        let offset = parse_f64(it.next(), "home offset")?;
+        let offset = parse_finite(it.next(), "home offset")?;
+        if (edge as usize) >= num_edges {
+            return Err(bad(format!(
+                "home edge {edge} out of range (road has {num_edges} edges)"
+            )));
+        }
         homes.push(NetworkPoint::new(&road, edge, offset));
     }
     Ok(SpatialSocialNetwork::new(road, pois, social, homes))
@@ -181,8 +260,15 @@ fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> io::Result<T> {
         .map_err(|_| bad(format!("unparsable {what}")))
 }
 
-fn parse_f64(tok: Option<&str>, what: &str) -> io::Result<f64> {
-    parse(tok, what)
+/// Parses an `f64` and rejects NaN and infinities: a single non-finite
+/// coordinate would otherwise poison every distance downstream (and NaN
+/// heap keys violate the traversal's ordering invariants).
+fn parse_finite(tok: Option<&str>, what: &str) -> io::Result<f64> {
+    let x: f64 = parse(tok, what)?;
+    if !x.is_finite() {
+        return Err(bad(format!("{what} must be finite, got {x}")));
+    }
+    Ok(x)
 }
 
 fn expect(tok: Option<&str>, what: &str) -> io::Result<()> {
@@ -208,7 +294,10 @@ mod tests {
         assert_eq!(back.road().num_edges(), ssn.road().num_edges());
         assert_eq!(back.pois().len(), ssn.pois().len());
         assert_eq!(back.social().num_users(), ssn.social().num_users());
-        assert_eq!(back.social().num_friendships(), ssn.social().num_friendships());
+        assert_eq!(
+            back.social().num_friendships(),
+            ssn.social().num_friendships()
+        );
         // Exact float round-trip via {:?}.
         for v in 0..ssn.road().num_vertices() as u32 {
             assert_eq!(back.road().location(v), ssn.road().location(v));
@@ -238,6 +327,144 @@ mod tests {
         write_ssn(&ssn, &mut buf).unwrap();
         let cut = &buf[..buf.len() / 2];
         assert!(read_ssn(cut).is_err());
+    }
+
+    /// One serialized dataset shared by the fuzzing properties below
+    /// (dataset synthesis dominates the per-case cost otherwise).
+    fn reference_bytes() -> &'static [u8] {
+        use std::sync::OnceLock;
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        BYTES.get_or_init(|| {
+            let ssn = synthetic(&SyntheticConfig::uni().scaled(0.006), 17);
+            let mut buf = Vec::new();
+            write_ssn(&ssn, &mut buf).unwrap();
+            buf
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Truncating a valid stream before its final line yields a clean
+        /// `InvalidData` error — never a panic. (Cuts *inside* the final
+        /// home line can leave a shorter-but-valid float token and still
+        /// parse, so the property stops at the last line boundary.)
+        #[test]
+        fn truncated_streams_error_cleanly(frac in 0.0f64..1.0) {
+            let buf = reference_bytes();
+            let limit = buf[..buf.len() - 1].iter().rposition(|&b| b == b'\n').unwrap();
+            let cut = (limit as f64 * frac) as usize;
+            let err = read_ssn(&buf[..cut]).unwrap_err();
+            proptest::prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+
+        /// Flipping any single byte of a valid stream either still parses
+        /// (some digit flips are benign) or errors with `InvalidData`; no
+        /// mutation may panic or surface a different error kind.
+        #[test]
+        fn mutated_streams_never_panic(pos in 0.0f64..1.0, byte in 0u8..=255) {
+            let mut buf = reference_bytes().to_vec();
+            let i = ((buf.len() - 1) as f64 * pos) as usize;
+            buf[i] = byte;
+            if let Err(e) = read_ssn(buf.as_slice()) {
+                proptest::prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+            }
+        }
+
+        /// Splicing random garbage into a random position must likewise
+        /// degrade into `InvalidData`, not a panic — this exercises the
+        /// structural validators (counts, ids, finiteness, self-loops).
+        #[test]
+        fn spliced_garbage_never_panics(
+            pos in 0.0f64..1.0,
+            garbage in proptest::collection::vec(0u8..=255, 0..64),
+        ) {
+            let mut buf = reference_bytes().to_vec();
+            let i = (buf.len() as f64 * pos) as usize;
+            buf.splice(i..i, garbage);
+            if let Err(e) = read_ssn(buf.as_slice()) {
+                proptest::prop_assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_and_nonfinite_floats() {
+        // Hand-built minimal valid file, then targeted corruptions.
+        let good = "# gpssn-ssn v1\n\
+            road-vertices 2\n0.0 0.0\n1.0 0.0\n\
+            road-edges 1\n0 1 1.0\n\
+            pois 1\n0 0.5 0\n\
+            users 2 topics 1\n0.5\n0.5\n\
+            friendships 1\n0 1\n\
+            homes 2\n0 0.0\n0 1.0\n";
+        assert!(read_ssn(good.as_bytes()).is_ok());
+        for (broken, what) in [
+            (
+                good.replace("road-edges 1\n0 1 1.0", "road-edges 1\n0 7 1.0"),
+                "edge endpoint",
+            ),
+            (
+                good.replace("road-edges 1\n0 1 1.0", "road-edges 1\n0 0 1.0"),
+                "edge self-loop",
+            ),
+            (
+                good.replace("road-edges 1\n0 1 1.0", "road-edges 1\n0 1 -1.0"),
+                "negative length",
+            ),
+            (
+                good.replace("road-edges 1\n0 1 1.0", "road-edges 1\n0 1 0.5"),
+                "sub-Euclidean length",
+            ),
+            (
+                good.replace("road-edges 1\n0 1 1.0", "road-edges 1\n0 1 NaN"),
+                "NaN length",
+            ),
+            (
+                good.replace("pois 1\n0 0.5", "pois 1\n9 0.5"),
+                "poi edge id",
+            ),
+            (
+                good.replace("0.5\n0.5\n", "0.5\n1.5\n"),
+                "interest weight > 1",
+            ),
+            (
+                good.replace("0.5\n0.5\n", "0.5\ninf\n"),
+                "non-finite interest",
+            ),
+            (
+                good.replace("friendships 1\n0 1", "friendships 1\n0 9"),
+                "friendship endpoint",
+            ),
+            (
+                good.replace("friendships 1\n0 1", "friendships 1\n1 1"),
+                "friendship self-loop",
+            ),
+            (
+                good.replace("homes 2\n0 0.0", "homes 2\n9 0.0"),
+                "home edge id",
+            ),
+            (
+                good.replace("homes 2\n0 0.0\n0 1.0", "homes 2\n0 NaN\n0 1.0"),
+                "NaN home offset",
+            ),
+        ] {
+            let err = read_ssn(broken.as_bytes()).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "{what} must be InvalidData"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_claimed_counts_do_not_abort() {
+        // A corrupt count must not pre-allocate petabytes; it should run
+        // off the end of the stream and report InvalidData.
+        let huge = "# gpssn-ssn v1\nroad-vertices 999999999999\n0.0 0.0\n";
+        let err = read_ssn(huge.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -20,8 +20,7 @@ pub mod scores;
 pub mod stats;
 
 pub use datasets::{
-    bri_cal_surrogate, gow_col_surrogate, synthetic, DatasetKind, SurrogateConfig,
-    SyntheticConfig,
+    bri_cal_surrogate, gow_col_surrogate, synthetic, DatasetKind, SurrogateConfig, SyntheticConfig,
 };
 pub use io::{load_ssn, read_ssn, save_ssn, write_ssn};
 pub use network::SpatialSocialNetwork;

@@ -30,7 +30,12 @@ impl SpatialSocialNetwork {
             social.num_users(),
             "every user needs a home location on the road network"
         );
-        SpatialSocialNetwork { road, pois, social, homes }
+        SpatialSocialNetwork {
+            road,
+            pois,
+            social,
+            homes,
+        }
     }
 
     /// The road network `G_r`.
@@ -71,7 +76,11 @@ impl SpatialSocialNetwork {
     /// Exact road-network distance from user `u`'s home to POI `o`
     /// (`dist_RN(u_j, o_i)` of Definition 5).
     pub fn user_poi_distance(&self, u: UserId, o: gpssn_road::PoiId) -> f64 {
-        gpssn_road::dist_rn(&self.road, &self.homes[u as usize], &self.pois.get(o).position)
+        gpssn_road::dist_rn(
+            &self.road,
+            &self.homes[u as usize],
+            &self.pois.get(o).position,
+        )
     }
 
     /// The paper's objective: `maxdist_RN(S, R) = max_{u∈S} max_{o∈R}
@@ -99,7 +108,11 @@ mod tests {
 
     /// A tiny deterministic fixture: 3-vertex line road, 2 POIs, 2 users.
     pub(crate) fn tiny() -> SpatialSocialNetwork {
-        let locs = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(4.0, 0.0)];
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(4.0, 0.0),
+        ];
         let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2)]);
         let pois = PoiSet::new(
             &road,

@@ -13,7 +13,13 @@
 use gpssn::core::{EngineConfig, GpSsnEngine, GpSsnQuery};
 use gpssn::ssn::{synthetic, SyntheticConfig};
 
-const CATEGORIES: [&str; 5] = ["dining", "fashion", "electronics", "wellness", "entertainment"];
+const CATEGORIES: [&str; 5] = [
+    "dining",
+    "fashion",
+    "electronics",
+    "wellness",
+    "entertainment",
+];
 
 fn main() {
     // A mid-sized city: ~1.5K customers, ~500 merchants.
@@ -22,7 +28,13 @@ fn main() {
 
     // The campaign: 5-person group-buy deals, strong interest affinity,
     // merchants must cover at least half of each member's interest mass.
-    let campaign = GpSsnQuery { user: 0, tau: 5, gamma: 0.3, theta: 0.5, radius: 2.5 };
+    let campaign = GpSsnQuery {
+        user: 0,
+        tau: 5,
+        gamma: 0.3,
+        theta: 0.5,
+        radius: 2.5,
+    };
 
     println!("Group-buy campaign: deals need {} buyers\n", campaign.tau);
     let targets: Vec<u32> = (0..ssn.social().num_users() as u32)
@@ -32,7 +44,10 @@ fn main() {
 
     let mut sent = 0;
     for &customer in &targets {
-        let q = GpSsnQuery { user: customer, ..campaign.clone() };
+        let q = GpSsnQuery {
+            user: customer,
+            ..campaign.clone()
+        };
         let outcome = engine.query(&q);
         match outcome.answer {
             Some(ans) => {
@@ -65,7 +80,10 @@ fn main() {
             }
         }
     }
-    println!("\n{sent}/{} customers received a group-buy recommendation", targets.len());
+    println!(
+        "\n{sent}/{} customers received a group-buy recommendation",
+        targets.len()
+    );
 }
 
 fn dominant_category(ssn: &gpssn::SpatialSocialNetwork, u: u32) -> &'static str {

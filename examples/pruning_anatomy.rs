@@ -17,45 +17,91 @@ fn main() {
 
     let full = engine.query_with_options(
         &q,
-        &QueryOptions { collect_stats: true, ..Default::default() },
+        &QueryOptions {
+            collect_stats: true,
+            ..Default::default()
+        },
     );
     let s = &full.metrics.stats;
     println!("query: {q:?}\n");
     println!("-- pruning anatomy (all rules on) --");
     println!("users:  {} total", s.users_total);
-    println!("  index-level pruned : {:>6}  ({:.1}%)", s.users_pruned_index, 100.0 * s.social_index_power());
-    println!("  object-level pruned: {:>6}  ({:.1}% of survivors)", s.users_pruned_object, 100.0 * s.social_object_power());
+    println!(
+        "  index-level pruned : {:>6}  ({:.1}%)",
+        s.users_pruned_index,
+        100.0 * s.social_index_power()
+    );
+    println!(
+        "  object-level pruned: {:>6}  ({:.1}% of survivors)",
+        s.users_pruned_object,
+        100.0 * s.social_object_power()
+    );
     println!("  candidates         : {:>6}", s.candidate_users);
     println!("pois:   {} total", s.pois_total);
-    println!("  index-level pruned : {:>6}  ({:.1}%)", s.pois_pruned_index, 100.0 * s.road_index_power());
-    println!("  object-level pruned: {:>6}  ({:.1}% of survivors)", s.pois_pruned_object, 100.0 * s.road_object_power());
+    println!(
+        "  index-level pruned : {:>6}  ({:.1}%)",
+        s.pois_pruned_index,
+        100.0 * s.road_index_power()
+    );
+    println!(
+        "  object-level pruned: {:>6}  ({:.1}% of survivors)",
+        s.pois_pruned_object,
+        100.0 * s.road_object_power()
+    );
     println!("  candidate centers  : {:>6}", s.candidate_pois);
-    println!("pairs:  {:.3e} possible, {} refined  (power {:.5}%)",
-        s.pairs_total_estimate, s.pairs_refined, 100.0 * s.pair_power());
+    println!(
+        "pairs:  {:.3e} possible, {} refined  (power {:.5}%)",
+        s.pairs_total_estimate,
+        s.pairs_refined,
+        100.0 * s.pair_power()
+    );
     println!(
         "\nanswer: {:?}",
         full.answer.as_ref().map(|a| (a.users.clone(), a.maxdist))
     );
-    println!("cost:   {:.2?}, {} page accesses", full.metrics.cpu, full.metrics.io_pages);
+    println!(
+        "cost:   {:.2?}, {} page accesses",
+        full.metrics.cpu, full.metrics.io_pages
+    );
 
     println!("\n-- ablation: disable one rule family at a time --");
     let variants: [(&str, QueryOptions); 4] = [
         (
             "no interest pruning",
-            QueryOptions { use_interest_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_interest_pruning: false,
+                ..Default::default()
+            },
         ),
         (
             "no social-distance pruning",
-            QueryOptions { use_social_distance_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_social_distance_pruning: false,
+                ..Default::default()
+            },
         ),
         (
             "no matching pruning",
-            QueryOptions { use_matching_pruning: false, ..Default::default() },
+            QueryOptions {
+                use_matching_pruning: false,
+                ..Default::default()
+            },
         ),
-        ("no delta pruning", QueryOptions { use_delta_pruning: false, ..Default::default() }),
+        (
+            "no delta pruning",
+            QueryOptions {
+                use_delta_pruning: false,
+                ..Default::default()
+            },
+        ),
     ];
     println!("{:<28} {:>12} {:>8}", "variant", "CPU", "I/O");
-    println!("{:<28} {:>12} {:>8}", "all rules", format!("{:.2?}", full.metrics.cpu), full.metrics.io_pages);
+    println!(
+        "{:<28} {:>12} {:>8}",
+        "all rules",
+        format!("{:.2?}", full.metrics.cpu),
+        full.metrics.io_pages
+    );
     for (name, opts) in variants {
         let out = engine.query_with_options(&q, &opts);
         // Same answer regardless of pruning (the rules are safe).
@@ -63,6 +109,11 @@ fn main() {
             out.answer.as_ref().map(|a| a.maxdist),
             full.answer.as_ref().map(|a| a.maxdist)
         );
-        println!("{:<28} {:>12} {:>8}", name, format!("{:.2?}", out.metrics.cpu), out.metrics.io_pages);
+        println!(
+            "{:<28} {:>12} {:>8}",
+            name,
+            format!("{:.2?}", out.metrics.cpu),
+            out.metrics.io_pages
+        );
     }
 }

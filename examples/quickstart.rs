@@ -25,7 +25,13 @@ fn main() {
     // 3. Ask: a group of 4 friends with common interests (γ >= 0.3), POIs
     //    matching everyone (θ >= 0.4) within a radius-2 road ball,
     //    minimizing the farthest home-to-POI drive.
-    let query = GpSsnQuery { user: 11, tau: 4, gamma: 0.3, theta: 0.4, radius: 2.0 };
+    let query = GpSsnQuery {
+        user: 11,
+        tau: 4,
+        gamma: 0.3,
+        theta: 0.4,
+        radius: 2.0,
+    };
     let outcome = engine.query(&query);
 
     match &outcome.answer {
@@ -37,7 +43,10 @@ fn main() {
                 let w = ssn.social().interest(u);
                 println!(
                     "  user {u:>4}: interests {:?}",
-                    w.weights().iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+                    w.weights()
+                        .iter()
+                        .map(|x| (x * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>()
                 );
             }
         }

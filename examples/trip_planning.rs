@@ -27,14 +27,24 @@ fn main() {
     let cfg = EngineConfig {
         num_road_pivots: 3,
         num_social_pivots: 2,
-        social_index: SocialIndexConfig { leaf_size: 4, fanout: 2, ..Default::default() },
+        social_index: SocialIndexConfig {
+            leaf_size: 4,
+            fanout: 2,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let engine = GpSsnEngine::build(&ssn, cfg);
 
     // Alice (user 0) wants two friends with common interests and a set of
     // spatially close POIs matching everyone's taste.
-    let query = GpSsnQuery { user: 0, tau: 3, gamma: 0.25, theta: 0.4, radius: 2.0 };
+    let query = GpSsnQuery {
+        user: 0,
+        tau: 3,
+        gamma: 0.25,
+        theta: 0.4,
+        radius: 2.0,
+    };
     let outcome = engine.query(&query);
 
     println!("Alice's group planning query: τ=3, γ=0.25, θ=0.4, r=2\n");
@@ -120,12 +130,12 @@ fn build_downtown() -> SpatialSocialNetwork {
     };
 
     let pois = vec![
-        poi_at(&road, 0.5, 1.0, vec![RESTAURANT]),        // west: food row
-        poi_at(&road, 0.5, 2.0, vec![RESTAURANT, CAFE]),  // bistro
-        poi_at(&road, 2.0, 2.5, vec![MALL]),              // central mall
-        poi_at(&road, 2.5, 2.0, vec![MALL, CAFE]),        // mall food court
-        poi_at(&road, 4.0, 1.5, vec![CAFE]),              // east: café strip
-        poi_at(&road, 3.5, 4.0, vec![RESTAURANT]),        // north-east diner
+        poi_at(&road, 0.5, 1.0, vec![RESTAURANT]), // west: food row
+        poi_at(&road, 0.5, 2.0, vec![RESTAURANT, CAFE]), // bistro
+        poi_at(&road, 2.0, 2.5, vec![MALL]),       // central mall
+        poi_at(&road, 2.5, 2.0, vec![MALL, CAFE]), // mall food court
+        poi_at(&road, 4.0, 1.5, vec![CAFE]),       // east: café strip
+        poi_at(&road, 3.5, 4.0, vec![RESTAURANT]), // north-east diner
     ];
     let pois = PoiSet::new(&road, pois);
 
@@ -139,8 +149,16 @@ fn build_downtown() -> SpatialSocialNetwork {
         iv([0.1, 0.8, 0.5]), // Erin: malls + cafés
         iv([0.8, 0.1, 0.9]), // Frank: food + cafés
     ];
-    let friendships =
-        [(0, 1), (0, 3), (0, 5), (1, 2), (2, 3), (1, 4), (2, 4), (3, 5)];
+    let friendships = [
+        (0, 1),
+        (0, 3),
+        (0, 5),
+        (1, 2),
+        (2, 3),
+        (1, 4),
+        (2, 4),
+        (3, 5),
+    ];
     let social = SocialNetwork::new(interests, &friendships);
 
     // Homes: Alice west, Bob/Carol central, Dave east, Erin north, Frank

@@ -18,14 +18,19 @@ fn main() {
     let ssn = synthetic(&SyntheticConfig::uni().scaled(0.04), 3);
     let engine = GpSsnEngine::build(
         &ssn,
-        EngineConfig { page_cache_capacity: Some(256), ..Default::default() },
+        EngineConfig {
+            page_cache_capacity: Some(256),
+            ..Default::default()
+        },
     );
 
     // Simulated trip history: nearby POI pairs users visited together.
     let trips: Vec<Vec<u32>> = (0..40u32)
         .map(|i| {
             let a = (i * 13) % ssn.pois().len() as u32;
-            let near = ssn.pois().network_knn(ssn.road(), &ssn.pois().get(a).position, 3);
+            let near = ssn
+                .pois()
+                .network_knn(ssn.road(), &ssn.pois().get(a).position, 3);
             near.into_iter().map(|(o, _)| o).collect()
         })
         .collect();
@@ -40,7 +45,10 @@ fn main() {
     // A batch of queries across users, answered on 4 threads.
     let queries: Vec<GpSsnQuery> = (0..24u32)
         .filter(|&u| ssn.social().graph().degree(u) >= 2)
-        .map(|u| GpSsnQuery { radius, ..tuned.query(u, 4) })
+        .map(|u| GpSsnQuery {
+            radius,
+            ..tuned.query(u, 4)
+        })
         .collect();
     let t0 = std::time::Instant::now();
     let outcomes = engine.query_batch(&queries, 4);
@@ -65,10 +73,7 @@ fn main() {
             Some(a) => println!(
                 "sampling vs exact for user {}: approx maxdist {:.3} vs exact {:.3} \
                  ({}x samples)",
-                q.user,
-                a.maxdist,
-                exact.maxdist,
-                48
+                q.user, a.maxdist, exact.maxdist, 48
             ),
             None => println!(
                 "sampling missed the answer for user {} (exact maxdist {:.3})",

@@ -1,19 +1,29 @@
 //! Failure injection and boundary conditions: degenerate networks,
-//! unreachable road components, boundary parameter values.
+//! unreachable road components, boundary parameter values — each checked
+//! against the brute-force Baseline oracle where one exists.
 
-use gpssn::core::{EngineConfig, GpSsnEngine, GpSsnQuery};
+use gpssn::core::{
+    exact_baseline, Completion, EngineConfig, GpSsnEngine, GpSsnError, GpSsnQuery, QueryBudget,
+};
 use gpssn::index::{PivotSelectConfig, SocialIndexConfig};
 use gpssn::road::{NetworkPoint, Poi, PoiSet, RoadNetwork};
 use gpssn::social::{InterestVector, SocialNetwork};
 use gpssn::spatial::Point;
-use gpssn::ssn::SpatialSocialNetwork;
+use gpssn::ssn::{synthetic, SpatialSocialNetwork, SyntheticConfig};
 
 fn tiny_engine_cfg() -> EngineConfig {
     EngineConfig {
         num_road_pivots: 1,
         num_social_pivots: 1,
-        social_index: SocialIndexConfig { leaf_size: 4, fanout: 2, ..Default::default() },
-        pivot_select: PivotSelectConfig { sample_pairs: 8, ..Default::default() },
+        social_index: SocialIndexConfig {
+            leaf_size: 4,
+            fanout: 2,
+            ..Default::default()
+        },
+        pivot_select: PivotSelectConfig {
+            sample_pairs: 8,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -55,7 +65,13 @@ fn disconnected_road_components_do_not_panic() {
     // Users 0 and 1 live west: a west POI works; user 2 lives east and
     // can never reach west POIs (infinite maxdist), so groups including
     // user 2 are never optimal.
-    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 0.5,
+        theta: 0.5,
+        radius: 2.0,
+    };
     let out = engine.query(&q);
     let ans = out.answer.expect("west pair is feasible");
     assert_eq!(ans.users, vec![0, 1]);
@@ -69,7 +85,13 @@ fn group_forced_across_components_is_infeasible_in_practice() {
     // tau = 3 forces user 2 (east) into the group: every candidate ball
     // is unreachable for someone, so maxdist is infinite for all centers
     // and no finite answer should be produced.
-    let q = GpSsnQuery { user: 0, tau: 3, gamma: 0.2, theta: 0.2, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 3,
+        gamma: 0.2,
+        theta: 0.2,
+        radius: 2.0,
+    };
     if let Some(ans) = engine.query(&q).answer {
         assert!(
             !ans.maxdist.is_finite() || ans.maxdist > 1e9,
@@ -83,7 +105,13 @@ fn group_forced_across_components_is_infeasible_in_practice() {
 fn tau_larger_than_population_returns_none() {
     let ssn = split_world();
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
-    let q = GpSsnQuery { user: 0, tau: 10, gamma: 0.0, theta: 0.0, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 10,
+        gamma: 0.0,
+        theta: 0.0,
+        radius: 2.0,
+    };
     assert!(engine.query(&q).answer.is_none());
 }
 
@@ -91,7 +119,13 @@ fn tau_larger_than_population_returns_none() {
 fn tau_one_is_a_solo_trip() {
     let ssn = split_world();
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
-    let q = GpSsnQuery { user: 2, tau: 1, gamma: 9.0, theta: 0.5, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 2,
+        tau: 1,
+        gamma: 9.0,
+        theta: 0.5,
+        radius: 2.0,
+    };
     let ans = engine.query(&q).answer.expect("solo trip east");
     assert_eq!(ans.users, vec![2]);
     assert!(ans.maxdist.is_finite());
@@ -101,15 +135,30 @@ fn tau_one_is_a_solo_trip() {
 fn friendless_user_with_tau_two_returns_none() {
     let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
     let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
-    let pois = PoiSet::new(&road, vec![Poi::new(NetworkPoint::new(&road, 0, 0.5), vec![0])]);
+    let pois = PoiSet::new(
+        &road,
+        vec![Poi::new(NetworkPoint::new(&road, 0, 0.5), vec![0])],
+    );
     let social = SocialNetwork::new(
-        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        vec![
+            InterestVector::new(vec![1.0]),
+            InterestVector::new(vec![1.0]),
+        ],
         &[], // no friendships at all
     );
-    let homes = vec![NetworkPoint::new(&road, 0, 0.0), NetworkPoint::new(&road, 0, 1.0)];
+    let homes = vec![
+        NetworkPoint::new(&road, 0, 0.0),
+        NetworkPoint::new(&road, 0, 1.0),
+    ];
     let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
-    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 1.0 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 0.0,
+        theta: 0.0,
+        radius: 1.0,
+    };
     assert!(engine.query(&q).answer.is_none());
 }
 
@@ -119,8 +168,149 @@ fn boundary_radii_are_accepted() {
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
     let cfg = gpssn::index::RoadIndexConfig::default();
     for radius in [cfg.r_min, cfg.r_max] {
-        let q = GpSsnQuery { user: 0, tau: 1, gamma: 0.0, theta: 0.0, radius };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 1,
+            gamma: 0.0,
+            theta: 0.0,
+            radius,
+        };
         let _ = engine.query(&q); // must not panic
+    }
+}
+
+#[test]
+fn statically_infeasible_queries_return_typed_errors() {
+    let ssn = split_world(); // 3 users; user layout in `split_world`
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let unlimited = QueryBudget::unlimited();
+
+    // τ above the population: detectable before any traversal.
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 10,
+        gamma: 0.0,
+        theta: 0.0,
+        radius: 2.0,
+    };
+    assert!(matches!(
+        engine.try_query(&q, &unlimited),
+        Err(GpSsnError::Infeasible { .. })
+    ));
+    // The oracle agrees there is nothing to find.
+    assert!(exact_baseline(&ssn, &q).is_none());
+
+    // Friendless query user with τ >= 2: no connected group can exist.
+    let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+    let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
+    let pois = PoiSet::new(
+        &road,
+        vec![Poi::new(NetworkPoint::new(&road, 0, 0.5), vec![0])],
+    );
+    let social = SocialNetwork::new(
+        vec![
+            InterestVector::new(vec![1.0]),
+            InterestVector::new(vec![1.0]),
+        ],
+        &[],
+    );
+    let homes = vec![
+        NetworkPoint::new(&road, 0, 0.0),
+        NetworkPoint::new(&road, 0, 1.0),
+    ];
+    let lonely = SpatialSocialNetwork::new(road, pois, social, homes);
+    let lonely_engine = GpSsnEngine::build(&lonely, tiny_engine_cfg());
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 0.0,
+        theta: 0.0,
+        radius: 1.0,
+    };
+    assert!(matches!(
+        lonely_engine.try_query(&q, &unlimited),
+        Err(GpSsnError::Infeasible { .. })
+    ));
+    assert!(exact_baseline(&lonely, &q).is_none());
+}
+
+#[test]
+fn unachievable_gamma_is_exactly_none_like_brute_force() {
+    // γ above any attainable pairwise interest score is only discovered
+    // during the search, so it is an exact empty answer, not an error.
+    let ssn = split_world();
+    let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 100.0,
+        theta: 0.0,
+        radius: 2.0,
+    };
+    let out = engine
+        .try_query(&q, &QueryBudget::unlimited())
+        .expect("valid, just empty");
+    assert!(out.answer.is_none());
+    assert!(matches!(out.completion, Completion::Exact));
+    assert!(exact_baseline(&ssn, &q).is_none());
+}
+
+#[test]
+fn boundary_radii_match_brute_force() {
+    // r exactly at the index's r_min / r_max is *inside* the supported
+    // range: no RadiusOutOfIndexRange, and the answer matches the oracle.
+    let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), 23);
+    let engine = GpSsnEngine::build(
+        &ssn,
+        EngineConfig {
+            num_road_pivots: 3,
+            num_social_pivots: 3,
+            social_index: SocialIndexConfig {
+                leaf_size: 16,
+                fanout: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let cfg = gpssn::index::RoadIndexConfig::default();
+    for radius in [cfg.r_min, cfg.r_max] {
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.2,
+            radius,
+        };
+        let out = engine
+            .try_query(&q, &QueryBudget::unlimited())
+            .expect("boundary radius is valid");
+        assert!(matches!(out.completion, Completion::Exact));
+        let oracle = exact_baseline(&ssn, &q);
+        match (&out.answer, &oracle) {
+            (Some(a), Some(b)) => assert!(
+                (a.maxdist - b.maxdist).abs() < 1e-9,
+                "engine {} vs oracle {} at r = {radius}",
+                a.maxdist,
+                b.maxdist
+            ),
+            (None, None) => {}
+            other => panic!("engine and oracle disagree at r = {radius}: {other:?}"),
+        }
+    }
+    // One epsilon outside either end is a typed radius error.
+    for radius in [cfg.r_min * 0.99, cfg.r_max * 1.01] {
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.2,
+            radius,
+        };
+        assert!(matches!(
+            engine.try_query(&q, &QueryBudget::unlimited()),
+            Err(GpSsnError::RadiusOutOfIndexRange { .. })
+        ));
     }
 }
 
@@ -130,13 +320,25 @@ fn empty_poi_set_yields_none() {
     let road = RoadNetwork::from_euclidean_edges(locs, &[(0, 1)]);
     let pois = PoiSet::new(&road, vec![]);
     let social = SocialNetwork::new(
-        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        vec![
+            InterestVector::new(vec![1.0]),
+            InterestVector::new(vec![1.0]),
+        ],
         &[(0, 1)],
     );
-    let homes = vec![NetworkPoint::new(&road, 0, 0.0), NetworkPoint::new(&road, 0, 1.0)];
+    let homes = vec![
+        NetworkPoint::new(&road, 0, 0.0),
+        NetworkPoint::new(&road, 0, 1.0),
+    ];
     let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
-    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.0, theta: 0.0, radius: 1.0 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 0.0,
+        theta: 0.0,
+        radius: 1.0,
+    };
     assert!(engine.query(&q).answer.is_none());
 }
 
@@ -151,13 +353,22 @@ fn colocated_users_and_pois_work() {
         vec![Poi::new(spot, vec![0]), Poi::new(spot, vec![0])],
     );
     let social = SocialNetwork::new(
-        vec![InterestVector::new(vec![1.0]), InterestVector::new(vec![1.0])],
+        vec![
+            InterestVector::new(vec![1.0]),
+            InterestVector::new(vec![1.0]),
+        ],
         &[(0, 1)],
     );
     let homes = vec![spot, spot];
     let ssn = SpatialSocialNetwork::new(road, pois, social, homes);
     let engine = GpSsnEngine::build(&ssn, tiny_engine_cfg());
-    let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.5, theta: 0.5, radius: 0.5 };
+    let q = GpSsnQuery {
+        user: 0,
+        tau: 2,
+        gamma: 0.5,
+        theta: 0.5,
+        radius: 0.5,
+    };
     let ans = engine.query(&q).answer.expect("trivially feasible");
     assert_eq!(ans.maxdist, 0.0);
 }

@@ -14,8 +14,15 @@ fn engine_for(ssn: &SpatialSocialNetwork, seed: u64) -> GpSsnEngine<'_> {
         EngineConfig {
             num_road_pivots: 4,
             num_social_pivots: 4,
-            social_index: SocialIndexConfig { leaf_size: 32, fanout: 6, ..Default::default() },
-            pivot_select: PivotSelectConfig { seed, ..Default::default() },
+            social_index: SocialIndexConfig {
+                leaf_size: 32,
+                fanout: 6,
+                ..Default::default()
+            },
+            pivot_select: PivotSelectConfig {
+                seed,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -28,9 +35,19 @@ fn all_four_datasets_answer_and_validate() {
         let engine = engine_for(&ssn, 5);
         let mut answered = 0;
         for user in [1u32, 7, 19] {
-            let q = GpSsnQuery { user, tau: 3, gamma: 0.4, theta: 0.3, radius: 3.0 };
+            let q = GpSsnQuery {
+                user,
+                tau: 3,
+                gamma: 0.4,
+                theta: 0.3,
+                radius: 3.0,
+            };
             let out = engine.query(&q);
-            assert!(out.metrics.io_pages > 0, "{}: no pages touched", kind.name());
+            assert!(
+                out.metrics.io_pages > 0,
+                "{}: no pages touched",
+                kind.name()
+            );
             if let Some(ans) = &out.answer {
                 answered += 1;
                 check_answer(&ssn, &q, ans)
@@ -49,9 +66,20 @@ fn all_four_datasets_answer_and_validate() {
 fn pruning_powers_are_plausible() {
     let ssn = DatasetKind::Uni.build(0.03, 9);
     let engine = engine_for(&ssn, 9);
-    let q = GpSsnQuery { user: 3, tau: 5, gamma: 0.5, theta: 0.5, radius: 2.0 };
-    let out = engine
-        .query_with_options(&q, &QueryOptions { collect_stats: true, ..Default::default() });
+    let q = GpSsnQuery {
+        user: 3,
+        tau: 5,
+        gamma: 0.5,
+        theta: 0.5,
+        radius: 2.0,
+    };
+    let out = engine.query_with_options(
+        &q,
+        &QueryOptions {
+            collect_stats: true,
+            ..Default::default()
+        },
+    );
     let s = &out.metrics.stats;
     // The paper reports very high combined pruning power; at minimum the
     // rules must fire and never exceed 100%.
@@ -70,8 +98,15 @@ fn pruning_powers_are_plausible() {
     }
     let combined_social =
         (s.users_pruned_index + s.users_pruned_object) as f64 / s.users_total as f64;
-    assert!(combined_social > 0.2, "social pruning suspiciously weak: {combined_social}");
-    assert!(s.pair_power() > 0.99, "pair pruning power too weak: {}", s.pair_power());
+    assert!(
+        combined_social > 0.2,
+        "social pruning suspiciously weak: {combined_social}"
+    );
+    assert!(
+        s.pair_power() > 0.99,
+        "pair pruning power too weak: {}",
+        s.pair_power()
+    );
 }
 
 #[test]
@@ -82,17 +117,32 @@ fn io_cost_scales_sublinearly_with_pois() {
     let large = DatasetKind::Uni.build(0.06, 3);
     let es = engine_for(&small, 3);
     let el = engine_for(&large, 3);
-    let q = GpSsnQuery { user: 2, tau: 3, gamma: 0.5, theta: 0.5, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 2,
+        tau: 3,
+        gamma: 0.5,
+        theta: 0.5,
+        radius: 2.0,
+    };
     let io_s = es.query(&q).metrics.io_pages as f64;
     let io_l = el.query(&q).metrics.io_pages as f64;
-    assert!(io_l < io_s * 6.0, "I/O grew superlinearly: {io_s} -> {io_l}");
+    assert!(
+        io_l < io_s * 6.0,
+        "I/O grew superlinearly: {io_s} -> {io_l}"
+    );
 }
 
 #[test]
 fn repeated_queries_are_deterministic() {
     let ssn = DatasetKind::Zipf.build(0.02, 31);
     let engine = engine_for(&ssn, 31);
-    let q = GpSsnQuery { user: 5, tau: 2, gamma: 0.4, theta: 0.4, radius: 2.5 };
+    let q = GpSsnQuery {
+        user: 5,
+        tau: 2,
+        gamma: 0.4,
+        theta: 0.4,
+        radius: 2.5,
+    };
     let a = engine.query(&q);
     let b = engine.query(&q);
     assert_eq!(a.answer, b.answer);
@@ -103,8 +153,17 @@ fn repeated_queries_are_deterministic() {
 fn larger_tau_is_harder_or_equal() {
     let ssn = DatasetKind::Uni.build(0.03, 13);
     let engine = engine_for(&ssn, 13);
-    let small = GpSsnQuery { user: 2, tau: 2, gamma: 0.3, theta: 0.3, radius: 3.0 };
-    let large = GpSsnQuery { tau: 6, ..small.clone() };
+    let small = GpSsnQuery {
+        user: 2,
+        tau: 2,
+        gamma: 0.3,
+        theta: 0.3,
+        radius: 3.0,
+    };
+    let large = GpSsnQuery {
+        tau: 6,
+        ..small.clone()
+    };
     let a = engine.query(&small);
     let b = engine.query(&large);
     if let (Some(sa), Some(sb)) = (&a.answer, &b.answer) {
@@ -112,6 +171,9 @@ fn larger_tau_is_harder_or_equal() {
         // when it must contain the smaller group's requirements... not
         // strictly true in general, but the objective is monotone in the
         // group for a fixed R-center set; allow equality with slack.
-        assert!(sb.maxdist + 1e-9 >= sa.maxdist * 0.5, "unexpected objective collapse");
+        assert!(
+            sb.maxdist + 1e-9 >= sa.maxdist * 0.5,
+            "unexpected objective collapse"
+        );
     }
 }

@@ -4,8 +4,8 @@
 //! networks, across a grid of query parameters.
 
 use gpssn::core::algorithm::{EngineConfig, QueryOptions};
-use gpssn::core::{exact_baseline, GpSsnEngine, GpSsnQuery};
 use gpssn::core::query::check_answer;
+use gpssn::core::{exact_baseline, GpSsnEngine, GpSsnQuery};
 use gpssn::index::{PivotSelectConfig, SocialIndexConfig};
 use gpssn::ssn::{synthetic, SyntheticConfig};
 
@@ -13,8 +13,15 @@ fn small_cfg(seed: u64) -> EngineConfig {
     EngineConfig {
         num_road_pivots: 3,
         num_social_pivots: 3,
-        social_index: SocialIndexConfig { leaf_size: 8, fanout: 3, ..Default::default() },
-        pivot_select: PivotSelectConfig { seed, ..Default::default() },
+        social_index: SocialIndexConfig {
+            leaf_size: 8,
+            fanout: 3,
+            ..Default::default()
+        },
+        pivot_select: PivotSelectConfig {
+            seed,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -36,7 +43,13 @@ fn engine_matches_brute_force_across_seeds_and_parameters() {
                 for &theta in &thetas {
                     for &radius in &radii {
                         let user = ((seed as u32 + qi as u32 * 7 + gi as u32 * 3) % m) as u32;
-                        let q = GpSsnQuery { user, tau, gamma, theta, radius };
+                        let q = GpSsnQuery {
+                            user,
+                            tau,
+                            gamma,
+                            theta,
+                            radius,
+                        };
                         let expected = exact_baseline(&ssn, &q);
                         let got = engine.query(&q).answer;
                         checked += 1;
@@ -65,7 +78,10 @@ fn engine_matches_brute_force_across_seeds_and_parameters() {
         }
     }
     assert!(checked >= 200, "grid too small: {checked}");
-    assert!(answered >= 10, "too few feasible cases exercised: {answered}");
+    assert!(
+        answered >= 10,
+        "too few feasible cases exercised: {answered}"
+    );
 }
 
 #[test]
@@ -73,7 +89,13 @@ fn engine_matches_brute_force_on_zipf_data() {
     for seed in 20..24u64 {
         let ssn = synthetic(&SyntheticConfig::zipf().scaled(0.004), seed);
         let engine = GpSsnEngine::build(&ssn, small_cfg(seed));
-        let q = GpSsnQuery { user: 1, tau: 2, gamma: 0.4, theta: 0.4, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 1,
+            tau: 2,
+            gamma: 0.4,
+            theta: 0.4,
+            radius: 2.0,
+        };
         let expected = exact_baseline(&ssn, &q);
         let got = engine.query(&q).answer;
         match (expected, got) {
@@ -89,7 +111,13 @@ fn every_pruning_subset_is_exact() {
     // Toggling pruning families off must never change the answer.
     let ssn = synthetic(&SyntheticConfig::uni().scaled(0.005), 77);
     let engine = GpSsnEngine::build(&ssn, small_cfg(77));
-    let q = GpSsnQuery { user: 3, tau: 2, gamma: 0.4, theta: 0.3, radius: 2.5 };
+    let q = GpSsnQuery {
+        user: 3,
+        tau: 2,
+        gamma: 0.4,
+        theta: 0.3,
+        radius: 2.5,
+    };
     let reference = engine.query(&q).answer;
     for mask in 0..16u32 {
         let opts = QueryOptions {
@@ -98,8 +126,8 @@ fn every_pruning_subset_is_exact() {
             use_social_distance_pruning: mask & 2 != 0,
             use_matching_pruning: mask & 4 != 0,
             use_delta_pruning: mask & 8 != 0,
-                use_tight_mbr_test: false,
-            };
+            use_tight_mbr_test: false,
+        };
         let got = engine.query_with_options(&q, &opts).answer;
         match (&reference, &got) {
             (None, None) => {}

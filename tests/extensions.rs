@@ -13,7 +13,11 @@ fn engine(ssn: &SpatialSocialNetwork) -> GpSsnEngine<'_> {
         EngineConfig {
             num_road_pivots: 3,
             num_social_pivots: 3,
-            social_index: SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+            social_index: SocialIndexConfig {
+                leaf_size: 16,
+                fanout: 4,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -24,7 +28,13 @@ fn approximate_answers_validate_and_bound_exact() {
     for seed in 0..5u64 {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), seed);
         let eng = engine(&ssn);
-        let q = GpSsnQuery { user: 1, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user: 1,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.5,
+        };
         let exact = eng.query(&q).answer;
         let approx = eng.query_approximate(&q, 32, seed).answer;
         if let Some(a) = &approx {
@@ -50,7 +60,13 @@ fn approximate_usually_finds_feasible_queries() {
     let mut exact_hits = 0;
     let mut approx_hits = 0;
     for user in [1u32, 5, 9, 13, 21] {
-        let q = GpSsnQuery { user, tau: 3, gamma: 0.3, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user,
+            tau: 3,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.5,
+        };
         if eng.query(&q).answer.is_some() {
             exact_hits += 1;
             if eng.query_approximate(&q, 64, 7).answer.is_some() {
@@ -69,7 +85,13 @@ fn approximate_usually_finds_feasible_queries() {
 fn top_k_is_sorted_valid_and_starts_at_the_optimum() {
     let ssn = synthetic(&SyntheticConfig::uni().scaled(0.015), 11);
     let eng = engine(&ssn);
-    let q = GpSsnQuery { user: 2, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.5 };
+    let q = GpSsnQuery {
+        user: 2,
+        tau: 2,
+        gamma: 0.3,
+        theta: 0.3,
+        radius: 2.5,
+    };
     let single = eng.query(&q).answer;
     let top = eng.query_top_k(&q, 5);
     if let Some(best) = &single {
@@ -109,13 +131,26 @@ fn exact_social_distance_mode_is_equivalent_and_prunes_no_less() {
             EngineConfig {
                 num_road_pivots: 3,
                 num_social_pivots: 3,
-                social_index: SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+                social_index: SocialIndexConfig {
+                    leaf_size: 16,
+                    fanout: 4,
+                    ..Default::default()
+                },
                 exact_social_distance: true,
                 ..Default::default()
             },
         );
-        let q = GpSsnQuery { user: 1, tau: 3, gamma: 0.3, theta: 0.3, radius: 2.5 };
-        let opts = QueryOptions { collect_stats: true, ..Default::default() };
+        let q = GpSsnQuery {
+            user: 1,
+            tau: 3,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.5,
+        };
+        let opts = QueryOptions {
+            collect_stats: true,
+            ..Default::default()
+        };
         let a = pivot_engine.query_with_options(&q, &opts);
         let b = exact_engine.query_with_options(&q, &opts);
         assert_eq!(
@@ -139,10 +174,20 @@ fn top_k_matches_exhaustive_oracle() {
     for seed in 60..64u64 {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.006), seed);
         let eng = engine(&ssn);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.0,
+        };
         let expected = exact_baseline_top_k(&ssn, &q, 4);
         let got = eng.query_top_k(&q, 4);
-        assert_eq!(expected.len(), got.len(), "seed {seed}: answer counts differ");
+        assert_eq!(
+            expected.len(),
+            got.len(),
+            "seed {seed}: answer counts differ"
+        );
         for (e, g) in expected.iter().zip(got.iter()) {
             assert!(
                 (e.maxdist - g.maxdist).abs() < 1e-6,
@@ -159,7 +204,13 @@ fn top_1_matches_query_across_seeds() {
     for seed in 30..34u64 {
         let ssn = synthetic(&SyntheticConfig::uni().scaled(0.008), seed);
         let eng = engine(&ssn);
-        let q = GpSsnQuery { user: 0, tau: 2, gamma: 0.35, theta: 0.3, radius: 2.0 };
+        let q = GpSsnQuery {
+            user: 0,
+            tau: 2,
+            gamma: 0.35,
+            theta: 0.3,
+            radius: 2.0,
+        };
         let single = eng.query(&q).answer;
         let top = eng.query_top_k(&q, 1);
         match (single, top.first()) {

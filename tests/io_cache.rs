@@ -11,11 +11,20 @@ fn page_cache_reduces_io_without_changing_answers() {
     let raw = GpSsnEngine::build(&ssn, EngineConfig::default());
     let cached = GpSsnEngine::build(
         &ssn,
-        EngineConfig { page_cache_capacity: Some(64), ..Default::default() },
+        EngineConfig {
+            page_cache_capacity: Some(64),
+            ..Default::default()
+        },
     );
     let mut any_hit = false;
     for user in [1u32, 5, 11, 1, 5, 11] {
-        let q = GpSsnQuery { user, tau: 3, gamma: 0.3, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user,
+            tau: 3,
+            gamma: 0.3,
+            theta: 0.3,
+            radius: 2.5,
+        };
         let a = raw.query(&q);
         let b = cached.query(&q);
         assert_eq!(
@@ -43,9 +52,18 @@ fn tiny_cache_still_correct() {
     let raw = GpSsnEngine::build(&ssn, EngineConfig::default());
     let cached = GpSsnEngine::build(
         &ssn,
-        EngineConfig { page_cache_capacity: Some(1), ..Default::default() },
+        EngineConfig {
+            page_cache_capacity: Some(1),
+            ..Default::default()
+        },
     );
-    let q = GpSsnQuery { user: 2, tau: 2, gamma: 0.3, theta: 0.3, radius: 2.0 };
+    let q = GpSsnQuery {
+        user: 2,
+        tau: 2,
+        gamma: 0.3,
+        theta: 0.3,
+        radius: 2.0,
+    };
     assert_eq!(
         raw.query(&q).answer.map(|a| a.maxdist),
         cached.query(&q).answer.map(|a| a.maxdist)
@@ -57,14 +75,27 @@ fn tight_mbr_test_preserves_answers_and_prunes_no_less() {
     let ssn = synthetic(&SyntheticConfig::uni().scaled(0.02), 29);
     let engine = GpSsnEngine::build(&ssn, EngineConfig::default());
     for user in [3u32, 9, 17] {
-        let q = GpSsnQuery { user, tau: 3, gamma: 0.4, theta: 0.3, radius: 2.5 };
+        let q = GpSsnQuery {
+            user,
+            tau: 3,
+            gamma: 0.4,
+            theta: 0.3,
+            radius: 2.5,
+        };
         let geo = engine.query_with_options(
             &q,
-            &QueryOptions { collect_stats: true, ..Default::default() },
+            &QueryOptions {
+                collect_stats: true,
+                ..Default::default()
+            },
         );
         let tight = engine.query_with_options(
             &q,
-            &QueryOptions { collect_stats: true, use_tight_mbr_test: true, ..Default::default() },
+            &QueryOptions {
+                collect_stats: true,
+                use_tight_mbr_test: true,
+                ..Default::default()
+            },
         );
         assert_eq!(
             geo.answer.as_ref().map(|a| a.maxdist),

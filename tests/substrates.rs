@@ -36,7 +36,11 @@ fn social_index_hop_bounds_are_sound() {
         &ssn,
         sp,
         &rp,
-        &SocialIndexConfig { leaf_size: 16, fanout: 4, ..Default::default() },
+        &SocialIndexConfig {
+            leaf_size: 16,
+            fanout: 4,
+            ..Default::default()
+        },
     );
     let mut rng = StdRng::seed_from_u64(2);
     let m = ssn.social().num_users();
@@ -60,7 +64,11 @@ fn road_index_sup_k_covers_every_query_radius_ball() {
     // radius-r ball around a POI must be contained in its sup_K (the
     // invariant that makes Lemma 1/6 pruning safe).
     let ssn = synthetic(&SyntheticConfig::uni().scaled(0.006), 5);
-    let cfg = RoadIndexConfig { r_min: 0.5, r_max: 3.0, ..Default::default() };
+    let cfg = RoadIndexConfig {
+        r_min: 0.5,
+        r_max: 3.0,
+        ..Default::default()
+    };
     let pivots = RoadPivots::new(ssn.road(), vec![1]);
     let index = RoadIndex::build(ssn.road(), ssn.pois(), pivots, cfg);
     let mut rng = StdRng::seed_from_u64(6);
@@ -77,7 +85,10 @@ fn road_index_sup_k_covers_every_query_radius_ball() {
         let union = ssn.pois().keyword_union(&ball);
         let sup = &index.poi(o).sup_keywords;
         for k in union {
-            assert!(sup.contains(&k), "sup_K of poi {o} misses keyword {k} at r={r}");
+            assert!(
+                sup.contains(&k),
+                "sup_K of poi {o} misses keyword {k} at r={r}"
+            );
         }
         // And sub_K is contained in the ball's union (lower-bound side).
         let ball_union = ssn.pois().keyword_union(
@@ -88,7 +99,10 @@ fn road_index_sup_k_covers_every_query_radius_ball() {
                 .collect::<Vec<_>>(),
         );
         for &k in &index.poi(o).sub_keywords {
-            assert!(ball_union.contains(&k), "sub_K of poi {o} not ⊆ ball union at r={r}");
+            assert!(
+                ball_union.contains(&k),
+                "sub_K of poi {o} not ⊆ ball union at r={r}"
+            );
         }
     }
 }
@@ -109,9 +123,7 @@ fn network_ball_matches_linear_scan() {
             .collect();
         got.sort_unstable();
         let mut expected: Vec<u32> = (0..ssn.pois().len() as u32)
-            .filter(|&i| {
-                dist_rn(ssn.road(), &center, &ssn.pois().get(i).position) <= r
-            })
+            .filter(|&i| dist_rn(ssn.road(), &center, &ssn.pois().get(i).position) <= r)
             .collect();
         expected.sort_unstable();
         assert_eq!(got, expected, "ball mismatch at poi {o} r {r}");

@@ -1,0 +1,370 @@
+//! A self-contained drop-in subset of the `criterion` API.
+//!
+//! This repository must build in fully offline environments, so the
+//! benchmark surface it uses is vendored: [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`],
+//! [`BenchmarkId`], benchmark groups with `warm_up_time` /
+//! `measurement_time` / `sample_size`, and `Bencher::iter`.
+//!
+//! Unlike upstream it performs no statistical analysis or HTML reporting:
+//! each benchmark warms up, then takes `sample_size` timed samples and
+//! prints min / mean / max per-iteration wall-clock times. That is enough
+//! to compare configurations and record BENCH entries.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Measurement configuration and entry point, mirroring
+/// `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Parse the conventional harness CLI shape leniently: a bare
+        // positional argument is a substring filter; flags criterion
+        // would accept (--bench, --save-baseline X, ...) are ignored.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration (split across samples).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let warm = self.warm_up;
+        let meas = self.measurement;
+        let n = self.sample_size;
+        let filter = self.filter.clone();
+        run_one(&id.into().id, warm, meas, n, filter.as_deref(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            &full,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            self.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            &full,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            self.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Per-iteration wall-clock estimate, set by `iter`.
+    sample_ns: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly: warm-up, then `sample_size` samples each
+    /// timing a batch sized to fill `measurement / sample_size`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(f());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        self.sample_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.sample_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_ns: Vec::new(),
+        warm_up,
+        measurement,
+        sample_size,
+    };
+    f(&mut b);
+    if b.sample_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = b.sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.sample_ns.iter().cloned().fold(0.0f64, f64::max);
+    let mean = b.sample_ns.iter().sum::<f64>() / b.sample_ns.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_runs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut hits = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| {
+                hits += x;
+                black_box(hits)
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
