@@ -57,6 +57,7 @@ fn bench_pruning_ablation(c: &mut Criterion) {
                 use_delta_pruning: false,
                 collect_stats: false,
                 use_tight_mbr_test: false,
+                ..Default::default()
             },
         ),
     ];

@@ -28,6 +28,7 @@
 //! the engine stays exact (the property tests against brute force check
 //! this).
 
+use crate::cache::{DistanceCache, DistanceCacheConfig};
 use crate::error::{BudgetState, Completion, GpSsnError, QueryBudget};
 use crate::pruning::{
     corollary2_filter, lb_match_score_node, lb_maxdist_node, lb_maxdist_poi,
@@ -35,8 +36,9 @@ use crate::pruning::{
     ub_match_score_signature, ub_maxdist_node, ub_maxdist_poi, PruningRegion,
 };
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use crate::refinement::verify_center;
+use crate::refinement::{verify_center, VerifyContext};
 use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
+use gpssn_graph::DijkstraWorkspace;
 use gpssn_index::{
     select_road_pivots, select_social_pivots, IoCounter, PivotSelectConfig, RoadIndex,
     RoadIndexConfig, SocialIndex, SocialIndexConfig,
@@ -46,6 +48,7 @@ use gpssn_social::{SocialPivots, UserId};
 use gpssn_spatial::Entry;
 use gpssn_ssn::SpatialSocialNetwork;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Engine construction parameters.
@@ -73,6 +76,13 @@ pub struct EngineConfig {
     /// lower bounds remain the default; exact labels trade index build
     /// time for maximal distance-pruning power.
     pub exact_social_distance: bool,
+    /// Cross-query ball / `dist_RN` cache shared by every query (and
+    /// every refinement worker) this engine serves. Cached values are
+    /// bit-identical to recomputation (see [`crate::cache`]), so under
+    /// an unlimited budget answers are unchanged; under a tight budget
+    /// hits simply stretch how far the budget reaches (cached work
+    /// charges no Dijkstra settles). `None` disables caching.
+    pub distance_cache: Option<DistanceCacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +96,7 @@ impl Default for EngineConfig {
             enumeration_cap: 200_000,
             page_cache_capacity: None,
             exact_social_distance: false,
+            distance_cache: Some(DistanceCacheConfig::default()),
         }
     }
 }
@@ -108,6 +119,16 @@ pub struct QueryOptions {
     /// geometric `maxdist`/`mindist` comparison for Lemma 8 (the
     /// geometric test is sufficient-only; the tight test prunes more).
     pub use_tight_mbr_test: bool,
+    /// Worker threads for center refinement *within* one query. `1`
+    /// (the default) verifies centers sequentially; `0` uses the
+    /// machine's available parallelism. Under an untripped budget the
+    /// answer is bit-identical to the sequential one (see
+    /// [`crate::refinement::verify_center`]'s determinism note); under
+    /// a tripped budget parallel workers may get further before the
+    /// trip, so the anytime answer can legitimately differ (its gap
+    /// bound stays sound). Budgets remain global: all workers charge
+    /// the same meter.
+    pub refine_threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -119,6 +140,7 @@ impl Default for QueryOptions {
             use_matching_pruning: true,
             use_delta_pruning: true,
             use_tight_mbr_test: false,
+            refine_threads: 1,
         }
     }
 }
@@ -135,6 +157,8 @@ pub struct GpSsnEngine<'a> {
     page_cache: Option<std::sync::Mutex<gpssn_index::io::PageCache>>,
     /// Exact 2-hop labels of `G_s` (when configured).
     hop_labels: Option<gpssn_graph::HopLabels>,
+    /// Cross-query ball / `dist_RN` cache (when configured).
+    distance_cache: Option<DistanceCache>,
 }
 
 /// Work items of the road-side best-first traversal.
@@ -167,6 +191,7 @@ impl<'a> GpSsnEngine<'a> {
         let hop_labels = cfg
             .exact_social_distance
             .then(|| gpssn_graph::HopLabels::build(ssn.social().graph()));
+        let distance_cache = cfg.distance_cache.as_ref().map(DistanceCache::new);
         GpSsnEngine {
             ssn,
             road_index,
@@ -174,7 +199,13 @@ impl<'a> GpSsnEngine<'a> {
             cfg,
             page_cache,
             hop_labels,
+            distance_cache,
         }
+    }
+
+    /// The engine's cross-query distance cache, if configured.
+    pub fn distance_cache(&self) -> Option<&DistanceCache> {
+        self.distance_cache.as_ref()
     }
 
     /// The spatial-social network this engine serves.
@@ -262,6 +293,7 @@ impl<'a> GpSsnEngine<'a> {
                 heap_pops: meter.pops(),
                 groups_enumerated: meter.groups(),
                 dijkstra_settles: meter.settles(),
+                cache: cache_stats(&meter),
                 stats,
             },
         })
@@ -425,7 +457,7 @@ impl<'a> GpSsnEngine<'a> {
         let candidates = self.social_phase(q, &opts, &io, &mut stats);
         let (mut centers, mut outstanding) =
             self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
-        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut best: Option<GpSsnAnswer> = None;
         let mut best_val = f64::INFINITY;
@@ -466,6 +498,7 @@ impl<'a> GpSsnEngine<'a> {
                 heap_pops: meter.pops(),
                 groups_enumerated: meter.groups(),
                 dijkstra_settles: meter.settles(),
+                cache: cache_stats(&meter),
                 stats,
             },
         })
@@ -510,7 +543,13 @@ impl<'a> GpSsnEngine<'a> {
         let candidates = self.social_phase(q, &opts, &io, &mut stats);
         let (mut centers, mut outstanding) =
             self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
-        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut ws = DijkstraWorkspace::new();
+        let mut ctx = VerifyContext {
+            ws: &mut ws,
+            cache: self.distance_cache.as_ref(),
+            budget: &meter,
+        };
         let mut best_k: Vec<GpSsnAnswer> = Vec::new();
         for &(lb, center) in &centers {
             let bound = if best_k.len() < k {
@@ -532,7 +571,7 @@ impl<'a> GpSsnEngine<'a> {
                 center,
                 bound,
                 self.cfg.enumeration_cap,
-                &meter,
+                &mut ctx,
             );
             if let Some(ans) = v.answer {
                 if !best_k
@@ -540,7 +579,7 @@ impl<'a> GpSsnEngine<'a> {
                     .any(|b| b.users == ans.users && b.pois == ans.pois)
                 {
                     best_k.push(ans);
-                    best_k.sort_by(|a, b| a.maxdist.partial_cmp(&b.maxdist).unwrap());
+                    best_k.sort_by(|a, b| a.maxdist.total_cmp(&b.maxdist));
                     best_k.truncate(k);
                 }
             }
@@ -787,7 +826,7 @@ impl<'a> GpSsnEngine<'a> {
                 .filter(|&&u| u != q.user)
                 .map(|&u| self.social_index.user_rn_dists(u)[k])
                 .collect();
-            companions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            companions.sort_by(|a, b| a.total_cmp(b));
             let need = q.tau.saturating_sub(1);
             let kth = if need == 0 {
                 0.0
@@ -851,55 +890,35 @@ impl<'a> GpSsnEngine<'a> {
             }
         }
 
-        // Refinement over surviving centers, cheapest lower bound first.
-        centers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut best: Option<GpSsnAnswer> = None;
-        let mut best_val = f64::INFINITY;
+        // Refinement over surviving centers, cheapest lower bound first
+        // (ties broken by center id so every execution mode agrees on
+        // the order — the parallel merge below keys on it).
+        centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if meter.is_tripped() {
             // Traversal was cut short: every collected center is still
             // unverified, so its lb is outstanding.
             outstanding = centers.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
         }
-        for &(lb, center) in &centers {
-            if lb >= best_val {
-                break;
-            }
-            if meter.is_tripped() {
-                outstanding = outstanding.min(lb);
-                break;
-            }
-            let filtered = self.filter_candidates_for_center(candidates, center, best_val);
-            let v = verify_center(
-                self.ssn,
-                q,
-                &filtered,
-                center,
-                best_val,
-                self.cfg.enumeration_cap,
-                meter,
-            );
-            stats.pairs_refined += v.subsets_examined;
-            if let Some(ans) = v.answer {
-                best_val = ans.maxdist;
-                best = Some(ans);
-            }
-            if meter.is_tripped() {
-                // This center's verification was itself cut short, so it
-                // remains unresolved (centers are sorted, so `lb` also
-                // bounds every center we will now skip).
-                outstanding = outstanding.min(lb);
-                break;
-            }
-        }
+        let refined = self.refine_centers(q, opts, candidates, &centers, meter);
+        stats.pairs_refined += refined.pairs_refined;
+        outstanding = outstanding.min(refined.unresolved);
+        let mut best = refined.answer;
+        let mut best_val = refined.best_val;
 
         // Exactness fallback: deferred items that still beat the best.
-        deferred.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        deferred.sort_by(|a, b| a.0.total_cmp(&b.0));
         if meter.is_tripped() {
             // Deferred work never ran; anything cheaper than the best
             // verified answer is unresolved (folding in resolved items
             // only widens the reported gap — conservative, never wrong).
             outstanding = deferred.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
         } else {
+            let mut ws = DijkstraWorkspace::new();
+            let mut ctx = VerifyContext {
+                ws: &mut ws,
+                cache: self.distance_cache.as_ref(),
+                budget: meter,
+            };
             let mut fallback = MinHeap::new();
             for (lb, item) in deferred {
                 if lb < best_val {
@@ -946,7 +965,7 @@ impl<'a> GpSsnEngine<'a> {
                             center,
                             best_val,
                             self.cfg.enumeration_cap,
-                            meter,
+                            &mut ctx,
                         );
                         stats.pairs_refined += v.subsets_examined;
                         if let Some(ans) = v.answer {
@@ -1062,6 +1081,208 @@ impl<'a> GpSsnEngine<'a> {
             .collect()
     }
 
+    /// Verifies the sorted candidate centers and returns the best
+    /// feasible answer, dispatching on [`QueryOptions::refine_threads`].
+    /// `centers` must be sorted ascending by `(lb, id)`.
+    fn refine_centers(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        candidates: &[UserId],
+        centers: &[(f64, PoiId)],
+        meter: &BudgetState,
+    ) -> RefineOutcome {
+        let threads = match opts.refine_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(centers.len().max(1));
+        if threads <= 1 {
+            self.refine_centers_sequential(q, candidates, centers, meter)
+        } else {
+            self.refine_centers_parallel(q, candidates, centers, threads, meter)
+        }
+    }
+
+    /// The classical Algorithm-2 refinement loop: ascending-`lb` sweep
+    /// with early termination once `lb` reaches the incumbent.
+    fn refine_centers_sequential(
+        &self,
+        q: &GpSsnQuery,
+        candidates: &[UserId],
+        centers: &[(f64, PoiId)],
+        meter: &BudgetState,
+    ) -> RefineOutcome {
+        let mut out = RefineOutcome::empty();
+        let mut ws = DijkstraWorkspace::new();
+        let mut ctx = VerifyContext {
+            ws: &mut ws,
+            cache: self.distance_cache.as_ref(),
+            budget: meter,
+        };
+        for &(lb, center) in centers {
+            if lb >= out.best_val {
+                break;
+            }
+            if meter.is_tripped() {
+                out.unresolved = out.unresolved.min(lb);
+                break;
+            }
+            let filtered = self.filter_candidates_for_center(candidates, center, out.best_val);
+            let v = verify_center(
+                self.ssn,
+                q,
+                &filtered,
+                center,
+                out.best_val,
+                self.cfg.enumeration_cap,
+                &mut ctx,
+            );
+            out.pairs_refined += v.subsets_examined;
+            if let Some(ans) = v.answer {
+                out.best_val = ans.maxdist;
+                out.answer = Some(ans);
+            }
+            if meter.is_tripped() {
+                // This center's verification was itself cut short, so it
+                // remains unresolved (centers are sorted, so `lb` also
+                // bounds every center we will now skip).
+                out.unresolved = out.unresolved.min(lb);
+                break;
+            }
+        }
+        out
+    }
+
+    /// Parallel center refinement on scoped worker threads.
+    ///
+    /// Workers claim centers in ascending `(lb, id)` order off a shared
+    /// counter and verify against a shared monotone bound stored as
+    /// atomic f64 bits (bit patterns of non-negative floats order like
+    /// their values). Each verification uses [`bound_above`] of the
+    /// incumbent so *equal*-valued answers survive, and the final merge
+    /// picks the lexicographically smallest `(value, claim index)`.
+    ///
+    /// Under an untripped budget this reproduces the sequential answer
+    /// bit-for-bit: the sequential winner (the first center in sorted
+    /// order achieving the optimum `v`) always satisfies `lb <= v <=
+    /// incumbent`, so no worker ever skips it; its verification bound
+    /// always exceeds `v`, and [`verify_center`] returns a
+    /// bound-independent group; every other center either returns
+    /// nothing, a larger value, or an equal value at a larger index —
+    /// all of which lose the merge. A tripped budget may legitimately
+    /// differ from the sequential run (workers got further before the
+    /// trip); the reported gap stays sound because every claimed-but-
+    /// unfinished center folds its `lb` into `unresolved`.
+    fn refine_centers_parallel(
+        &self,
+        q: &GpSsnQuery,
+        candidates: &[UserId],
+        centers: &[(f64, PoiId)],
+        threads: usize,
+        meter: &BudgetState,
+    ) -> RefineOutcome {
+        let next = AtomicUsize::new(0);
+        let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
+        let worker = |claims: usize| {
+            let mut ws = DijkstraWorkspace::new();
+            let mut ctx = VerifyContext {
+                ws: &mut ws,
+                cache: self.distance_cache.as_ref(),
+                budget: meter,
+            };
+            let mut local: Option<(f64, usize, GpSsnAnswer)> = None;
+            let mut pairs = 0u64;
+            let mut unresolved = f64::INFINITY;
+            for _ in 0..claims {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= centers.len() {
+                    break;
+                }
+                let (lb, center) = centers[i];
+                if meter.is_tripped() {
+                    unresolved = unresolved.min(lb);
+                    break;
+                }
+                let bound = bound_above(f64::from_bits(best_bits.load(Ordering::Relaxed)));
+                if lb >= bound {
+                    break; // sorted: every unclaimed center is at least this costly
+                }
+                let filtered = self.filter_candidates_for_center(candidates, center, bound);
+                let v = verify_center(
+                    self.ssn,
+                    q,
+                    &filtered,
+                    center,
+                    bound,
+                    self.cfg.enumeration_cap,
+                    &mut ctx,
+                );
+                pairs += v.subsets_examined;
+                if let Some(ans) = v.answer {
+                    atomic_min_f64(&best_bits, ans.maxdist);
+                    let better = match &local {
+                        None => true,
+                        Some((bv, bi, _)) => (ans.maxdist, i) < (*bv, *bi),
+                    };
+                    if better {
+                        local = Some((ans.maxdist, i, ans));
+                    }
+                }
+                if meter.is_tripped() {
+                    // Conservative: this center may have completed, but
+                    // folding its lb in only widens the reported gap.
+                    unresolved = unresolved.min(lb);
+                    break;
+                }
+            }
+            (local, pairs, unresolved)
+        };
+        // Pilot: verify the cheapest center on the calling thread before
+        // fanning out, so workers start with an incumbent bound instead
+        // of all verifying their first claim against `∞` (which is
+        // redundant work the sequential sweep would have skipped). The
+        // pilot is simply claim 0 of the same protocol, so determinism
+        // is untouched.
+        let pilot = worker(1);
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| worker(usize::MAX)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Re-raise worker panics on the query thread so
+                    // the batch isolation layer sees them.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut out = RefineOutcome::empty();
+        let mut winner: Option<(f64, usize, GpSsnAnswer)> = None;
+        for (local, pairs, unresolved) in std::iter::once(pilot).chain(results) {
+            out.pairs_refined += pairs;
+            out.unresolved = out.unresolved.min(unresolved);
+            if let Some((v, i, ans)) = local {
+                let better = match &winner {
+                    None => true,
+                    Some((bv, bi, _)) => (v, i) < (*bv, *bi),
+                };
+                if better {
+                    winner = Some((v, i, ans));
+                }
+            }
+        }
+        if let Some((v, _, ans)) = winner {
+            out.best_val = v;
+            out.answer = Some(ans);
+        }
+        out
+    }
+
     /// Expands one `I_R` node: applies Lemma 6 / Lemma 1 matching pruning
     /// and pushes surviving children (or candidate centers) with their
     /// Eq. 17 lower bounds; updates `δ` with guarded Eq. 16/5 upper
@@ -1159,6 +1380,68 @@ impl<'a> GpSsnEngine<'a> {
             } else if ub_match_score_keywords(uq_interest, &aug.sup_keywords) < q.theta {
                 stats.pois_pruned_by_matching += 1;
             }
+        }
+    }
+}
+
+/// Snapshots the meter's distance-cache tallies into [`CacheStats`].
+fn cache_stats(meter: &BudgetState) -> crate::stats::CacheStats {
+    let (ball_hits, ball_misses, dist_hits, dist_misses) = meter.cache_tallies();
+    crate::stats::CacheStats {
+        ball_hits,
+        ball_misses,
+        dist_hits,
+        dist_misses,
+    }
+}
+
+/// What one refinement worker hands back: its best `(value, claim
+/// index, answer)` if any, subsets examined, and the minimum
+/// unresolved lower bound it left behind.
+type WorkerResult = (Option<(f64, usize, GpSsnAnswer)>, u64, f64);
+
+/// Result of the refinement stage over the sorted candidate centers.
+struct RefineOutcome {
+    answer: Option<GpSsnAnswer>,
+    best_val: f64,
+    pairs_refined: u64,
+    /// Smallest `lb` left unresolved by a budget trip (`f64::INFINITY`
+    /// when every center was either verified or soundly pruned).
+    unresolved: f64,
+}
+
+impl RefineOutcome {
+    fn empty() -> Self {
+        RefineOutcome {
+            answer: None,
+            best_val: f64::INFINITY,
+            pairs_refined: 0,
+            unresolved: f64::INFINITY,
+        }
+    }
+}
+
+/// The smallest f64 strictly above non-negative `v` (`INFINITY` maps to
+/// itself). Verifying against `bound_above(best)` admits answers *equal*
+/// to the incumbent, letting ties resolve deterministically by center
+/// order instead of by race outcome.
+fn bound_above(v: f64) -> f64 {
+    if v == f64::INFINITY {
+        f64::INFINITY
+    } else {
+        f64::from_bits(v.to_bits() + 1)
+    }
+}
+
+/// Lowers the shared bound (IEEE-754 bits of a non-negative f64) to `v`
+/// if `v` is smaller; monotone and lock-free. Bit patterns of
+/// non-negative floats order identically to their values.
+fn atomic_min_f64(best: &AtomicU64, v: f64) {
+    let mut cur = best.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match best.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(c) => cur = c,
         }
     }
 }
@@ -1396,6 +1679,7 @@ mod tests {
                 use_delta_pruning: false,
                 collect_stats: false,
                 use_tight_mbr_test: false,
+                refine_threads: 1,
             },
         );
         match (&full.answer, &no_prune.answer) {

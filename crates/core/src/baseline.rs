@@ -191,7 +191,7 @@ pub fn exact_baseline_top_k(
             per_center.push(a);
         }
     }
-    per_center.sort_by(|a, b| a.maxdist.partial_cmp(&b.maxdist).unwrap());
+    per_center.sort_by(|a, b| a.maxdist.total_cmp(&b.maxdist));
     // The engine deduplicates identical (S, R) pairs; mirror that.
     let mut out: Vec<GpSsnAnswer> = Vec::new();
     for a in per_center {

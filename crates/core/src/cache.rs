@@ -1,0 +1,268 @@
+//! Cross-query distance cache shared by refinement workers.
+//!
+//! Verifying a center recomputes two expensive artifacts that depend
+//! only on the immutable network, never on the query's social
+//! parameters: the road-network ball `⊙(o_i, r)` (a function of the
+//! center POI and the radius) and exact `dist_RN(u, o)` values (a
+//! function of a user's home and a POI position). Across a batch of
+//! queries — and even within one query, when several centers share ball
+//! members — the same pairs recur constantly. This module caches both,
+//! keyed so that a hit returns the *bit-identical* value the uncached
+//! computation would have produced:
+//!
+//! * balls are keyed by `(center, radius.to_bits())` — exact radius,
+//!   no bucketing slack, so the cached member list is exactly what
+//!   [`gpssn_road::PoiSet::network_ball`] returns;
+//! * distances are keyed by `(user, poi, direction)`. Direction matters
+//!   for bit-identity: Dijkstra from the user's home and Dijkstra from
+//!   the POI traverse the same shortest path but sum its edge weights
+//!   in opposite orders, which floating-point addition does not promise
+//!   to reconcile. Keying the direction means a hit only ever replaces
+//!   a run that would have produced the very same bits.
+//!
+//! The cache is sharded (one mutex per shard) so parallel refinement
+//! workers and batch query threads do not serialize on a single lock,
+//! and each shard is capacity-bounded with FIFO eviction — an evicted
+//! entry is simply recomputed, so eviction can never change results. A
+//! shard whose mutex was poisoned by a panicking worker recovers the
+//! inner value ([`std::sync::Mutex::into_inner`] semantics): the map is
+//! either intact or mid-insert of a single entry, and every stored
+//! value is immutable once present, so the worst case is one lost
+//! insert — never a wrong distance.
+
+use gpssn_road::PoiId;
+use gpssn_social::UserId;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Which endpoint seeded the Dijkstra that produced a cached distance.
+/// See the module docs for why this is part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistDir {
+    /// Seeded at the user's home, targeting POI positions.
+    FromUser,
+    /// Seeded at the POI position, targeting user homes.
+    FromPoi,
+}
+
+/// Capacity configuration for [`DistanceCache`].
+#[derive(Debug, Clone)]
+pub struct DistanceCacheConfig {
+    /// Total ball entries retained (FIFO per shard). `0` disables ball
+    /// caching.
+    pub ball_capacity: usize,
+    /// Total `dist_RN` entries retained (FIFO per shard). `0` disables
+    /// distance caching.
+    pub dist_capacity: usize,
+    /// Number of independently locked shards per map.
+    pub shards: usize,
+}
+
+impl Default for DistanceCacheConfig {
+    fn default() -> Self {
+        DistanceCacheConfig {
+            ball_capacity: 4096,
+            dist_capacity: 1 << 17,
+            shards: 8,
+        }
+    }
+}
+
+type BallKey = (PoiId, u64);
+/// A cached ball row: the `(poi, dist_RN)` pairs inside `⊙(center, r)`,
+/// shared by `Arc` so hits never copy.
+type BallRow = Arc<Vec<(PoiId, f64)>>;
+type DistKey = (UserId, PoiId, DistDir);
+
+/// One FIFO-bounded map. Insertion order is the eviction order;
+/// re-inserting an existing key refreshes the value without re-queueing.
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.map.get(k).cloned()
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(k.clone(), v).is_none() {
+            self.order.push_back(k);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Sharded, capacity-bounded cache of road-network balls and exact
+/// `dist_RN` values, shared across queries (and across refinement
+/// workers within one query). See the module docs for the exactness
+/// argument.
+pub struct DistanceCache {
+    balls: Vec<Mutex<Shard<BallKey, BallRow>>>,
+    dists: Vec<Mutex<Shard<DistKey, f64>>>,
+}
+
+/// Locks a shard, recovering from poisoning (see module docs).
+fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn shard_of<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+impl DistanceCache {
+    /// Builds an empty cache with the given capacities.
+    pub fn new(cfg: &DistanceCacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let per = |total: usize| {
+            if total == 0 {
+                0
+            } else {
+                total.div_ceil(shards)
+            }
+        };
+        DistanceCache {
+            balls: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per(cfg.ball_capacity))))
+                .collect(),
+            dists: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per(cfg.dist_capacity))))
+                .collect(),
+        }
+    }
+
+    /// The cached ball `⊙(center, radius)`, if present.
+    pub fn get_ball(&self, center: PoiId, radius: f64) -> Option<Arc<Vec<(PoiId, f64)>>> {
+        let key = (center, radius.to_bits());
+        lock_shard(&self.balls[shard_of(&key, self.balls.len())]).get(&key)
+    }
+
+    /// Stores the ball `⊙(center, radius)`.
+    pub fn put_ball(&self, center: PoiId, radius: f64, ball: Arc<Vec<(PoiId, f64)>>) {
+        let key = (center, radius.to_bits());
+        lock_shard(&self.balls[shard_of(&key, self.balls.len())]).insert(key, ball);
+    }
+
+    /// The cached `dist_RN(user, poi)` computed in direction `dir`, if
+    /// present.
+    pub fn get_dist(&self, user: UserId, poi: PoiId, dir: DistDir) -> Option<f64> {
+        let key = (user, poi, dir);
+        lock_shard(&self.dists[shard_of(&key, self.dists.len())]).get(&key)
+    }
+
+    /// Stores `dist_RN(user, poi)` computed in direction `dir`.
+    pub fn put_dist(&self, user: UserId, poi: PoiId, dir: DistDir, d: f64) {
+        let key = (user, poi, dir);
+        lock_shard(&self.dists[shard_of(&key, self.dists.len())]).insert(key, d);
+    }
+
+    /// Ball entries currently resident (across all shards).
+    pub fn ball_entries(&self) -> usize {
+        self.balls.iter().map(|s| lock_shard(s).map.len()).sum()
+    }
+
+    /// Distance entries currently resident (across all shards).
+    pub fn dist_entries(&self) -> usize {
+        self.dists.iter().map(|s| lock_shard(s).map.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DistanceCacheConfig {
+        DistanceCacheConfig {
+            ball_capacity: 4,
+            dist_capacity: 4,
+            shards: 1,
+        }
+    }
+
+    #[test]
+    fn round_trips_values() {
+        let c = DistanceCache::new(&tiny());
+        assert!(c.get_dist(1, 2, DistDir::FromUser).is_none());
+        c.put_dist(1, 2, DistDir::FromUser, 3.25);
+        assert_eq!(c.get_dist(1, 2, DistDir::FromUser), Some(3.25));
+        // Direction is part of the key.
+        assert!(c.get_dist(1, 2, DistDir::FromPoi).is_none());
+
+        let ball = Arc::new(vec![(7u32, 1.5f64), (9, 2.0)]);
+        c.put_ball(3, 2.5, Arc::clone(&ball));
+        assert_eq!(c.get_ball(3, 2.5), Some(ball));
+        assert!(c.get_ball(3, 2.5000001).is_none()); // exact radius key
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_residency() {
+        let c = DistanceCache::new(&tiny());
+        for i in 0..10u32 {
+            c.put_dist(i, 0, DistDir::FromUser, i as f64);
+        }
+        assert_eq!(c.dist_entries(), 4);
+        // Oldest entries left; newest retained.
+        assert!(c.get_dist(0, 0, DistDir::FromUser).is_none());
+        assert_eq!(c.get_dist(9, 0, DistDir::FromUser), Some(9.0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let c = DistanceCache::new(&DistanceCacheConfig {
+            ball_capacity: 0,
+            dist_capacity: 0,
+            shards: 4,
+        });
+        c.put_dist(1, 1, DistDir::FromPoi, 1.0);
+        c.put_ball(1, 1.0, Arc::new(vec![]));
+        assert_eq!(c.dist_entries(), 0);
+        assert_eq!(c.ball_entries(), 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let c = DistanceCache::new(&tiny());
+        for _ in 0..10 {
+            c.put_dist(1, 1, DistDir::FromUser, 2.0);
+        }
+        assert_eq!(c.dist_entries(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_with_data_intact() {
+        let c = Arc::new(DistanceCache::new(&tiny()));
+        c.put_dist(5, 5, DistDir::FromUser, 7.5);
+        // Poison the (single) dist shard by panicking while holding it.
+        let c2 = Arc::clone(&c);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = c2.dists[0].lock().unwrap();
+            panic!("injected fault while holding the shard lock");
+        }));
+        assert!(c.dists[0].is_poisoned());
+        // Reads and writes keep working; prior entries survive.
+        assert_eq!(c.get_dist(5, 5, DistDir::FromUser), Some(7.5));
+        c.put_dist(6, 6, DistDir::FromPoi, 1.25);
+        assert_eq!(c.get_dist(6, 6, DistDir::FromPoi), Some(1.25));
+    }
+}

@@ -16,7 +16,7 @@
 //! [`DEADLINE_CHECK_PERIOD`] events.
 
 use gpssn_social::UserId;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Everything that can go wrong while serving a GP-SSN query.
@@ -196,18 +196,51 @@ pub const DEADLINE_CHECK_PERIOD: u64 = 64;
 /// state is sticky — every later check reports the same [`Trip`] so the
 /// whole pipeline unwinds cooperatively.
 ///
-/// Uses `Cell` counters so it threads through `&self`-style call chains;
-/// one instance serves exactly one query (never shared across threads).
+/// Counters are relaxed atomics so one meter can be shared by the
+/// intra-query parallel refinement workers (`&self` everywhere, `Sync`);
+/// one instance still serves exactly one query. Caps remain *global*
+/// across workers: the combined work of all threads is charged to the
+/// same counters, so a budget of `N` settles admits `N` settles total,
+/// not `N` per thread.
 #[derive(Debug)]
 pub struct BudgetState {
     deadline_at: Option<Instant>,
     max_pops: u64,
     max_groups: u64,
     max_settles: u64,
-    pops: Cell<u64>,
-    groups: Cell<u64>,
-    settles: Cell<u64>,
-    tripped: Cell<Option<Trip>>,
+    pops: AtomicU64,
+    groups: AtomicU64,
+    settles: AtomicU64,
+    /// `0` = not tripped; otherwise `1 + Trip discriminant` of the first
+    /// trip (sticky via compare-exchange).
+    tripped: AtomicU8,
+    /// Cross-query distance-cache hit/miss tallies for this query
+    /// (ball cache, then exact `dist_RN` cache).
+    ball_hits: AtomicU64,
+    ball_misses: AtomicU64,
+    dist_hits: AtomicU64,
+    dist_misses: AtomicU64,
+}
+
+const TRIP_NONE: u8 = 0;
+
+fn trip_encode(t: Trip) -> u8 {
+    match t {
+        Trip::Deadline => 1,
+        Trip::HeapPops => 2,
+        Trip::Groups => 3,
+        Trip::DijkstraSettles => 4,
+    }
+}
+
+fn trip_decode(v: u8) -> Option<Trip> {
+    match v {
+        TRIP_NONE => None,
+        1 => Some(Trip::Deadline),
+        2 => Some(Trip::HeapPops),
+        3 => Some(Trip::Groups),
+        _ => Some(Trip::DijkstraSettles),
+    }
 }
 
 impl BudgetState {
@@ -218,10 +251,14 @@ impl BudgetState {
             max_pops: budget.max_heap_pops.unwrap_or(u64::MAX),
             max_groups: budget.max_groups_enumerated.unwrap_or(u64::MAX),
             max_settles: budget.max_dijkstra_settles.unwrap_or(u64::MAX),
-            pops: Cell::new(0),
-            groups: Cell::new(0),
-            settles: Cell::new(0),
-            tripped: Cell::new(None),
+            pops: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            settles: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIP_NONE),
+            ball_hits: AtomicU64::new(0),
+            ball_misses: AtomicU64::new(0),
+            dist_hits: AtomicU64::new(0),
+            dist_misses: AtomicU64::new(0),
         }
     }
 
@@ -236,18 +273,7 @@ impl BudgetState {
     /// reported metric never exceeds the budget.
     #[inline]
     pub fn note_pop(&self) -> Option<Trip> {
-        if let Some(t) = self.tripped.get() {
-            return Some(t);
-        }
-        let n = self.pops.get();
-        if n >= self.max_pops {
-            return self.trip_now(Trip::HeapPops);
-        }
-        self.pops.set(n + 1);
-        if (n + 1).is_multiple_of(DEADLINE_CHECK_PERIOD) {
-            return self.check_deadline();
-        }
-        None
+        self.note_counted(&self.pops, self.max_pops, Trip::HeapPops)
     }
 
     /// Records one enumerated connected subset; returns the trip if any
@@ -255,14 +281,21 @@ impl BudgetState {
     /// the tripping attempt itself is not counted.
     #[inline]
     pub fn note_group(&self) -> Option<Trip> {
-        if let Some(t) = self.tripped.get() {
+        self.note_counted(&self.groups, self.max_groups, Trip::Groups)
+    }
+
+    #[inline]
+    fn note_counted(&self, counter: &AtomicU64, max: u64, kind: Trip) -> Option<Trip> {
+        if let Some(t) = self.trip() {
             return Some(t);
         }
-        let n = self.groups.get();
-        if n >= self.max_groups {
-            return self.trip_now(Trip::Groups);
+        let n = counter.fetch_add(1, Ordering::Relaxed);
+        if n >= max {
+            // Uncount the tripping attempt so the reported metric never
+            // exceeds the budget, even when several workers race here.
+            counter.fetch_sub(1, Ordering::Relaxed);
+            return self.trip_now(kind);
         }
-        self.groups.set(n + 1);
         if (n + 1).is_multiple_of(DEADLINE_CHECK_PERIOD) {
             return self.check_deadline();
         }
@@ -274,22 +307,48 @@ impl BudgetState {
     /// so the deadline is consulted on every call.
     #[inline]
     pub fn add_settles(&self, n: u64) -> Option<Trip> {
-        if let Some(t) = self.tripped.get() {
+        if let Some(t) = self.trip() {
             return Some(t);
         }
-        let total = self.settles.get().saturating_add(n);
-        self.settles.set(total);
+        let total = self
+            .settles
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
         if total > self.max_settles {
             return self.trip_now(Trip::DijkstraSettles);
         }
         self.check_deadline()
     }
 
+    /// Records a cross-query distance-cache lookup for a road-network
+    /// ball (`hit = true` when served from the cache).
+    #[inline]
+    pub fn note_ball_cache(&self, hit: bool) {
+        let c = if hit {
+            &self.ball_hits
+        } else {
+            &self.ball_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cross-query distance-cache lookups for exact
+    /// `dist_RN(u, o)` values (`hit = true` when served from the cache).
+    #[inline]
+    pub fn note_dist_cache(&self, hit: bool, n: u64) {
+        let c = if hit {
+            &self.dist_hits
+        } else {
+            &self.dist_misses
+        };
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Re-checks the sticky trip state and the deadline without charging
     /// any work (used between pipeline stages).
     #[inline]
     pub fn check(&self) -> Option<Trip> {
-        if let Some(t) = self.tripped.get() {
+        if let Some(t) = self.trip() {
             return Some(t);
         }
         self.check_deadline()
@@ -297,27 +356,38 @@ impl BudgetState {
 
     /// Whether any budget has tripped.
     pub fn is_tripped(&self) -> bool {
-        self.tripped.get().is_some()
+        self.trip().is_some()
     }
 
     /// The first trip, if any.
     pub fn trip(&self) -> Option<Trip> {
-        self.tripped.get()
+        trip_decode(self.tripped.load(Ordering::Relaxed))
     }
 
     /// Heap pops recorded so far.
     pub fn pops(&self) -> u64 {
-        self.pops.get()
+        self.pops.load(Ordering::Relaxed)
     }
 
     /// Connected subsets recorded so far.
     pub fn groups(&self) -> u64 {
-        self.groups.get()
+        self.groups.load(Ordering::Relaxed)
     }
 
     /// Dijkstra-settled vertices recorded so far.
     pub fn settles(&self) -> u64 {
-        self.settles.get()
+        self.settles.load(Ordering::Relaxed)
+    }
+
+    /// `(ball hits, ball misses, dist hits, dist misses)` recorded so far
+    /// against the cross-query distance cache.
+    pub fn cache_tallies(&self) -> (u64, u64, u64, u64) {
+        (
+            self.ball_hits.load(Ordering::Relaxed),
+            self.ball_misses.load(Ordering::Relaxed),
+            self.dist_hits.load(Ordering::Relaxed),
+            self.dist_misses.load(Ordering::Relaxed),
+        )
     }
 
     #[inline]
@@ -329,8 +399,17 @@ impl BudgetState {
     }
 
     fn trip_now(&self, t: Trip) -> Option<Trip> {
-        self.tripped.set(Some(t));
-        Some(t)
+        // First trip wins; later (possibly different) trips from racing
+        // workers keep reporting the original cause.
+        match self.tripped.compare_exchange(
+            TRIP_NONE,
+            trip_encode(t),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => Some(t),
+            Err(prev) => trip_decode(prev),
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 
 pub mod algorithm;
 pub mod baseline;
+pub mod cache;
 pub mod error;
 pub mod pruning;
 pub mod query;
@@ -34,13 +35,15 @@ pub mod sampling;
 pub mod stats;
 pub mod tuning;
 
-pub use algorithm::{EngineConfig, GpSsnEngine};
+pub use algorithm::{EngineConfig, GpSsnEngine, QueryOptions};
 pub use baseline::{
     estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
     BaselineEstimate,
 };
+pub use cache::{DistDir, DistanceCache, DistanceCacheConfig};
 pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};
+pub use refinement::{verify_center, CenterVerification, VerifyContext};
 pub use sampling::{sample_connected_group, verify_center_sampled};
-pub use stats::{PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
+pub use stats::{CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

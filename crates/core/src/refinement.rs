@@ -17,12 +17,14 @@
 //!    the optimal objective `c_k` exactly (any group with smaller maximum
 //!    cost would fit inside a shorter, infeasible prefix).
 
+use crate::cache::{DistDir, DistanceCache};
 use crate::error::BudgetState;
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use gpssn_graph::enumerate_connected_subsets;
-use gpssn_road::{dist_rn_many_counted, NetworkPoint, PoiId};
+use gpssn_graph::{enumerate_connected_subsets, DijkstraWorkspace};
+use gpssn_road::{dist_rn_many_counted_with, NetworkPoint, PoiId};
 use gpssn_social::UserId;
 use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
+use std::sync::Arc;
 
 /// Fault-injection points for the panic-isolation tests. Always compiled
 /// (the hot-path cost is one relaxed atomic load per verified center);
@@ -51,13 +53,122 @@ pub struct CenterVerification {
     pub subsets_examined: u64,
 }
 
+/// Per-worker state threaded through [`verify_center`]: a reusable
+/// Dijkstra workspace (allocation-free repeated runs), the optional
+/// cross-query [`DistanceCache`], and the query's budget meter. In
+/// parallel refinement each worker owns its workspace while the cache
+/// and budget are shared.
+pub struct VerifyContext<'a> {
+    /// Reused across every Dijkstra this worker runs.
+    pub ws: &'a mut DijkstraWorkspace,
+    /// Cross-query ball / `dist_RN` cache, if the engine has one.
+    pub cache: Option<&'a DistanceCache>,
+    /// The query's budget meter (shared across workers).
+    pub budget: &'a BudgetState,
+}
+
+/// `dist_RN(user, o)` for every ball member `o`, via one multi-target
+/// Dijkstra seeded at the user's home — served from the cache when every
+/// pair is resident (all-or-nothing: a partial hit recomputes the whole
+/// run, since one Dijkstra covers all targets anyway). Freshly computed
+/// values are inserted even when the budget trips mid-run (they are
+/// exact). `None` means the budget tripped.
+fn row_from_user(
+    ssn: &SpatialSocialNetwork,
+    ctx: &mut VerifyContext<'_>,
+    user: UserId,
+    r_ids: &[PoiId],
+    positions: &[NetworkPoint],
+) -> Option<Vec<f64>> {
+    if let Some(cache) = ctx.cache {
+        let mut row = Vec::with_capacity(r_ids.len());
+        let all_hit = r_ids
+            .iter()
+            .all(|&o| match cache.get_dist(user, o, DistDir::FromUser) {
+                Some(d) => {
+                    row.push(d);
+                    true
+                }
+                None => false,
+            });
+        if all_hit {
+            ctx.budget.note_dist_cache(true, r_ids.len() as u64);
+            return Some(row);
+        }
+    }
+    let (row, settled) = dist_rn_many_counted_with(ssn.road(), ctx.ws, &ssn.home(user), positions);
+    ctx.budget.add_settles(settled);
+    if let Some(cache) = ctx.cache {
+        ctx.budget.note_dist_cache(false, r_ids.len() as u64);
+        for (&o, &d) in r_ids.iter().zip(&row) {
+            cache.put_dist(user, o, DistDir::FromUser, d);
+        }
+    }
+    if ctx.budget.is_tripped() {
+        None
+    } else {
+        Some(row)
+    }
+}
+
+/// `dist_RN(u, poi)` for every eligible user `u`, via one multi-target
+/// Dijkstra seeded at the POI. Same cache contract as
+/// [`row_from_user`]; the direction is part of the key (see
+/// [`crate::cache`] for why).
+fn col_from_poi(
+    ssn: &SpatialSocialNetwork,
+    ctx: &mut VerifyContext<'_>,
+    poi: PoiId,
+    pos: &NetworkPoint,
+    eligible: &[UserId],
+    homes: &[NetworkPoint],
+) -> Option<Vec<f64>> {
+    if let Some(cache) = ctx.cache {
+        let mut col = Vec::with_capacity(eligible.len());
+        let all_hit = eligible
+            .iter()
+            .all(|&u| match cache.get_dist(u, poi, DistDir::FromPoi) {
+                Some(d) => {
+                    col.push(d);
+                    true
+                }
+                None => false,
+            });
+        if all_hit {
+            ctx.budget.note_dist_cache(true, eligible.len() as u64);
+            return Some(col);
+        }
+    }
+    let (col, settled) = dist_rn_many_counted_with(ssn.road(), ctx.ws, pos, homes);
+    ctx.budget.add_settles(settled);
+    if let Some(cache) = ctx.cache {
+        ctx.budget.note_dist_cache(false, eligible.len() as u64);
+        for (&u, &d) in eligible.iter().zip(&col) {
+            cache.put_dist(u, poi, DistDir::FromPoi, d);
+        }
+    }
+    if ctx.budget.is_tripped() {
+        None
+    } else {
+        Some(col)
+    }
+}
+
 /// Verifies candidate center `center`. `best_so_far` allows early exits:
 /// a center whose query-user cost already reaches it cannot improve the
 /// global answer. `enumeration_cap` bounds the subsets examined per
 /// feasibility check (a safety valve; `u32::MAX as usize` disables it).
-/// Dijkstra settles and enumerated subsets are charged to `budget`; once
-/// it trips the verification stops early, reporting the best group it had
-/// fully verified by then (see [`CenterVerification::answer`]).
+/// Dijkstra settles and enumerated subsets are charged to `ctx.budget`;
+/// once it trips the verification stops early, reporting the best group
+/// it had fully verified by then (see [`CenterVerification::answer`]).
+///
+/// **Determinism.** On a completed (untripped) search the returned
+/// group is the one found at the minimal feasible cost-prefix `k*` — a
+/// pure function of the center, the exact user costs, and the query's
+/// social constraints. Any `best_so_far` larger than the center's
+/// optimal value yields the same group bit-for-bit, which is what lets
+/// parallel refinement (whose workers race the shared bound downward)
+/// reproduce the sequential answer exactly.
 pub fn verify_center(
     ssn: &SpatialSocialNetwork,
     q: &GpSsnQuery,
@@ -65,7 +176,7 @@ pub fn verify_center(
     center: PoiId,
     best_so_far: f64,
     enumeration_cap: usize,
-    budget: &BudgetState,
+    ctx: &mut VerifyContext<'_>,
 ) -> CenterVerification {
     if q.user == test_hooks::PANIC_ON_USER.load(std::sync::atomic::Ordering::Relaxed) {
         panic!("test hook: injected refinement fault for user {}", q.user);
@@ -74,8 +185,31 @@ pub fn verify_center(
         answer: None,
         subsets_examined: 0,
     };
+    let budget = ctx.budget;
     let center_pos = ssn.pois().get(center).position;
-    let ball = ssn.pois().network_ball(ssn.road(), &center_pos, q.radius);
+    let ball: Arc<Vec<(PoiId, f64)>> = match ctx.cache {
+        Some(cache) => match cache.get_ball(center, q.radius) {
+            Some(b) => {
+                budget.note_ball_cache(true);
+                b
+            }
+            None => {
+                budget.note_ball_cache(false);
+                let b = Arc::new(ssn.pois().network_ball_with(
+                    ssn.road(),
+                    ctx.ws,
+                    &center_pos,
+                    q.radius,
+                ));
+                cache.put_ball(center, q.radius, Arc::clone(&b));
+                b
+            }
+        },
+        None => Arc::new(
+            ssn.pois()
+                .network_ball_with(ssn.road(), ctx.ws, &center_pos, q.radius),
+        ),
+    };
     if ball.is_empty() {
         return out;
     }
@@ -89,8 +223,9 @@ pub fn verify_center(
 
     // Exact cost of the query user first — one Dijkstra, cheapest exit.
     let positions: Vec<NetworkPoint> = r_ids.iter().map(|&o| ssn.pois().get(o).position).collect();
-    let (cq_dists, settled) = dist_rn_many_counted(ssn.road(), &ssn.home(q.user), &positions);
-    budget.add_settles(settled);
+    let Some(cq_dists) = row_from_user(ssn, ctx, q.user, &r_ids, &positions) else {
+        return out;
+    };
     let cq = cq_dists.into_iter().fold(0.0f64, f64::max);
     if cq >= best_so_far || budget.is_tripped() {
         return out; // any group containing u_q costs at least cq
@@ -114,28 +249,27 @@ pub fn verify_center(
     let homes: Vec<NetworkPoint> = eligible.iter().map(|&u| ssn.home(u)).collect();
     let mut cost_vec = vec![0.0f64; eligible.len()];
     if positions.len() <= eligible.len() {
-        for pos in &positions {
-            let (col, settled) = dist_rn_many_counted(ssn.road(), pos, &homes);
-            budget.add_settles(settled);
-            if budget.is_tripped() {
+        for (&o, pos) in r_ids.iter().zip(&positions) {
+            let Some(col) = col_from_poi(ssn, ctx, o, pos, &eligible, &homes) else {
                 return out;
-            }
+            };
             for (c, d) in cost_vec.iter_mut().zip(col) {
                 *c = c.max(d);
             }
         }
     } else {
-        for (c, home) in cost_vec.iter_mut().zip(&homes) {
-            let (col, settled) = dist_rn_many_counted(ssn.road(), home, &positions);
-            budget.add_settles(settled);
-            if budget.is_tripped() {
+        for (c, &u) in cost_vec.iter_mut().zip(&eligible) {
+            let Some(row) = row_from_user(ssn, ctx, u, &r_ids, &positions) else {
                 return out;
-            }
-            *c = col.into_iter().fold(0.0f64, f64::max);
+            };
+            *c = row.into_iter().fold(0.0f64, f64::max);
         }
     }
     let mut costs: Vec<(UserId, f64)> = eligible.iter().copied().zip(cost_vec).collect();
-    costs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    // Total order (panic-proof under NaN) with an id tie-break, so the
+    // enabled prefix at any length is canonical — independent of the
+    // candidate ordering the caller happened to pass.
+    costs.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     // Only prefixes that beat the incumbent are worth exploring.
     let usable = costs.partition_point(|&(_, c)| c < best_so_far);
     let costs = &costs[..usable];
@@ -185,24 +319,37 @@ pub fn verify_center(
             .map(|&u| costs.iter().find(|&&(v, _)| v == u).unwrap().1)
             .fold(0.0f64, f64::max)
     };
-    let mut best_group: Option<(Vec<UserId>, f64)> = None;
-    let consider = |g: Vec<UserId>, best: &mut Option<(Vec<UserId>, f64)>| {
-        let md = group_maxdist(&g);
-        if best.as_ref().is_none_or(|&(_, b)| md < b) {
-            *best = Some((g, md));
-        }
-    };
+    // Two trackers over the feasibility probes: `min_prefix_group` is
+    // the group from the feasible probe at the *smallest* prefix
+    // (feasible probes occur at strictly decreasing prefixes, so a
+    // plain overwrite suffices). On a completed search that probe is at
+    // the minimal feasible prefix `k*` — the binary search always
+    // probes `k*` itself — making the group a pure function of the
+    // center and the costs, independent of `best_so_far` (see the
+    // determinism note on [`verify_center`]). `best_verified` is the
+    // cheapest group any probe returned: the fallback reported when a
+    // budget trip stops the search before it reaches `k*`.
+    let mut best_verified: Option<(Vec<UserId>, f64)> = None;
+    let mut min_prefix_group: Option<Vec<UserId>> = None;
+    let record =
+        |g: Vec<UserId>, best: &mut Option<(Vec<UserId>, f64)>, minp: &mut Option<Vec<UserId>>| {
+            let md = group_maxdist(&g);
+            if best.as_ref().is_none_or(|&(_, b)| md < b) {
+                *best = Some((g.clone(), md));
+            }
+            *minp = Some(g);
+        };
     let mut lo = q.tau; // smallest prefix that could host a group
     let mut hi = costs.len();
     match feasible_at(hi, &mut out) {
-        Some(g) => consider(g, &mut best_group),
+        Some(g) => record(g, &mut best_verified, &mut min_prefix_group),
         None => return out, // infeasible (or truncated before any find)
     }
     while lo < hi && !budget.is_tripped() {
         let mid = (lo + hi) / 2;
         match feasible_at(mid, &mut out) {
             Some(g) => {
-                consider(g, &mut best_group);
+                record(g, &mut best_verified, &mut min_prefix_group);
                 hi = mid;
             }
             None => {
@@ -214,11 +361,19 @@ pub fn verify_center(
         }
     }
     // When the search ran to completion, `hi` is the minimal feasible
-    // prefix and its probe's group (already considered) is optimal: its
-    // maxdist <= costs[hi-1].1, and any cheaper group would fit inside a
-    // shorter, infeasible prefix. On a trip, `best_group` is merely the
-    // best verified so far.
-    if let Some((group, maxdist)) = best_group {
+    // prefix and its probe's group is optimal: its maxdist equals
+    // costs[hi-1].1, and any cheaper group would fit inside a shorter,
+    // infeasible prefix. On a trip, fall back to the best group
+    // verified before the cut.
+    let chosen = if budget.is_tripped() {
+        best_verified
+    } else {
+        min_prefix_group.map(|g| {
+            let md = group_maxdist(&g);
+            (g, md)
+        })
+    };
+    if let Some((group, maxdist)) = chosen {
         if maxdist < best_so_far {
             let mut users = group;
             users.sort_unstable();
@@ -240,6 +395,25 @@ mod tests {
     use gpssn_road::{Poi, PoiSet, RoadNetwork};
     use gpssn_social::{InterestVector, SocialNetwork};
     use gpssn_spatial::Point;
+
+    /// Drives [`verify_center`] with a fresh workspace, no cache, and an
+    /// unlimited budget.
+    fn verify(
+        ssn: &SpatialSocialNetwork,
+        q: &GpSsnQuery,
+        candidates: &[UserId],
+        center: PoiId,
+        best: f64,
+    ) -> CenterVerification {
+        let mut ws = DijkstraWorkspace::new();
+        let budget = BudgetState::unlimited();
+        let mut ctx = VerifyContext {
+            ws: &mut ws,
+            cache: None,
+            budget: &budget,
+        };
+        verify_center(ssn, q, candidates, center, best, usize::MAX, &mut ctx)
+    }
 
     /// Line road 0..4 (x = 0, 2, 4, 6, 8); POIs at x = 1, 3, 7.
     /// Users: 0 at x=0, 1 at x=2, 2 at x=4, 3 at x=8.
@@ -283,15 +457,7 @@ mod tests {
             theta: 0.5,
             radius: 2.1,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY);
         let ans = v.answer.expect("feasible");
         assert_eq!(ans.users, vec![0, 1]);
         // c(0)=dist to x=3 -> 3; c(1)=max(1,1)=1 -> maxdist = 3.
@@ -312,15 +478,7 @@ mod tests {
             theta: 0.85,
             radius: 0.5,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY);
         // Eligible: users 0 (0.9), 2 (0.9), 3 (0.9); group must be
         // connected & contain 0: {0,2}? not adjacent (0-1,1-2) -> no.
         assert!(v.answer.is_none());
@@ -337,15 +495,7 @@ mod tests {
             theta: 0.0,
             radius: 2.1,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY);
         assert!(v.answer.is_none());
     }
 
@@ -360,15 +510,7 @@ mod tests {
             radius: 2.1,
         };
         // Optimal is 3.0; a bound of 2.9 must yield nothing.
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            2.9,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, 2.9);
         assert!(v.answer.is_none());
     }
 
@@ -382,15 +524,7 @@ mod tests {
             theta: 0.5,
             radius: 2.1,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY);
         let ans = v.answer.expect("singleton group");
         assert_eq!(ans.users, vec![1]);
         assert!((ans.maxdist - 1.0).abs() < 1e-9); // max(dist to x=1, x=3) = 1
@@ -406,15 +540,7 @@ mod tests {
             theta: 0.0,
             radius: 2.1,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[], 0, f64::INFINITY);
         assert!(v.answer.is_some());
     }
 
@@ -428,15 +554,7 @@ mod tests {
             theta: 0.0,
             radius: 2.1,
         };
-        let v = verify_center(
-            &ssn,
-            &q,
-            &[0, 1, 2, 3],
-            0,
-            f64::INFINITY,
-            usize::MAX,
-            &BudgetState::unlimited(),
-        );
+        let v = verify(&ssn, &q, &[0, 1, 2, 3], 0, f64::INFINITY);
         assert!(v.answer.is_none());
     }
 }

@@ -117,6 +117,36 @@ fn ratio(num: usize, den: usize) -> f64 {
     }
 }
 
+/// Per-query tallies against the engine's cross-query distance cache
+/// (all zero when the engine has no cache). Counted per looked-up value:
+/// one ball lookup per verified center, one `dist_RN` lookup per
+/// (user, POI) pair a verification needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Road-network balls served from the cache.
+    pub ball_hits: u64,
+    /// Road-network balls computed (and inserted).
+    pub ball_misses: u64,
+    /// `dist_RN` values served from the cache.
+    pub dist_hits: u64,
+    /// `dist_RN` values computed (and inserted).
+    pub dist_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of all lookups (balls and distances) served from the
+    /// cache; `0.0` when there were none.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.ball_hits + self.dist_hits;
+        let total = hits + self.ball_misses + self.dist_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
 /// Wall-clock and I/O metrics of one query.
 #[derive(Debug, Clone, Default)]
 pub struct QueryMetrics {
@@ -133,6 +163,8 @@ pub struct QueryMetrics {
     /// Vertices settled by refinement-time Dijkstra runs (the unit of
     /// [`crate::QueryBudget::max_dijkstra_settles`]).
     pub dijkstra_settles: u64,
+    /// Distance-cache tallies (see [`CacheStats`]).
+    pub cache: CacheStats,
     /// Pruning counters.
     pub stats: PruningStats,
 }

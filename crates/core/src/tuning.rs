@@ -154,7 +154,7 @@ impl TunedParameters {
 fn percentile_of(values: &mut [f64], percentile: f64) -> f64 {
     assert!(!values.is_empty());
     let p = percentile.clamp(0.0, 1.0);
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.sort_by(|a, b| a.total_cmp(b));
     let idx = ((values.len() - 1) as f64 * p).round() as usize;
     values[idx]
 }

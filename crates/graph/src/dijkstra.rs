@@ -16,6 +16,7 @@
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::heap::IndexedMinHeap;
+use crate::workspace::DijkstraWorkspace;
 
 /// Sentinel distance for unreachable vertices.
 pub const INFINITY: f64 = f64::INFINITY;
@@ -66,58 +67,21 @@ pub fn dijkstra_targets_counted(
     (dist, settled.len() as u64)
 }
 
+/// One-shot wrapper around [`DijkstraWorkspace`]: the workspace owns the
+/// single Dijkstra implementation; these free functions merely run a
+/// throwaway one (so reused and fresh runs cannot diverge).
 fn run(
     graph: &CsrGraph,
     seeds: &[(NodeId, f64)],
     radius: f64,
     targets: Option<&[NodeId]>,
 ) -> (DistanceMap, Vec<NodeId>) {
-    let n = graph.num_nodes();
-    let mut dist = vec![INFINITY; n];
-    let mut heap = IndexedMinHeap::new(n);
-    for &(s, d0) in seeds {
-        debug_assert!(d0 >= 0.0);
-        if d0 < dist[s as usize] {
-            dist[s as usize] = d0;
-            heap.push_or_decrease(s, d0);
-        }
-    }
-    let mut pending: Vec<bool> = Vec::new();
-    let mut remaining = 0usize;
-    if let Some(ts) = targets {
-        pending = vec![false; n];
-        for &t in ts {
-            if !pending[t as usize] {
-                pending[t as usize] = true;
-                remaining += 1;
-            }
-        }
-        if remaining == 0 {
-            return (dist, Vec::new());
-        }
-    }
-    let mut settled = Vec::new();
-    while let Some((v, d)) = heap.pop() {
-        if d > radius {
-            break;
-        }
-        settled.push(v);
-        if targets.is_some() && pending[v as usize] {
-            pending[v as usize] = false;
-            remaining -= 1;
-            if remaining == 0 {
-                break;
-            }
-        }
-        for nb in graph.neighbors(v) {
-            let nd = d + nb.weight;
-            if nd < dist[nb.node as usize] && nd <= radius {
-                dist[nb.node as usize] = nd;
-                heap.push_or_decrease(nb.node, nd);
-            }
-        }
-    }
-    (dist, settled)
+    let mut ws = DijkstraWorkspace::new();
+    match targets {
+        None => ws.run_bounded(graph, seeds, radius),
+        Some(ts) => ws.run_targets(graph, seeds, ts),
+    };
+    ws.into_parts()
 }
 
 /// Dijkstra that also records the shortest-path tree: returns

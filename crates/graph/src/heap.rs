@@ -9,7 +9,7 @@
 ///
 /// Every item may be present at most once. Keys must be non-NaN; this is
 /// enforced by debug assertions on insertion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct IndexedMinHeap {
     /// Heap array of `(key, item)`.
     heap: Vec<(f64, u32)>,
@@ -25,6 +25,15 @@ impl IndexedMinHeap {
         IndexedMinHeap {
             heap: Vec::new(),
             pos: vec![NOT_IN_HEAP; capacity],
+        }
+    }
+
+    /// Grows the item capacity to at least `capacity` (never shrinks;
+    /// existing contents are preserved). Lets a recycled heap follow the
+    /// largest graph it has served.
+    pub fn grow(&mut self, capacity: usize) {
+        if self.pos.len() < capacity {
+            self.pos.resize(capacity, NOT_IN_HEAP);
         }
     }
 

@@ -30,6 +30,7 @@ pub mod hop_labels;
 pub mod partition;
 pub mod sampling;
 pub mod subgraph;
+pub mod workspace;
 
 pub use alt::AltOracle;
 pub use bfs::{bounded_hops, hop_distances};
@@ -44,3 +45,4 @@ pub use hop_labels::HopLabels;
 pub use partition::{partition_graph, Partitioning};
 pub use sampling::{IndexSampler, ValueDistribution};
 pub use subgraph::enumerate_connected_subsets;
+pub use workspace::DijkstraWorkspace;

@@ -57,7 +57,7 @@ impl IndexSampler {
             rng.gen_range(0..self.k)
         } else {
             let u: f64 = rng.gen();
-            match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
                 Ok(i) => (i + 1).min(self.k - 1),
                 Err(i) => i.min(self.k - 1),
             }

@@ -97,15 +97,19 @@ impl RoadIndex {
         );
         let n = pois.len();
         let mut poi_aug = Vec::with_capacity(n);
+        // One reusable workspace serves all 2n ball Dijkstras of the
+        // build (two radius-bounded runs per POI), keeping the build
+        // allocation-free in its hottest loop.
+        let mut ws = gpssn_graph::DijkstraWorkspace::new();
         for id in 0..n as PoiId {
             let center = pois.get(id).position;
             let sup_ball: Vec<PoiId> = pois
-                .network_ball(road, &center, 2.0 * cfg.r_max)
+                .network_ball_with(road, &mut ws, &center, 2.0 * cfg.r_max)
                 .into_iter()
                 .map(|(o, _)| o)
                 .collect();
             let sub_ball: Vec<PoiId> = pois
-                .network_ball(road, &center, cfg.r_min)
+                .network_ball_with(road, &mut ws, &center, cfg.r_min)
                 .into_iter()
                 .map(|(o, _)| o)
                 .collect();

@@ -346,7 +346,7 @@ fn topic_aware_partition(ssn: &SpatialSocialNetwork, leaf_size: usize) -> Vec<Ve
         .map(|u| {
             let w = social.interest(u);
             (0..d)
-                .max_by(|&a, &b| w.weight(a).partial_cmp(&w.weight(b)).unwrap())
+                .max_by(|&a, &b| w.weight(a).total_cmp(&w.weight(b)))
                 .unwrap_or(0)
         })
         .collect();

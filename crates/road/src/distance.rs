@@ -8,7 +8,7 @@
 
 use crate::network::RoadNetwork;
 use crate::poi::NetworkPoint;
-use gpssn_graph::{dijkstra_targets, dijkstra_targets_counted, DistanceMap, NodeId};
+use gpssn_graph::{dijkstra_targets, DijkstraWorkspace, NodeId};
 
 /// Exact road-network distance between two on-edge points.
 pub fn dist_rn(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> f64 {
@@ -21,17 +21,7 @@ pub fn dist_rn(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> f64 {
 /// Dijkstra run (early-terminating once every target edge endpoint is
 /// settled).
 pub fn dist_rn_many(net: &RoadNetwork, a: &NetworkPoint, targets: &[NetworkPoint]) -> Vec<f64> {
-    let mut endpoints: Vec<NodeId> = Vec::with_capacity(targets.len() * 2);
-    for t in targets {
-        let (u, v, _) = net.edge(t.edge);
-        endpoints.push(u);
-        endpoints.push(v);
-    }
-    let dist = dijkstra_targets(net.graph(), &a.seeds(net), &endpoints);
-    targets
-        .iter()
-        .map(|t| point_dist_from_map(net, &dist, a, t))
-        .collect()
+    dist_rn_many_counted(net, a, targets).0
 }
 
 /// [`dist_rn_many`] plus the number of vertices the underlying Dijkstra
@@ -41,17 +31,33 @@ pub fn dist_rn_many_counted(
     a: &NetworkPoint,
     targets: &[NetworkPoint],
 ) -> (Vec<f64>, u64) {
+    let mut ws = DijkstraWorkspace::new();
+    dist_rn_many_counted_with(net, &mut ws, a, targets)
+}
+
+/// [`dist_rn_many_counted`] running inside a caller-provided
+/// [`DijkstraWorkspace`], so repeated refinement-time calls are
+/// allocation-free. Results are identical to the one-shot variant.
+pub fn dist_rn_many_counted_with(
+    net: &RoadNetwork,
+    ws: &mut DijkstraWorkspace,
+    a: &NetworkPoint,
+    targets: &[NetworkPoint],
+) -> (Vec<f64>, u64) {
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(targets.len() * 2);
     for t in targets {
         let (u, v, _) = net.edge(t.edge);
         endpoints.push(u);
         endpoints.push(v);
     }
-    let (dist, settled) = dijkstra_targets_counted(net.graph(), &a.seeds(net), &endpoints);
+    // The workspace deduplicates endpoints shared between targets, so
+    // early termination fires on the distinct set and the settle count
+    // charged to budgets is not inflated.
+    let settled = ws.run_targets(net.graph(), &a.seeds(net), &endpoints);
     (
         targets
             .iter()
-            .map(|t| point_dist_from_map(net, &dist, a, t))
+            .map(|t| point_dist_from_map(net, ws.dist(), a, t))
             .collect(),
         settled,
     )
@@ -66,17 +72,23 @@ pub fn dist_rn_many_counted(
 /// ball queries need).
 pub fn point_dist_from_map(
     net: &RoadNetwork,
-    dist: &DistanceMap,
+    dist: &[f64],
     a: &NetworkPoint,
     b: &NetworkPoint,
 ) -> f64 {
     let (bu, bv, blen) = net.edge(b.edge);
+    // The along-edge shortcut is evaluated first so it wins even when
+    // both endpoints sit at `INFINITY` in a radius-bounded (or
+    // disconnected-component) map: two points on the same edge are always
+    // mutually reachable along it, whatever the vertex map says.
+    let mut d = if a.edge == b.edge {
+        (a.offset - b.offset).abs()
+    } else {
+        f64::INFINITY
+    };
     let via_u = dist[bu as usize] + b.offset;
     let via_v = dist[bv as usize] + (blen - b.offset);
-    let mut d = via_u.min(via_v);
-    if a.edge == b.edge {
-        d = d.min((a.offset - b.offset).abs());
-    }
+    d = d.min(via_u).min(via_v);
     d
 }
 
@@ -218,6 +230,71 @@ mod tests {
         let route = shortest_route(&net, &a, &b).unwrap();
         assert!(route.vertices.is_empty());
         assert!((route.length - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_edge_wins_when_endpoints_unreachable_in_bounded_map() {
+        // Two components: edge (0,1) and edge (2,3). Points a, b both sit
+        // on edge (2,3), but the distance map is seeded at a point on
+        // edge (0,1) *and* radius-bounded, so b's endpoints are at
+        // INFINITY. A same-edge query must still take the along-edge
+        // path; only then is the cross-component distance INFINITY.
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(8.0, 0.0),
+        ];
+        let net = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (2, 3)]);
+        let a = NetworkPoint::new(&net, 1, 0.5);
+        let b = NetworkPoint::new(&net, 1, 2.25);
+        // Bounded map from a: only a's own endpoints are finite.
+        let (map, _) = gpssn_graph::dijkstra_bounded(net.graph(), &a.seeds(&net), 0.75);
+        assert_eq!(map[0], f64::INFINITY);
+        assert_eq!(map[1], f64::INFINITY);
+        assert!((point_dist_from_map(&net, &map, &a, &b) - 1.75).abs() < 1e-9);
+        // Cross-component distance from a seed on the other edge is
+        // INFINITY even though a and b share an edge with each other.
+        let c = NetworkPoint::new(&net, 0, 0.5);
+        let (map_c, _) = gpssn_graph::dijkstra_bounded(net.graph(), &c.seeds(&net), 100.0);
+        assert_eq!(point_dist_from_map(&net, &map_c, &c, &b), f64::INFINITY);
+        // And dist_rn agrees end to end.
+        assert!((dist_rn(&net, &a, &b) - 1.75).abs() < 1e-9);
+        assert_eq!(dist_rn(&net, &c, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn shared_endpoint_targets_do_not_inflate_settles() {
+        // A path 0-1-2-3-4; targets on edges (0,1) and (1,2) share
+        // endpoint 1. The distinct endpoint set {0, 1, 2} settles after
+        // 3 pops; the duplicate must neither stall termination nor
+        // inflate the settle count charged to budgets.
+        let locs: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let net = RoadNetwork::from_euclidean_edges(locs, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let a = NetworkPoint::new(&net, 0, 0.0);
+        let targets = [
+            NetworkPoint::new(&net, 0, 0.5),
+            NetworkPoint::new(&net, 1, 0.5),
+        ];
+        let (dists, settled) = dist_rn_many_counted(&net, &a, &targets);
+        assert!((dists[0] - 0.5).abs() < 1e-9);
+        assert!((dists[1] - 1.5).abs() < 1e-9);
+        assert_eq!(settled, 3, "duplicate endpoint 1 must count once");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        let net = ring();
+        let mut ws = gpssn_graph::DijkstraWorkspace::new();
+        let pts: Vec<NetworkPoint> = (0..4)
+            .map(|e| NetworkPoint::new(&net, e, 0.25 + 0.1 * e as f64))
+            .collect();
+        for a in &pts {
+            let (fresh, n_fresh) = dist_rn_many_counted(&net, a, &pts);
+            let (reused, n_reused) = dist_rn_many_counted_with(&net, &mut ws, a, &pts);
+            assert_eq!(fresh, reused);
+            assert_eq!(n_fresh, n_reused);
+        }
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod network;
 pub mod pivots;
 pub mod poi;
 
-pub use distance::{dist_rn, dist_rn_many, dist_rn_many_counted, shortest_route, Route};
+pub use distance::{
+    dist_rn, dist_rn_many, dist_rn_many_counted, dist_rn_many_counted_with, point_dist_from_map,
+    shortest_route, Route,
+};
 pub use generator::{generate_pois, generate_road_network, PoiGenConfig, RoadGenConfig};
 pub use network::RoadNetwork;
 pub use pivots::{lb_dist_via_pivots, ub_dist_via_pivots, RoadPivots};

@@ -2,7 +2,7 @@
 
 use crate::distance::{self, dist_rn};
 use crate::network::RoadNetwork;
-use gpssn_graph::{dijkstra_bounded, EdgeId, NodeId};
+use gpssn_graph::{DijkstraWorkspace, EdgeId, NodeId};
 use gpssn_spatial::{Point, RStarTree};
 
 /// Identifier of a POI within a [`PoiSet`].
@@ -158,10 +158,25 @@ impl PoiSet {
 
     /// Exact road-network ball `⊙(center, radius)`: ids of POIs whose
     /// road-network distance from `center` is at most `radius`, paired
-    /// with those distances. Sorted by distance.
+    /// with those distances. Sorted by distance (ties by POI id).
     pub fn network_ball(
         &self,
         net: &RoadNetwork,
+        center: &NetworkPoint,
+        radius: f64,
+    ) -> Vec<(PoiId, f64)> {
+        let mut ws = DijkstraWorkspace::new();
+        self.network_ball_with(net, &mut ws, center, radius)
+    }
+
+    /// [`PoiSet::network_ball`] running inside a caller-provided
+    /// [`DijkstraWorkspace`], so repeated ball computations (index build,
+    /// refinement) are allocation-free. Results are identical to the
+    /// one-shot variant.
+    pub fn network_ball_with(
+        &self,
+        net: &RoadNetwork,
+        ws: &mut DijkstraWorkspace,
         center: &NetworkPoint,
         radius: f64,
     ) -> Vec<(PoiId, f64)> {
@@ -170,16 +185,21 @@ impl PoiSet {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let (dist, _) = dijkstra_bounded(net.graph(), &center.seeds(net), radius);
+        ws.run_bounded(net.graph(), &center.seeds(net), radius);
+        let dist = ws.dist();
         let mut out = Vec::new();
         for id in candidates {
             let pos = self.pois[id as usize].position;
-            let d = distance::point_dist_from_map(net, &dist, center, &pos);
+            let d = distance::point_dist_from_map(net, dist, center, &pos);
             if d <= radius {
                 out.push((id, d));
             }
         }
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // Total order: NaN-free by construction, but `total_cmp` makes
+        // the sort panic-proof and fully deterministic; ties break by id
+        // (euclidean_ball emits candidates in R*-tree order, not id
+        // order).
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -222,7 +242,7 @@ impl PoiSet {
                 .collect();
             let dists = crate::distance::dist_rn_many(net, from, &positions);
             let mut verified: Vec<(PoiId, f64)> = candidates.into_iter().zip(dists).collect();
-            verified.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            verified.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             // Safe stop: the k-th verified network distance fits inside
             // the Euclidean ring (nothing outside can be closer).
             if verified.len() >= k && verified[k - 1].1 <= radius {

@@ -127,6 +127,7 @@ fn every_pruning_subset_is_exact() {
             use_matching_pruning: mask & 4 != 0,
             use_delta_pruning: mask & 8 != 0,
             use_tight_mbr_test: false,
+            ..Default::default()
         };
         let got = engine.query_with_options(&q, &opts).answer;
         match (&reference, &got) {
