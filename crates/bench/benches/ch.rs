@@ -1,0 +1,102 @@
+//! Contraction-hierarchy oracle benchmarks: preprocessing cost,
+//! point-to-point queries vs plain Dijkstra, and the bucket-based
+//! many-to-many kernel vs one Dijkstra sweep per source — on the same
+//! road-like graphs the query benches use. `ch_report` (a bin in this
+//! crate) distills the same comparison into `BENCH_ch.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpssn_graph::{dijkstra_targets, ChOracle, ChSearch, NodeId};
+use gpssn_road::{generate_road_network, RoadGenConfig, RoadNetwork};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn road(n: usize, seed: u64) -> RoadNetwork {
+    let cfg = RoadGenConfig {
+        num_vertices: n,
+        ..Default::default()
+    };
+    generate_road_network(&cfg, &mut StdRng::seed_from_u64(seed))
+}
+
+/// `count` far-apart vertex pairs, deterministic per graph size.
+fn pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId)))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ch_build");
+    group.sample_size(10);
+    for &n in &[3_000usize, 10_000] {
+        let net = road(n, 7);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &net, |b, net| {
+            b.iter(|| black_box(ChOracle::build(net.graph())));
+        });
+        group.bench_with_input(BenchmarkId::new("threads_4", n), &net, |b, net| {
+            b.iter(|| black_box(ChOracle::build_with_threads(net.graph(), 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let n = 30_000usize;
+    let net = road(n, 7);
+    let ch = ChOracle::build(net.graph());
+    let mut cs = ChSearch::new();
+    let queries = pairs(n, 16, 11);
+    let mut group = c.benchmark_group("ch_p2p_30k");
+    group.sample_size(20);
+    group.bench_function("dijkstra_targets", |b| {
+        b.iter(|| {
+            for &(s, t) in &queries {
+                black_box(dijkstra_targets(net.graph(), &[(s, 0.0)], &[t]));
+            }
+        });
+    });
+    group.bench_function("ch", |b| {
+        b.iter(|| {
+            for &(s, t) in &queries {
+                black_box(ch.dists(&mut cs, &[(s, 0.0)], &[t]));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_many_to_many(c: &mut Criterion) {
+    let n = 30_000usize;
+    let net = road(n, 7);
+    let ch = ChOracle::build(net.graph());
+    let mut cs = ChSearch::new();
+    let mut rng = StdRng::seed_from_u64(13);
+    let sources: Vec<[(NodeId, f64); 1]> = (0..8)
+        .map(|_| [(rng.gen_range(0..n as NodeId), 0.0)])
+        .collect();
+    let source_refs: Vec<&[(NodeId, f64)]> = sources.iter().map(|s| &s[..]).collect();
+    let targets: Vec<NodeId> = (0..16).map(|_| rng.gen_range(0..n as NodeId)).collect();
+    let mut group = c.benchmark_group("ch_many_to_many_8x16_30k");
+    group.sample_size(20);
+    group.bench_function("dijkstra_per_source", |b| {
+        b.iter(|| {
+            for s in &source_refs {
+                black_box(dijkstra_targets(net.graph(), s, &targets));
+            }
+        });
+    });
+    group.bench_function("ch_bucket_kernel", |b| {
+        b.iter(|| black_box(ch.batch_dists(&mut cs, &source_refs, &targets)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_build, bench_p2p, bench_many_to_many
+}
+criterion_main!(benches);

@@ -36,7 +36,7 @@ use crate::pruning::{
     ub_match_score_signature, ub_maxdist_node, ub_maxdist_poi, PruningRegion,
 };
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use crate::refinement::{verify_center, VerifyContext};
+use crate::refinement::{verify_center, ChBackend, VerifyContext};
 use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 use gpssn_graph::DijkstraWorkspace;
 use gpssn_index::{
@@ -101,6 +101,23 @@ impl Default for EngineConfig {
     }
 }
 
+/// Which oracle serves refinement-time `dist_RN` computations.
+///
+/// Both backends return bit-identical distances (the CH oracle unpacks
+/// every winning up–down path and refolds original edge weights in
+/// Dijkstra's exact operation order — see `gpssn_graph::ch`), so the
+/// choice affects speed and metering only, never answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceBackend {
+    /// Multi-target Dijkstra sweeps over the road graph.
+    Dijkstra,
+    /// The road index's contraction-hierarchy oracle. Falls back to
+    /// [`DistanceBackend::Dijkstra`] silently when the index carries no
+    /// oracle (`RoadIndexConfig::build_ch = false`, or an index loaded
+    /// from a CH-less file).
+    Ch,
+}
+
 /// Per-query switches (ablations and stats collection).
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
@@ -129,6 +146,12 @@ pub struct QueryOptions {
     /// bound stays sound). Budgets remain global: all workers charge
     /// the same meter.
     pub refine_threads: usize,
+    /// Oracle serving refinement-time `dist_RN` rows and columns. The
+    /// default [`DistanceBackend::Ch`] uses the road index's contraction
+    /// hierarchy when it carries one and degrades to Dijkstra otherwise;
+    /// answers are bit-identical either way. The sampling-based
+    /// approximate path always uses Dijkstra.
+    pub distance_backend: DistanceBackend,
 }
 
 impl Default for QueryOptions {
@@ -141,6 +164,7 @@ impl Default for QueryOptions {
             use_delta_pruning: true,
             use_tight_mbr_test: false,
             refine_threads: 1,
+            distance_backend: DistanceBackend::Ch,
         }
     }
 }
@@ -206,6 +230,16 @@ impl<'a> GpSsnEngine<'a> {
     /// The engine's cross-query distance cache, if configured.
     pub fn distance_cache(&self) -> Option<&DistanceCache> {
         self.distance_cache.as_ref()
+    }
+
+    /// The CH oracle serving this query's `dist_RN` batches, honouring
+    /// [`QueryOptions::distance_backend`]: `None` under the Dijkstra
+    /// backend or when the road index carries no oracle.
+    fn ch_for(&self, opts: &QueryOptions) -> Option<&gpssn_graph::ChOracle> {
+        match opts.distance_backend {
+            DistanceBackend::Dijkstra => None,
+            DistanceBackend::Ch => self.road_index.ch(),
+        }
     }
 
     /// The spatial-social network this engine serves.
@@ -284,6 +318,7 @@ impl<'a> GpSsnEngine<'a> {
         }
         stats.candidate_users = candidates.len();
 
+        let (ch_batches, ch_settles) = meter.ch_tallies();
         Ok(QueryOutcome {
             answer,
             completion,
@@ -293,6 +328,8 @@ impl<'a> GpSsnEngine<'a> {
                 heap_pops: meter.pops(),
                 groups_enumerated: meter.groups(),
                 dijkstra_settles: meter.settles(),
+                ch_batches,
+                ch_settles,
                 cache: cache_stats(&meter),
                 stats,
             },
@@ -489,6 +526,7 @@ impl<'a> GpSsnEngine<'a> {
             }
         }
         let completion = completion_of(&meter, best_val, outstanding);
+        let (ch_batches, ch_settles) = meter.ch_tallies();
         Ok(QueryOutcome {
             answer: best,
             completion,
@@ -498,6 +536,8 @@ impl<'a> GpSsnEngine<'a> {
                 heap_pops: meter.pops(),
                 groups_enumerated: meter.groups(),
                 dijkstra_settles: meter.settles(),
+                ch_batches,
+                ch_settles,
                 cache: cache_stats(&meter),
                 stats,
             },
@@ -545,8 +585,13 @@ impl<'a> GpSsnEngine<'a> {
             self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
         centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut ws = DijkstraWorkspace::new();
+        let mut chws = gpssn_graph::ChSearch::new();
         let mut ctx = VerifyContext {
             ws: &mut ws,
+            ch: self.ch_for(&opts).map(|oracle| ChBackend {
+                oracle,
+                search: &mut chws,
+            }),
             cache: self.distance_cache.as_ref(),
             budget: &meter,
         };
@@ -914,8 +959,13 @@ impl<'a> GpSsnEngine<'a> {
             outstanding = deferred.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
         } else {
             let mut ws = DijkstraWorkspace::new();
+            let mut chws = gpssn_graph::ChSearch::new();
             let mut ctx = VerifyContext {
                 ws: &mut ws,
+                ch: self.ch_for(opts).map(|oracle| ChBackend {
+                    oracle,
+                    search: &mut chws,
+                }),
                 cache: self.distance_cache.as_ref(),
                 budget: meter,
             };
@@ -1099,10 +1149,11 @@ impl<'a> GpSsnEngine<'a> {
             n => n,
         }
         .min(centers.len().max(1));
+        let ch = self.ch_for(opts);
         if threads <= 1 {
-            self.refine_centers_sequential(q, candidates, centers, meter)
+            self.refine_centers_sequential(q, candidates, centers, ch, meter)
         } else {
-            self.refine_centers_parallel(q, candidates, centers, threads, meter)
+            self.refine_centers_parallel(q, candidates, centers, threads, ch, meter)
         }
     }
 
@@ -1113,12 +1164,18 @@ impl<'a> GpSsnEngine<'a> {
         q: &GpSsnQuery,
         candidates: &[UserId],
         centers: &[(f64, PoiId)],
+        ch: Option<&gpssn_graph::ChOracle>,
         meter: &BudgetState,
     ) -> RefineOutcome {
         let mut out = RefineOutcome::empty();
         let mut ws = DijkstraWorkspace::new();
+        let mut chws = gpssn_graph::ChSearch::new();
         let mut ctx = VerifyContext {
             ws: &mut ws,
+            ch: ch.map(|oracle| ChBackend {
+                oracle,
+                search: &mut chws,
+            }),
             cache: self.distance_cache.as_ref(),
             budget: meter,
         };
@@ -1182,14 +1239,20 @@ impl<'a> GpSsnEngine<'a> {
         candidates: &[UserId],
         centers: &[(f64, PoiId)],
         threads: usize,
+        ch: Option<&gpssn_graph::ChOracle>,
         meter: &BudgetState,
     ) -> RefineOutcome {
         let next = AtomicUsize::new(0);
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
         let worker = |claims: usize| {
             let mut ws = DijkstraWorkspace::new();
+            let mut chws = gpssn_graph::ChSearch::new();
             let mut ctx = VerifyContext {
                 ws: &mut ws,
+                ch: ch.map(|oracle| ChBackend {
+                    oracle,
+                    search: &mut chws,
+                }),
                 cache: self.distance_cache.as_ref(),
                 budget: meter,
             };
@@ -1680,6 +1743,7 @@ mod tests {
                 collect_stats: false,
                 use_tight_mbr_test: false,
                 refine_threads: 1,
+                distance_backend: DistanceBackend::Dijkstra,
             },
         );
         match (&full.answer, &no_prune.answer) {

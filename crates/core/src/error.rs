@@ -220,6 +220,11 @@ pub struct BudgetState {
     ball_misses: AtomicU64,
     dist_hits: AtomicU64,
     dist_misses: AtomicU64,
+    /// Contraction-hierarchy oracle usage: batches run and vertices
+    /// settled by CH sweeps (a breakout of `settles` — CH work charges
+    /// the same settle budget as plain Dijkstra).
+    ch_batches: AtomicU64,
+    ch_settles: AtomicU64,
 }
 
 const TRIP_NONE: u8 = 0;
@@ -259,6 +264,8 @@ impl BudgetState {
             ball_misses: AtomicU64::new(0),
             dist_hits: AtomicU64::new(0),
             dist_misses: AtomicU64::new(0),
+            ch_batches: AtomicU64::new(0),
+            ch_settles: AtomicU64::new(0),
         }
     }
 
@@ -342,6 +349,25 @@ impl BudgetState {
             &self.dist_misses
         };
         c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one contraction-hierarchy oracle batch that settled `n`
+    /// vertices across its sweeps. Pure bookkeeping for
+    /// [`Self::ch_tallies`]; the settles themselves must still be
+    /// charged through [`Self::add_settles`] so CH work counts against
+    /// the same budget as plain Dijkstra.
+    #[inline]
+    pub fn note_ch_batch(&self, n: u64) {
+        self.ch_batches.fetch_add(1, Ordering::Relaxed);
+        self.ch_settles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `(batches, settles)` recorded so far against the CH oracle.
+    pub fn ch_tallies(&self) -> (u64, u64) {
+        (
+            self.ch_batches.load(Ordering::Relaxed),
+            self.ch_settles.load(Ordering::Relaxed),
+        )
     }
 
     /// Re-checks the sticky trip state and the deadline without charging

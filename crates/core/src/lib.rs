@@ -35,7 +35,7 @@ pub mod sampling;
 pub mod stats;
 pub mod tuning;
 
-pub use algorithm::{EngineConfig, GpSsnEngine, QueryOptions};
+pub use algorithm::{DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions};
 pub use baseline::{
     estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
     BaselineEstimate,
@@ -43,7 +43,7 @@ pub use baseline::{
 pub use cache::{DistDir, DistanceCache, DistanceCacheConfig};
 pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};
-pub use refinement::{verify_center, CenterVerification, VerifyContext};
+pub use refinement::{verify_center, CenterVerification, ChBackend, VerifyContext};
 pub use sampling::{sample_connected_group, verify_center_sampled};
 pub use stats::{CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

@@ -20,8 +20,8 @@
 use crate::cache::{DistDir, DistanceCache};
 use crate::error::BudgetState;
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use gpssn_graph::{enumerate_connected_subsets, DijkstraWorkspace};
-use gpssn_road::{dist_rn_many_counted_with, NetworkPoint, PoiId};
+use gpssn_graph::{enumerate_connected_subsets, ChOracle, ChSearch, DijkstraWorkspace};
+use gpssn_road::{dist_rn_many_ch, dist_rn_many_counted_with, NetworkPoint, PoiId};
 use gpssn_social::UserId;
 use gpssn_ssn::{match_score_keywords, SpatialSocialNetwork};
 use std::sync::Arc;
@@ -61,14 +61,53 @@ pub struct CenterVerification {
 pub struct VerifyContext<'a> {
     /// Reused across every Dijkstra this worker runs.
     pub ws: &'a mut DijkstraWorkspace,
+    /// Contraction-hierarchy oracle plus this worker's reusable CH
+    /// workspace. `Some` routes every `dist_RN` row/column through the
+    /// oracle (answers are bit-identical to the Dijkstra path — see
+    /// `gpssn_graph::ch`); ball computation always stays on Dijkstra
+    /// (the oracle serves point-to-point distances, not range scans).
+    pub ch: Option<ChBackend<'a>>,
     /// Cross-query ball / `dist_RN` cache, if the engine has one.
     pub cache: Option<&'a DistanceCache>,
     /// The query's budget meter (shared across workers).
     pub budget: &'a BudgetState,
 }
 
+/// A CH oracle handle paired with a per-worker search workspace.
+pub struct ChBackend<'a> {
+    /// The road index's contraction hierarchy.
+    pub oracle: &'a ChOracle,
+    /// Reused across every CH batch this worker runs.
+    pub search: &'a mut ChSearch,
+}
+
+/// One multi-target `dist_RN` batch from `source` to every `target`,
+/// dispatched on the context's backend. Both paths produce bit-identical
+/// rows (the CH oracle unpacks shortcuts and refolds original edge
+/// weights in Dijkstra's exact operation order); settles are charged to
+/// the same budget either way, with CH batches additionally tallied for
+/// [`crate::QueryMetrics::ch_batches`].
+fn dist_batch(
+    ssn: &SpatialSocialNetwork,
+    ctx: &mut VerifyContext<'_>,
+    source: &NetworkPoint,
+    targets: &[NetworkPoint],
+) -> Vec<f64> {
+    let (row, settled) = match ctx.ch.as_mut() {
+        Some(chb) => {
+            let (row, settled) =
+                dist_rn_many_ch(ssn.road(), chb.oracle, chb.search, source, targets);
+            ctx.budget.note_ch_batch(settled);
+            (row, settled)
+        }
+        None => dist_rn_many_counted_with(ssn.road(), ctx.ws, source, targets),
+    };
+    ctx.budget.add_settles(settled);
+    row
+}
+
 /// `dist_RN(user, o)` for every ball member `o`, via one multi-target
-/// Dijkstra seeded at the user's home — served from the cache when every
+/// batch seeded at the user's home — served from the cache when every
 /// pair is resident (all-or-nothing: a partial hit recomputes the whole
 /// run, since one Dijkstra covers all targets anyway). Freshly computed
 /// values are inserted even when the budget trips mid-run (they are
@@ -96,8 +135,7 @@ fn row_from_user(
             return Some(row);
         }
     }
-    let (row, settled) = dist_rn_many_counted_with(ssn.road(), ctx.ws, &ssn.home(user), positions);
-    ctx.budget.add_settles(settled);
+    let row = dist_batch(ssn, ctx, &ssn.home(user), positions);
     if let Some(cache) = ctx.cache {
         ctx.budget.note_dist_cache(false, r_ids.len() as u64);
         for (&o, &d) in r_ids.iter().zip(&row) {
@@ -112,7 +150,7 @@ fn row_from_user(
 }
 
 /// `dist_RN(u, poi)` for every eligible user `u`, via one multi-target
-/// Dijkstra seeded at the POI. Same cache contract as
+/// batch seeded at the POI. Same cache contract as
 /// [`row_from_user`]; the direction is part of the key (see
 /// [`crate::cache`] for why).
 fn col_from_poi(
@@ -139,8 +177,7 @@ fn col_from_poi(
             return Some(col);
         }
     }
-    let (col, settled) = dist_rn_many_counted_with(ssn.road(), ctx.ws, pos, homes);
-    ctx.budget.add_settles(settled);
+    let col = dist_batch(ssn, ctx, pos, homes);
     if let Some(cache) = ctx.cache {
         ctx.budget.note_dist_cache(false, eligible.len() as u64);
         for (&u, &d) in eligible.iter().zip(&col) {
@@ -409,6 +446,7 @@ mod tests {
         let budget = BudgetState::unlimited();
         let mut ctx = VerifyContext {
             ws: &mut ws,
+            ch: None,
             cache: None,
             budget: &budget,
         };

@@ -160,9 +160,17 @@ pub struct QueryMetrics {
     /// Connected user subsets enumerated (the unit of
     /// [`crate::QueryBudget::max_groups_enumerated`]).
     pub groups_enumerated: u64,
-    /// Vertices settled by refinement-time Dijkstra runs (the unit of
+    /// Vertices settled by refinement-time shortest-path runs — plain
+    /// Dijkstra sweeps plus CH upward/backward sweeps (the unit of
     /// [`crate::QueryBudget::max_dijkstra_settles`]).
     pub dijkstra_settles: u64,
+    /// Multi-target batches served by the contraction-hierarchy oracle
+    /// (zero under [`crate::DistanceBackend::Dijkstra`] or when the road
+    /// index carries no oracle).
+    pub ch_batches: u64,
+    /// Vertices settled by those CH batches — the CH share of
+    /// [`QueryMetrics::dijkstra_settles`].
+    pub ch_settles: u64,
     /// Distance-cache tallies (see [`CacheStats`]).
     pub cache: CacheStats,
     /// Pruning counters.

@@ -1,0 +1,1144 @@
+//! Contraction-hierarchy distance oracle with bit-identical answers.
+//!
+//! Repeated point-to-point and many-to-many `dist_RN` probes are the hot
+//! path of GP-SSN refinement (Algorithm 2): every `verify_center` call
+//! fills an `S × R` distance matrix, and plain Dijkstra pays the full
+//! road-network search cost per row or column. A contraction hierarchy
+//! ([Geisberger et al. 2008]) preprocesses the graph once — contracting
+//! vertices in importance order and inserting *shortcut* arcs that
+//! preserve shortest paths among the not-yet-contracted rest — after
+//! which a point-to-point query is a pair of tiny Dijkstra runs that only
+//! ever relax arcs towards *higher-ranked* vertices.
+//!
+//! ## Bit-identical answers
+//!
+//! The rest of the engine treats distances as exact tokens: caches key on
+//! them, refinement compares them with `total_cmp`, and the equivalence
+//! suite asserts engines agree bitwise. A naive CH returns the *sum of
+//! shortcut weights* along the best up-down path, whose floating-point
+//! rounding differs from Dijkstra's left-to-right `dist[v] = dist[u] + w`
+//! accumulation. This implementation therefore never reports search keys:
+//!
+//! 1. Dijkstra over non-negative weights returns, for every vertex, the
+//!    minimum over all paths of the *left-associated floating-point fold*
+//!    of the original edge weights (f64 addition of non-negative values is
+//!    monotone, so the greedy argument survives rounding).
+//! 2. Shortcut weights (`w₁ + w₂`, commutative, so orientation-free) are
+//!    used only to *steer* the bidirectional upward search.
+//! 3. The reported distance is obtained by unpacking the winning up-down
+//!    path to its original edge sequence and folding weights
+//!    source-to-target starting from the seed's initial distance —
+//!    reproducing Dijkstra's exact accumulation order.
+//! 4. Search keys are rounded differently from folds by at most a few
+//!    ULPs, so *every* meeting vertex whose key is within a small relative
+//!    tolerance of the best key is unpacked, and the minimum fold wins.
+//!    Symmetrically, a witness search during contraction suppresses a
+//!    shortcut only when the witness is shorter *by more than the same
+//!    tolerance*, so near-tied shortest paths always stay representable
+//!    as up-down paths.
+//!
+//! Exact ties fold to bitwise-equal values (weights are non-negative, so
+//! there is no `-0.0`, and `x + 0.0 == x` exactly — zero-weight edges are
+//! harmless). The residual gap — two distinct paths whose *search keys*
+//! round to within an ULP of each other while their folds differ — would
+//! require engineered weights and is property-tested against in practice;
+//! see DESIGN.md §9 for the full argument.
+//!
+//! [Geisberger et al. 2008]: https://doi.org/10.1007/978-3-540-68552-4_24
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::dijkstra::INFINITY;
+use crate::heap::IndexedMinHeap;
+use std::collections::BinaryHeap;
+use std::io::{self, BufRead, Write};
+
+/// Reversal flag on a packed arc reference (high bit of the arena index).
+const REV: u32 = 1 << 31;
+
+/// `mid` sentinel marking an arena arc as an original edge.
+const ORIGINAL: NodeId = NodeId::MAX;
+
+/// Rank sentinel for not-yet-contracted vertices during construction.
+const UNRANKED: u32 = u32::MAX;
+
+/// Relative tolerance separating "genuinely shorter" from "equal modulo
+/// floating-point rounding of search keys". Path folds and search keys
+/// agree to ~`path_len · ε ≈ 1e-13` relative; `1e-10` dominates that with
+/// headroom while still only ever capturing genuine near-ties.
+const KEY_TOL: f64 = 1e-10;
+
+/// Settle cap for witness searches during contraction. Witness searches
+/// are *sound under truncation*: giving up early only fails to find a
+/// witness, which adds a redundant shortcut — never drops a needed one.
+const WITNESS_SETTLE_CAP: usize = 64;
+
+/// One arc of the contraction arena: every original edge and every
+/// shortcut, in creation order. Stored in a canonical `tail -> head`
+/// orientation; packed references flip the [`REV`] bit to traverse it
+/// `head -> tail`.
+#[derive(Debug, Clone, Copy)]
+struct ArenaArc {
+    tail: NodeId,
+    head: NodeId,
+    /// Search-key weight: the original edge weight, or `w₁ + w₂` of the
+    /// two constituent arcs (commutative, hence orientation-free).
+    weight: f64,
+    /// Contracted middle vertex, or [`ORIGINAL`] for original edges.
+    mid: NodeId,
+    /// Packed ref of the `tail -> mid` constituent (shortcuts only).
+    a: u32,
+    /// Packed ref of the `mid -> head` constituent (shortcuts only).
+    b: u32,
+}
+
+/// An upward-graph arc (towards a higher-ranked vertex).
+#[derive(Debug, Clone, Copy)]
+struct UpArc {
+    head: NodeId,
+    weight: f64,
+    /// Packed arena ref, oriented in the arc's travel direction.
+    packed: u32,
+}
+
+/// A contraction-hierarchy distance oracle over a [`CsrGraph`].
+///
+/// Build once with [`ChOracle::build`]; answer point-to-point and
+/// many-to-many queries through a reusable [`ChSearch`] workspace.
+/// Answers are bit-identical to [`crate::dijkstra::dijkstra_targets`]
+/// over the same graph (see the module docs for why).
+#[derive(Debug, Clone)]
+pub struct ChOracle {
+    n: usize,
+    /// Contraction order: `rank[v]` is `v`'s position (0 = contracted
+    /// first = least important).
+    rank: Vec<u32>,
+    /// CSR offsets into `up_arcs`, length `n + 1`.
+    up_offsets: Vec<u32>,
+    up_arcs: Vec<UpArc>,
+    arena: Vec<ArenaArc>,
+    /// Arena prefix holding the original edges (== input edge count).
+    num_original: usize,
+}
+
+impl ChOracle {
+    /// Number of vertices the oracle was built over.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shortcut arcs the contraction inserted.
+    #[inline]
+    pub fn num_shortcuts(&self) -> usize {
+        self.arena.len() - self.num_original
+    }
+
+    /// Builds the hierarchy. Node order comes from edge-difference +
+    /// contracted-neighbour priorities with lazy updates; the initial
+    /// priority simulation fans out over scoped threads (results merged
+    /// in vertex order, so the hierarchy is deterministic regardless of
+    /// thread count).
+    pub fn build(graph: &CsrGraph) -> ChOracle {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self::build_with_threads(graph, threads)
+    }
+
+    /// [`ChOracle::build`] with an explicit thread count for the initial
+    /// priority simulation (`0` and `1` both mean sequential). The result
+    /// is identical for every thread count.
+    pub fn build_with_threads(graph: &CsrGraph, threads: usize) -> ChOracle {
+        let n = graph.num_nodes();
+        // Live adjacency, mutated as contraction inserts shortcuts.
+        // Entries are oriented self -> neighbour.
+        let mut adj: Vec<Vec<AdjArc>> = vec![Vec::new(); n];
+        let mut arena: Vec<ArenaArc> = Vec::with_capacity(graph.num_edges() * 2);
+        for (e, (u, v, w)) in graph.edges().enumerate() {
+            let idx = arena.len() as u32;
+            arena.push(ArenaArc {
+                tail: u,
+                head: v,
+                weight: w,
+                mid: ORIGINAL,
+                a: e as u32,
+                b: 0,
+            });
+            adj[u as usize].push(AdjArc {
+                to: v,
+                weight: w,
+                packed: idx,
+            });
+            adj[v as usize].push(AdjArc {
+                to: u,
+                weight: w,
+                packed: idx | REV,
+            });
+        }
+        let num_original = arena.len();
+
+        let mut rank: Vec<u32> = vec![UNRANKED; n];
+        let mut deleted_neighbors: Vec<u32> = vec![0; n];
+
+        // Initial priorities: one contraction simulation per vertex,
+        // independent given the (immutable) initial adjacency — fan out
+        // over scoped threads and merge by vertex index.
+        let mut priority: Vec<f64> = vec![0.0; n];
+        let workers = threads.max(1).min(n.max(1));
+        if workers <= 1 || n < 1024 {
+            let mut witness = WitnessSearch::new(n);
+            for (v, p) in priority.iter_mut().enumerate() {
+                *p = simulate_priority(&adj, &rank, &deleted_neighbors, &mut witness, v as NodeId);
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            let adj_ref = &adj;
+            let rank_ref = &rank;
+            let deleted_ref = &deleted_neighbors;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    if lo >= hi {
+                        break;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let mut witness = WitnessSearch::new(n);
+                        let mut out = Vec::with_capacity(hi - lo);
+                        for v in lo..hi {
+                            out.push(simulate_priority(
+                                adj_ref,
+                                rank_ref,
+                                deleted_ref,
+                                &mut witness,
+                                v as NodeId,
+                            ));
+                        }
+                        (lo, out)
+                    }));
+                }
+                for h in handles {
+                    let (lo, out) = h.join().expect("priority worker panicked");
+                    priority[lo..lo + out.len()].copy_from_slice(&out);
+                }
+            });
+        }
+
+        // Lazy-update contraction: pop the candidate with the smallest
+        // priority, recompute it, and contract only if it still beats the
+        // queue's next-best; otherwise requeue. `queue_key` invalidates
+        // stale duplicate entries. `key_bits` gives a total order on f64
+        // priorities with vertex id as the tiebreak, so the order (and
+        // hence the hierarchy) is deterministic.
+        let mut queue: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::with_capacity(n);
+        let mut queue_key: Vec<u64> = vec![u64::MAX; n];
+        for v in 0..n {
+            let kb = key_bits(priority[v]);
+            queue_key[v] = kb;
+            queue.push(std::cmp::Reverse((kb, v as u32)));
+        }
+        let mut witness = WitnessSearch::new(n);
+        let mut next_rank: u32 = 0;
+        let mut pair_neighbors: Vec<AdjArc> = Vec::new();
+        while let Some(std::cmp::Reverse((kb, v))) = queue.pop() {
+            if rank[v as usize] != UNRANKED || queue_key[v as usize] != kb {
+                continue; // stale entry
+            }
+            let p = key_bits(simulate_priority(
+                &adj,
+                &rank,
+                &deleted_neighbors,
+                &mut witness,
+                v,
+            ));
+            if let Some(&std::cmp::Reverse((next_kb, _))) = queue.peek() {
+                if p > next_kb {
+                    queue_key[v as usize] = p;
+                    queue.push(std::cmp::Reverse((p, v)));
+                    continue;
+                }
+            }
+            // Contract v.
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            live_neighbors(&adj, &rank, v, &mut pair_neighbors);
+            for x in &pair_neighbors {
+                deleted_neighbors[x.to as usize] += 1;
+            }
+            for i in 0..pair_neighbors.len() {
+                if i + 1 == pair_neighbors.len() {
+                    break; // no partners left
+                }
+                let ui = pair_neighbors[i];
+                // One witness search from u_i covers every partner u_j.
+                let limit = pair_neighbors[i + 1..]
+                    .iter()
+                    .map(|uj| ui.weight + uj.weight)
+                    .fold(0.0f64, f64::max);
+                witness.run(&adj, &rank, ui.to, v, limit);
+                for &uj in &pair_neighbors[i + 1..] {
+                    let sum = ui.weight + uj.weight;
+                    if witness.dist(uj.to) * (1.0 + KEY_TOL) < sum {
+                        continue; // strictly shorter witness beyond rounding
+                    }
+                    let idx = arena.len() as u32;
+                    assert!(idx < REV, "contraction arena overflow");
+                    arena.push(ArenaArc {
+                        tail: ui.to,
+                        head: uj.to,
+                        weight: sum,
+                        mid: v,
+                        a: ui.packed ^ REV, // u_i -> v
+                        b: uj.packed,       // v -> u_j
+                    });
+                    adj[ui.to as usize].push(AdjArc {
+                        to: uj.to,
+                        weight: sum,
+                        packed: idx,
+                    });
+                    adj[uj.to as usize].push(AdjArc {
+                        to: ui.to,
+                        weight: sum,
+                        packed: idx | REV,
+                    });
+                }
+            }
+        }
+
+        let (up_offsets, up_arcs) = build_up_csr(n, &rank, &arena);
+        ChOracle {
+            n,
+            rank,
+            up_offsets,
+            up_arcs,
+            arena,
+            num_original,
+        }
+    }
+
+    /// Exact distances from `seeds` to every entry of `targets`,
+    /// mirroring [`crate::dijkstra::dijkstra_targets`] restricted to the
+    /// targets (bit-identical values). Also returns the number of
+    /// vertices settled across the underlying upward searches — the unit
+    /// budgets charge, comparable to (and much smaller than) Dijkstra
+    /// settle counts.
+    pub fn dists(
+        &self,
+        search: &mut ChSearch,
+        seeds: &[(NodeId, f64)],
+        targets: &[NodeId],
+    ) -> (Vec<f64>, u64) {
+        self.batch_dists(search, &[seeds], targets)
+    }
+
+    /// Bucket-based many-to-many kernel: one backward upward sweep per
+    /// *distinct* target, one forward upward sweep per source seed list,
+    /// forward sweeps probing the targets' search spaces through a
+    /// node-sorted bucket array. Returns the row-major
+    /// `sources.len() × targets.len()` distance matrix plus the settled
+    /// count (backward spaces are charged once, not per source).
+    pub fn batch_dists(
+        &self,
+        search: &mut ChSearch,
+        sources: &[&[(NodeId, f64)]],
+        targets: &[NodeId],
+    ) -> (Vec<f64>, u64) {
+        let mut out = vec![INFINITY; sources.len() * targets.len()];
+        if self.n == 0 || sources.is_empty() || targets.is_empty() {
+            return (out, 0);
+        }
+        search.prepare(self.n);
+        let mut settles: u64 = 0;
+
+        // Deduplicate targets (two POIs often share an edge endpoint);
+        // `tcol[j]` maps target j to its distinct-target column.
+        search.distinct.clear();
+        search.tcol.clear();
+        for &t in targets {
+            let slot = search.tslot[t as usize];
+            if (slot as usize) < search.distinct.len() && search.distinct[slot as usize] == t {
+                search.tcol.push(slot);
+            } else {
+                search.tslot[t as usize] = search.distinct.len() as u32;
+                search.tcol.push(search.distinct.len() as u32);
+                search.distinct.push(t);
+            }
+        }
+
+        // Backward phase: one upward sweep per distinct target, its full
+        // search space persisted for bucket probing and path unpacking.
+        search.bspace.clear();
+        search.branges.clear();
+        search.bucket.clear();
+        for e in 0..search.distinct.len() {
+            let t = search.distinct[e];
+            let lo = search.bspace.len() as u32;
+            settles += self.upward_sweep(search, &[(t, 0.0)]);
+            // Persist the sweep (settled order == slot order) and reset
+            // its per-node state so the next sweep starts clean. A
+            // settled vertex's parent settled earlier in the *same*
+            // sweep, so `slot_hint` entries are always fresh when read.
+            for k in 0..search.settled.len() {
+                let m = search.settled[k];
+                let slot = lo + k as u32;
+                search.slot_hint[m as usize] = slot;
+                let p = search.parent[m as usize];
+                let parent_slot = if p == NodeId::MAX {
+                    u32::MAX
+                } else {
+                    search.slot_hint[p as usize]
+                };
+                search.bucket.push((m, e as u32, slot));
+                search.bspace.push(BNode {
+                    dist: search.dist[m as usize],
+                    parent_slot,
+                    packed: search.parent_arc[m as usize],
+                });
+            }
+            search.branges.push((lo, search.bspace.len() as u32));
+            search.reset_sweep();
+        }
+        search.bucket.sort_unstable();
+
+        // Forward phase: one upward sweep per source, probing buckets at
+        // every settled vertex. Two bucket passes per source: the first
+        // finds each distinct target's best meeting key, the second
+        // unpacks every near-tie candidate and keeps the minimum fold.
+        let cols = search.distinct.len();
+        search.best.resize(cols, INFINITY);
+        search.folded.resize(cols, INFINITY);
+        for (i, seeds) in sources.iter().enumerate() {
+            settles += self.upward_sweep(search, seeds);
+            for b in search.best.iter_mut() {
+                *b = INFINITY;
+            }
+            for &m in &search.settled {
+                let df = search.dist[m as usize];
+                for &(_, e, slot) in bucket_range(&search.bucket, m) {
+                    let key = df + search.bspace[slot as usize].dist;
+                    if key < search.best[e as usize] {
+                        search.best[e as usize] = key;
+                    }
+                }
+            }
+            for f in search.folded.iter_mut() {
+                *f = INFINITY;
+            }
+            for si in 0..search.settled.len() {
+                let m = search.settled[si];
+                let df = search.dist[m as usize];
+                for bi in bucket_span(&search.bucket, m) {
+                    let (_, e, slot) = search.bucket[bi];
+                    let best = search.best[e as usize];
+                    if !best.is_finite() {
+                        continue;
+                    }
+                    let key = df + search.bspace[slot as usize].dist;
+                    if key <= best * (1.0 + KEY_TOL) {
+                        let fold = self.fold_candidate(search, m, slot);
+                        if fold < search.folded[e as usize] {
+                            search.folded[e as usize] = fold;
+                        }
+                    }
+                }
+            }
+            for (j, &c) in search.tcol.iter().enumerate() {
+                out[i * targets.len() + j] = search.folded[c as usize];
+            }
+            search.reset_sweep();
+        }
+        (out, settles)
+    }
+
+    /// Runs one upward Dijkstra sweep (forward and backward are the same
+    /// search on an undirected hierarchy). Leaves `dist`, `parent`,
+    /// `parent_arc`, `settled` describing the sweep; returns the settle
+    /// count.
+    fn upward_sweep(&self, search: &mut ChSearch, seeds: &[(NodeId, f64)]) -> u64 {
+        for &(s, d0) in seeds {
+            debug_assert!(d0 >= 0.0, "seed distances must be non-negative");
+            if d0 < search.dist[s as usize] {
+                if search.dist[s as usize] == INFINITY {
+                    search.touched.push(s);
+                }
+                search.dist[s as usize] = d0;
+                search.parent[s as usize] = NodeId::MAX;
+                search.heap.push_or_decrease(s, d0);
+            }
+        }
+        while let Some((v, d)) = search.heap.pop() {
+            search.settled.push(v);
+            let lo = self.up_offsets[v as usize] as usize;
+            let hi = self.up_offsets[v as usize + 1] as usize;
+            for arc in &self.up_arcs[lo..hi] {
+                let nd = d + arc.weight;
+                if nd < search.dist[arc.head as usize] {
+                    if search.dist[arc.head as usize] == INFINITY {
+                        search.touched.push(arc.head);
+                    }
+                    search.dist[arc.head as usize] = nd;
+                    search.parent[arc.head as usize] = v;
+                    search.parent_arc[arc.head as usize] = arc.packed;
+                    search.heap.push_or_decrease(arc.head, nd);
+                }
+            }
+        }
+        search.settled.len() as u64
+    }
+
+    /// Unpacks the up-down candidate path meeting at forward vertex `m`
+    /// and backward-space slot `slot`, folding original edge weights
+    /// source-to-target starting from the seed's initial distance —
+    /// Dijkstra's exact accumulation order.
+    fn fold_candidate(&self, search: &mut ChSearch, m: NodeId, slot: u32) -> f64 {
+        // Forward chain: walk m -> seed root, then fold in reverse
+        // (travel) order. The root's dist is its untouched seed d0.
+        search.fchain.clear();
+        let mut v = m;
+        while search.parent[v as usize] != NodeId::MAX {
+            search.fchain.push(search.parent_arc[v as usize]);
+            v = search.parent[v as usize];
+        }
+        let mut acc = search.dist[v as usize];
+        for k in (0..search.fchain.len()).rev() {
+            acc = self.fold_ref(&mut search.stack, search.fchain[k], acc);
+        }
+        // Backward chain: slots walk m -> target, which *is* travel
+        // order; each up-arc is traversed against its stored direction.
+        let mut s = slot;
+        loop {
+            let b = search.bspace[s as usize];
+            if b.parent_slot == u32::MAX {
+                break;
+            }
+            acc = self.fold_ref(&mut search.stack, b.packed ^ REV, acc);
+            s = b.parent_slot;
+        }
+        acc
+    }
+
+    /// Folds one packed arc ref: original edges add their weight; a
+    /// shortcut expands to its constituents in travel order (reversed
+    /// traversal flips the constituent order and their [`REV`] bits).
+    /// Iterative with an explicit stack — shortcut nesting is unbounded
+    /// on path-like graphs.
+    fn fold_ref(&self, stack: &mut Vec<u32>, packed: u32, mut acc: f64) -> f64 {
+        debug_assert!(stack.is_empty());
+        stack.push(packed);
+        while let Some(p) = stack.pop() {
+            let arc = &self.arena[(p & !REV) as usize];
+            if arc.mid == ORIGINAL {
+                acc += arc.weight;
+            } else if p & REV == 0 {
+                stack.push(arc.b);
+                stack.push(arc.a);
+            } else {
+                stack.push(arc.a ^ REV);
+                stack.push(arc.b ^ REV);
+            }
+        }
+        acc
+    }
+
+    /// Serializes the oracle as versioned plain text (rank + arena; the
+    /// upward CSR is rebuilt on read). Written inside the road-index file
+    /// by `gpssn-index`.
+    pub fn write_text<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "ch {} {} {}",
+            self.n,
+            self.num_original,
+            self.arena.len()
+        )?;
+        for r in &self.rank {
+            writeln!(w, "{r}")?;
+        }
+        for arc in &self.arena {
+            // `{:?}` prints the shortest decimal that round-trips f64.
+            writeln!(
+                w,
+                "{} {} {:?} {} {} {}",
+                arc.tail, arc.head, arc.weight, arc.mid, arc.a, arc.b
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads an oracle written by [`ChOracle::write_text`]. `lines`
+    /// should be positioned on the `ch ...` header line.
+    pub fn read_text<B: BufRead>(lines: &mut std::io::Lines<B>) -> io::Result<ChOracle> {
+        let header = next_line(lines)?;
+        let mut it = header.split_whitespace();
+        if it.next() != Some("ch") {
+            return Err(bad_data("expected `ch` header"));
+        }
+        let n: usize = parse_field(it.next())?;
+        let num_original: usize = parse_field(it.next())?;
+        let arena_len: usize = parse_field(it.next())?;
+        if num_original > arena_len || arena_len >= REV as usize {
+            return Err(bad_data("implausible ch arena size"));
+        }
+        // Cap pre-allocation from untrusted counts; the vectors still
+        // grow to the real size on demand.
+        let mut rank = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            rank.push(parse_field(Some(next_line(lines)?.trim()))?);
+        }
+        let mut arena = Vec::with_capacity(arena_len.min(1 << 16));
+        for _ in 0..arena_len {
+            let line = next_line(lines)?;
+            let mut it = line.split_whitespace();
+            let tail: NodeId = parse_field(it.next())?;
+            let head: NodeId = parse_field(it.next())?;
+            let weight: f64 = parse_field(it.next())?;
+            let mid: NodeId = parse_field(it.next())?;
+            let a: u32 = parse_field(it.next())?;
+            let b: u32 = parse_field(it.next())?;
+            if (tail as usize) >= n || (head as usize) >= n {
+                return Err(bad_data("ch arc endpoint out of range"));
+            }
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(bad_data("ch arc weight must be finite and non-negative"));
+            }
+            if mid != ORIGINAL {
+                if (mid as usize) >= n {
+                    return Err(bad_data("ch shortcut middle out of range"));
+                }
+                let child_bound = arena.len() as u32;
+                if (a & !REV) >= child_bound || (b & !REV) >= child_bound {
+                    return Err(bad_data("ch shortcut children must precede it"));
+                }
+            }
+            arena.push(ArenaArc {
+                tail,
+                head,
+                weight,
+                mid,
+                a,
+                b,
+            });
+        }
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            if (r as usize) >= n || std::mem::replace(&mut seen[r as usize], true) {
+                return Err(bad_data("ch rank is not a permutation"));
+            }
+        }
+        let (up_offsets, up_arcs) = build_up_csr(n, &rank, &arena);
+        Ok(ChOracle {
+            n,
+            rank,
+            up_offsets,
+            up_arcs,
+            arena,
+            num_original,
+        })
+    }
+}
+
+/// Live-adjacency entry during contraction, oriented self -> `to`.
+#[derive(Debug, Clone, Copy)]
+struct AdjArc {
+    to: NodeId,
+    weight: f64,
+    packed: u32,
+}
+
+/// One persisted vertex of a backward search space.
+#[derive(Debug, Clone, Copy)]
+struct BNode {
+    dist: f64,
+    /// Slot (within the same space) of the parent towards the target, or
+    /// `u32::MAX` at the target itself.
+    parent_slot: u32,
+    /// Packed ref of the up-arc `parent -> this`, to be folded reversed.
+    packed: u32,
+}
+
+/// Reusable state for [`ChOracle`] queries: sweep arrays, persisted
+/// backward spaces, buckets, and unpack scratch. One per thread, like
+/// [`crate::DijkstraWorkspace`].
+#[derive(Debug, Default)]
+pub struct ChSearch {
+    dist: Vec<f64>,
+    parent: Vec<NodeId>,
+    parent_arc: Vec<u32>,
+    touched: Vec<NodeId>,
+    settled: Vec<NodeId>,
+    heap: IndexedMinHeap,
+    /// Distinct-target dedup scratch (`tslot` is a lossy hint checked
+    /// against `distinct`, so it never needs clearing).
+    tslot: Vec<u32>,
+    /// Per-vertex bspace slot of the current backward sweep (lossy; only
+    /// read for vertices settled in the same sweep).
+    slot_hint: Vec<u32>,
+    distinct: Vec<NodeId>,
+    tcol: Vec<u32>,
+    /// Persisted backward spaces, concatenated; `branges[e]` delimits
+    /// target `e`'s slots.
+    bspace: Vec<BNode>,
+    branges: Vec<(u32, u32)>,
+    /// `(node, target index, bspace slot)`, sorted by node for probing.
+    bucket: Vec<(NodeId, u32, u32)>,
+    best: Vec<f64>,
+    folded: Vec<f64>,
+    fchain: Vec<u32>,
+    stack: Vec<u32>,
+}
+
+impl ChSearch {
+    /// Creates an empty workspace; storage is sized on first use.
+    pub fn new() -> Self {
+        ChSearch::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+            self.parent.resize(n, NodeId::MAX);
+            self.parent_arc.resize(n, 0);
+            self.tslot.resize(n, 0);
+            self.slot_hint.resize(n, 0);
+            self.heap.grow(n);
+        }
+    }
+
+    /// Restores `dist` to `INFINITY` at every vertex the latest sweep
+    /// touched; clears the settled list.
+    fn reset_sweep(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.touched.clear();
+        self.settled.clear();
+        self.heap.clear();
+    }
+}
+
+/// Maps an f64 priority to a totally ordered `u64` (sign-flip trick), so
+/// `(key_bits(p), vertex)` tuples order candidates deterministically.
+fn key_bits(p: f64) -> u64 {
+    let b = p.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Collects `v`'s live (unranked) neighbours, deduplicated per neighbour
+/// keeping the minimum-weight parallel arc (first wins on exact ties, so
+/// the choice is deterministic).
+fn live_neighbors(adj: &[Vec<AdjArc>], rank: &[u32], v: NodeId, out: &mut Vec<AdjArc>) {
+    out.clear();
+    'arcs: for arc in &adj[v as usize] {
+        if rank[arc.to as usize] != UNRANKED {
+            continue;
+        }
+        for seen in out.iter_mut() {
+            if seen.to == arc.to {
+                if arc.weight < seen.weight {
+                    *seen = *arc;
+                }
+                continue 'arcs;
+            }
+        }
+        out.push(*arc);
+    }
+}
+
+/// Simulates contracting `v`: counts the shortcuts the contraction would
+/// insert and returns the standard priority
+/// `2·(shortcuts − degree) + contracted neighbours`.
+fn simulate_priority(
+    adj: &[Vec<AdjArc>],
+    rank: &[u32],
+    deleted_neighbors: &[u32],
+    witness: &mut WitnessSearch,
+    v: NodeId,
+) -> f64 {
+    let mut neighbors = Vec::new();
+    live_neighbors(adj, rank, v, &mut neighbors);
+    let mut shortcuts: i64 = 0;
+    for i in 0..neighbors.len() {
+        let ui = neighbors[i];
+        let limit = neighbors[i + 1..]
+            .iter()
+            .map(|uj| ui.weight + uj.weight)
+            .fold(0.0f64, f64::max);
+        if i + 1 < neighbors.len() {
+            witness.run(adj, rank, ui.to, v, limit);
+        }
+        for uj in &neighbors[i + 1..] {
+            let sum = ui.weight + uj.weight;
+            // Count unless a strictly shorter witness exists (the same
+            // test the contraction loop applies when inserting).
+            if witness.dist(uj.to) * (1.0 + KEY_TOL) >= sum {
+                shortcuts += 1;
+            }
+        }
+    }
+    let edge_diff = shortcuts - neighbors.len() as i64;
+    2.0 * edge_diff as f64 + deleted_neighbors[v as usize] as f64
+}
+
+/// A bounded Dijkstra over the live (unranked) part of the dynamic
+/// adjacency, excluding one vertex — the witness search of CH
+/// contraction. Truncation (settle cap, limit) is sound: it only misses
+/// witnesses, which adds redundant shortcuts.
+#[derive(Debug)]
+struct WitnessSearch {
+    dist: Vec<f64>,
+    touched: Vec<NodeId>,
+    heap: IndexedMinHeap,
+}
+
+impl WitnessSearch {
+    fn new(n: usize) -> Self {
+        WitnessSearch {
+            dist: vec![INFINITY; n],
+            touched: Vec::new(),
+            heap: IndexedMinHeap::new(n),
+        }
+    }
+
+    /// Distance found by the latest run (`INFINITY` if unexplored).
+    #[inline]
+    fn dist(&self, v: NodeId) -> f64 {
+        self.dist[v as usize]
+    }
+
+    /// Runs from `source`, skipping `excluded`, giving up beyond `limit`
+    /// or [`WITNESS_SETTLE_CAP`] settles.
+    fn run(
+        &mut self,
+        adj: &[Vec<AdjArc>],
+        rank: &[u32],
+        source: NodeId,
+        excluded: NodeId,
+        limit: f64,
+    ) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.dist[source as usize] = 0.0;
+        self.touched.push(source);
+        self.heap.push_or_decrease(source, 0.0);
+        let mut settles = 0usize;
+        while let Some((v, d)) = self.heap.pop() {
+            if d > limit || settles >= WITNESS_SETTLE_CAP {
+                break;
+            }
+            settles += 1;
+            for arc in &adj[v as usize] {
+                if arc.to == excluded || rank[arc.to as usize] != UNRANKED {
+                    continue;
+                }
+                let nd = d + arc.weight;
+                if nd < self.dist[arc.to as usize] && nd <= limit {
+                    if self.dist[arc.to as usize] == INFINITY {
+                        self.touched.push(arc.to);
+                    }
+                    self.dist[arc.to as usize] = nd;
+                    self.heap.push_or_decrease(arc.to, nd);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the upward CSR: every arena arc, oriented from its lower-ranked
+/// to its higher-ranked endpoint (counting sort by tail — deterministic).
+fn build_up_csr(n: usize, rank: &[u32], arena: &[ArenaArc]) -> (Vec<u32>, Vec<UpArc>) {
+    let mut counts = vec![0u32; n + 1];
+    let orient = |arc: &ArenaArc, idx: usize| -> (NodeId, NodeId, u32) {
+        if rank[arc.tail as usize] < rank[arc.head as usize] {
+            (arc.tail, arc.head, idx as u32)
+        } else {
+            (arc.head, arc.tail, idx as u32 | REV)
+        }
+    };
+    for (idx, arc) in arena.iter().enumerate() {
+        let (t, _, _) = orient(arc, idx);
+        counts[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut arcs = vec![
+        UpArc {
+            head: 0,
+            weight: 0.0,
+            packed: 0
+        };
+        arena.len()
+    ];
+    let mut cursor = counts;
+    for (idx, arc) in arena.iter().enumerate() {
+        let (t, h, packed) = orient(arc, idx);
+        let at = cursor[t as usize] as usize;
+        cursor[t as usize] += 1;
+        arcs[at] = UpArc {
+            head: h,
+            weight: arc.weight,
+            packed,
+        };
+    }
+    (offsets, arcs)
+}
+
+/// Finds the bucket slice of vertex `m` by binary search over the
+/// node-sorted bucket array.
+fn bucket_range(bucket: &[(NodeId, u32, u32)], m: NodeId) -> &[(NodeId, u32, u32)] {
+    let span = bucket_span(bucket, m);
+    &bucket[span]
+}
+
+fn bucket_span(bucket: &[(NodeId, u32, u32)], m: NodeId) -> std::ops::Range<usize> {
+    let lo = bucket.partition_point(|&(v, _, _)| v < m);
+    let hi = lo + bucket[lo..].partition_point(|&(v, _, _)| v == m);
+    lo..hi
+}
+
+fn next_line<B: BufRead>(lines: &mut std::io::Lines<B>) -> io::Result<String> {
+    lines
+        .next()
+        .ok_or_else(|| bad_data("unexpected end of ch section"))?
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>) -> io::Result<T> {
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data("malformed ch field"))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{dijkstra_all, dijkstra_targets};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_graph(rng: &mut StdRng, n: usize, extra: usize, zero_frac: f64) -> CsrGraph {
+        let mut edges = Vec::new();
+        let weight = |rng: &mut StdRng| {
+            if rng.gen_bool(zero_frac) {
+                0.0
+            } else {
+                rng.gen_range(0.1..10.0)
+            }
+        };
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            let w = weight(rng);
+            edges.push((u as NodeId, v as NodeId, w));
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let w = weight(rng);
+                edges.push((u as NodeId, v as NodeId, w));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Random graph with several disconnected components, so unreachable
+    /// pairs occur.
+    fn random_disconnected(rng: &mut StdRng, n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        let parts = 3.min(n);
+        for v in parts..n {
+            let u = rng.gen_range(0..v);
+            if u % parts == v % parts {
+                edges.push((u as NodeId, v as NodeId, rng.gen_range(0.1..10.0)));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    fn assert_bits_eq(got: f64, want: f64, ctx: &str) {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "{ctx}: ch={got:?} ({:#x}) dijkstra={want:?} ({:#x})",
+            got.to_bits(),
+            want.to_bits()
+        );
+    }
+
+    #[test]
+    fn tiny_path_graph() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let ch = ChOracle::build(&g);
+        let mut s = ChSearch::new();
+        let (d, settles) = ch.dists(&mut s, &[(0, 0.0)], &[0, 1, 2, 3]);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 6.0]);
+        assert!(settles > 0);
+    }
+
+    #[test]
+    fn zero_weight_and_parallel_edges() {
+        let g = CsrGraph::from_edges(
+            4,
+            &[
+                (0, 1, 0.0),
+                (0, 1, 1.0),
+                (1, 2, 0.0),
+                (2, 3, 5.0),
+                (0, 3, 5.0),
+            ],
+        );
+        let ch = ChOracle::build(&g);
+        let mut s = ChSearch::new();
+        let targets = [0, 1, 2, 3];
+        let want = dijkstra_targets(&g, &[(0, 0.25)], &targets);
+        let (got, _) = ch.dists(&mut s, &[(0, 0.25)], &targets);
+        for (j, &t) in targets.iter().enumerate() {
+            assert_bits_eq(got[j], want[t as usize], &format!("target {t}"));
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_are_infinity() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let ch = ChOracle::build(&g);
+        let mut s = ChSearch::new();
+        let (d, _) = ch.dists(&mut s, &[(0, 0.5)], &[1, 2, 3]);
+        assert_eq!(d[0], 1.5);
+        assert_eq!(d[1], INFINITY);
+        assert_eq!(d[2], INFINITY);
+    }
+
+    #[test]
+    fn empty_graph_and_empty_queries() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let ch = ChOracle::build(&g);
+        let mut s = ChSearch::new();
+        let (d, settles) = ch.batch_dists(&mut s, &[], &[]);
+        assert!(d.is_empty());
+        assert_eq!(settles, 0);
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_graph(&mut rng, 400, 500, 0.05);
+        let seq = ChOracle::build_with_threads(&g, 1);
+        let par = ChOracle::build_with_threads(&g, 4);
+        assert_eq!(seq.rank, par.rank);
+        assert_eq!(seq.arena.len(), par.arena.len());
+        for (a, b) in seq.arena.iter().zip(par.arena.iter()) {
+            assert_eq!(a.tail, b.tail);
+            assert_eq!(a.head, b.head);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_answers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_graph(&mut rng, 60, 80, 0.1);
+        let ch = ChOracle::build(&g);
+        let mut buf = Vec::new();
+        ch.write_text(&mut buf).unwrap();
+        let mut lines = std::io::BufReader::new(&buf[..]).lines();
+        let back = ChOracle::read_text(&mut lines).unwrap();
+        let mut s = ChSearch::new();
+        let targets: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        for src in 0..6 {
+            let (a, _) = ch.dists(&mut s, &[(src, 0.0)], &targets);
+            let (b, _) = back.dists(&mut s, &[(src, 0.0)], &targets);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn read_text_rejects_garbage() {
+        for text in [
+            "",
+            "notch 1 0 0\n",
+            "ch 2 1 1\n0\n1\n0 5 1.0 4294967295 0 0\n",
+            "ch 2 1 1\n0\n0\n0 1 1.0 4294967295 0 0\n",
+            "ch 2 1 1\n0\n1\n0 1 -1.0 4294967295 0 0\n",
+        ] {
+            let mut lines = std::io::BufReader::new(text.as_bytes()).lines();
+            assert!(
+                ChOracle::read_text(&mut lines).is_err(),
+                "accepted {text:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// CH answers are bit-identical to Dijkstra on random connected
+        /// graphs with zero-weight and parallel edges, including seeded
+        /// (on-edge style) multi-source queries.
+        #[test]
+        fn matches_dijkstra_bitwise(seed in 0u64..2000, n in 2usize..40, extra in 0usize..60) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_graph(&mut rng, n, extra, 0.08);
+            let ch = ChOracle::build_with_threads(&g, if seed % 2 == 0 { 1 } else { 3 });
+            let mut s = ChSearch::new();
+            let targets: Vec<NodeId> = (0..n as NodeId).collect();
+            for _ in 0..3 {
+                let s1 = rng.gen_range(0..n) as NodeId;
+                let s2 = rng.gen_range(0..n) as NodeId;
+                let d1 = rng.gen_range(0.0..4.0);
+                let d2 = rng.gen_range(0.0..4.0);
+                let seeds = [(s1, d1), (s2, d2)];
+                let want = dijkstra_all(&g, &seeds);
+                let (got, _) = ch.dists(&mut s, &seeds, &targets);
+                for v in 0..n {
+                    prop_assert_eq!(
+                        got[v].to_bits(), want[v].to_bits(),
+                        "seed {} n {} v {}: ch={:?} dijkstra={:?}", seed, n, v, got[v], want[v]
+                    );
+                }
+            }
+        }
+
+        /// The many-to-many kernel agrees with per-source Dijkstra runs
+        /// on graphs with unreachable pairs.
+        #[test]
+        fn batch_matches_dijkstra_on_disconnected(seed in 0u64..1000, n in 4usize..36) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_disconnected(&mut rng, n);
+            let ch = ChOracle::build(&g);
+            let mut s = ChSearch::new();
+            // Duplicate targets exercise the dedup path.
+            let mut targets: Vec<NodeId> = (0..n as NodeId).collect();
+            targets.push(0);
+            targets.push((n / 2) as NodeId);
+            let seed_lists: Vec<Vec<(NodeId, f64)>> = (0..3)
+                .map(|_| vec![(rng.gen_range(0..n) as NodeId, rng.gen_range(0.0..2.0))])
+                .collect();
+            let refs: Vec<&[(NodeId, f64)]> = seed_lists.iter().map(|v| v.as_slice()).collect();
+            let (got, _) = ch.batch_dists(&mut s, &refs, &targets);
+            for (i, seeds) in seed_lists.iter().enumerate() {
+                let want = dijkstra_targets(&g, seeds, &targets);
+                for (j, &t) in targets.iter().enumerate() {
+                    prop_assert_eq!(
+                        got[i * targets.len() + j].to_bits(),
+                        want[t as usize].to_bits(),
+                        "seed {} source {} target {}", seed, i, t
+                    );
+                }
+            }
+        }
+    }
+}

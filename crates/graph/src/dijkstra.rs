@@ -131,7 +131,10 @@ pub fn extract_path(parent: &[Option<NodeId>], target: NodeId) -> Vec<NodeId> {
 }
 
 /// Reference all-pairs shortest paths (Floyd–Warshall), used only in tests
-/// and property checks as the oracle for Dijkstra.
+/// and property checks as the oracle for Dijkstra. The O(n³) path is
+/// compiled out of release builds: enable the `testutil` feature to use
+/// it from another crate's tests.
+#[cfg(any(test, feature = "testutil"))]
 pub fn floyd_warshall(graph: &CsrGraph) -> Vec<Vec<f64>> {
     let n = graph.num_nodes();
     let mut d = vec![vec![INFINITY; n]; n];

@@ -22,6 +22,7 @@
 
 pub mod alt;
 pub mod bfs;
+pub mod ch;
 pub mod components;
 pub mod csr;
 pub mod dijkstra;
@@ -34,6 +35,7 @@ pub mod workspace;
 
 pub use alt::AltOracle;
 pub use bfs::{bounded_hops, hop_distances};
+pub use ch::{ChOracle, ChSearch};
 pub use components::{connected_components, is_connected_subset};
 pub use csr::{CsrGraph, EdgeId, NodeId};
 pub use dijkstra::{

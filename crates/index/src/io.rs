@@ -172,6 +172,207 @@ pub mod page_ids {
     }
 }
 
+// ---------------------------------------------------------------------
+// Road-index persistence.
+// ---------------------------------------------------------------------
+
+use crate::road_index::{PoiAugment, RoadIndex, RoadIndexConfig};
+use gpssn_graph::ChOracle;
+use gpssn_road::{PoiSet, RoadNetwork, RoadPivots};
+use gpssn_spatial::KeywordSignature;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const INDEX_MAGIC: &str = "# gpssn-road-index v1";
+
+/// Upper bound for pre-allocation from untrusted counts (matches the
+/// `gpssn-ssn` reader): a corrupt header must not abort inside
+/// `with_capacity`; vectors still grow to the real size on demand.
+const MAX_PREALLOC: usize = 1 << 16;
+
+/// Serializes a [`RoadIndex`] as versioned plain text.
+///
+/// Only the expensive-to-recompute parts are written: the per-POI
+/// keyword balls with pivot distances, and the contraction-hierarchy
+/// oracle (when present). The R\*-tree, node aggregates, signatures, and
+/// the pivot distance table are deterministic functions of the POI set /
+/// road network and are rebuilt on load.
+pub fn write_road_index<W: Write>(idx: &RoadIndex, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{INDEX_MAGIC}")?;
+    let cfg = idx.config();
+    writeln!(
+        w,
+        "cfg {} {:?} {:?} {}",
+        cfg.node_capacity, cfg.r_min, cfg.r_max, cfg.samples_per_node
+    )?;
+    let pivots = idx.pivots();
+    writeln!(w, "pivots {}", pivots.len())?;
+    for &p in pivots.pivots() {
+        writeln!(w, "{p}")?;
+    }
+    writeln!(w, "pois {}", idx.num_pois())?;
+    for id in 0..idx.num_pois() as u32 {
+        let a = idx.poi(id);
+        writeln!(w, "{}", join_u32(&a.sup_keywords))?;
+        writeln!(w, "{}", join_u32(&a.sub_keywords))?;
+        let ds: Vec<String> = a.pivot_dists.iter().map(|d| format!("{d:?}")).collect();
+        writeln!(w, "{}", ds.join(" "))?;
+    }
+    match idx.ch() {
+        Some(ch) => {
+            writeln!(w, "has-ch 1")?;
+            ch.write_text(&mut w)?;
+        }
+        None => writeln!(w, "has-ch 0")?,
+    }
+    w.flush()
+}
+
+/// Deserializes a [`RoadIndex`] written by [`write_road_index`].
+///
+/// `road` and `pois` must be the network and POI set the index was built
+/// over (counts are validated). An index saved without a CH oracle loads
+/// fine — the engine then answers `dist_RN` probes via the Dijkstra
+/// fallback.
+pub fn read_road_index<R: Read>(road: &RoadNetwork, pois: &PoiSet, r: R) -> io::Result<RoadIndex> {
+    let mut lines = BufReader::new(r).lines();
+    if next_line(&mut lines)?.trim() != INDEX_MAGIC {
+        return Err(bad_data("bad road-index magic"));
+    }
+
+    let header = next_line(&mut lines)?;
+    let mut it = header.split_whitespace();
+    expect_tag(it.next(), "cfg")?;
+    let node_capacity: usize = parse(it.next())?;
+    let r_min: f64 = parse(it.next())?;
+    let r_max: f64 = parse(it.next())?;
+    let samples_per_node: usize = parse(it.next())?;
+    if !(r_min > 0.0 && r_max >= r_min) {
+        return Err(bad_data("invalid radius range"));
+    }
+
+    let header = next_line(&mut lines)?;
+    let mut it = header.split_whitespace();
+    expect_tag(it.next(), "pivots")?;
+    let h: usize = parse(it.next())?;
+    let mut pivot_ids = Vec::with_capacity(h.min(MAX_PREALLOC));
+    for _ in 0..h {
+        let p: u32 = parse(Some(next_line(&mut lines)?.trim()))?;
+        if (p as usize) >= road.num_vertices() {
+            return Err(bad_data("pivot vertex out of range"));
+        }
+        pivot_ids.push(p);
+    }
+
+    let header = next_line(&mut lines)?;
+    let mut it = header.split_whitespace();
+    expect_tag(it.next(), "pois")?;
+    let n: usize = parse(it.next())?;
+    if n != pois.len() {
+        return Err(bad_data("index POI count does not match the POI set"));
+    }
+    let mut poi_aug = Vec::with_capacity(n.min(MAX_PREALLOC));
+    for _ in 0..n {
+        let sup_keywords = parse_u32_list(&next_line(&mut lines)?)?;
+        let sub_keywords = parse_u32_list(&next_line(&mut lines)?)?;
+        let dist_line = next_line(&mut lines)?;
+        let mut pivot_dists = Vec::with_capacity(h.min(MAX_PREALLOC));
+        for tok in dist_line.split_whitespace() {
+            pivot_dists.push(parse::<f64>(Some(tok))?);
+        }
+        if pivot_dists.len() != h {
+            return Err(bad_data("pivot distance arity mismatch"));
+        }
+        let sup_sig = KeywordSignature::from_keywords(sup_keywords.iter().copied());
+        let sub_sig = KeywordSignature::from_keywords(sub_keywords.iter().copied());
+        poi_aug.push(PoiAugment {
+            sup_keywords,
+            sub_keywords,
+            sup_sig,
+            sub_sig,
+            pivot_dists,
+        });
+    }
+
+    let header = next_line(&mut lines)?;
+    let mut it = header.split_whitespace();
+    expect_tag(it.next(), "has-ch")?;
+    let has_ch: u8 = parse(it.next())?;
+    let ch = match has_ch {
+        0 => None,
+        1 => {
+            let ch = ChOracle::read_text(&mut lines)?;
+            if ch.num_nodes() != road.num_vertices() {
+                return Err(bad_data("ch oracle size does not match the road network"));
+            }
+            Some(ch)
+        }
+        _ => return Err(bad_data("has-ch must be 0 or 1")),
+    };
+
+    let cfg = RoadIndexConfig {
+        node_capacity,
+        r_min,
+        r_max,
+        samples_per_node,
+        build_ch: ch.is_some(),
+    };
+    // The pivot table is h exact Dijkstra columns — deterministic, so it
+    // is rebuilt rather than stored.
+    let pivots = RoadPivots::new(road, pivot_ids);
+    Ok(RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch))
+}
+
+/// [`write_road_index`] to a file path.
+pub fn save_road_index(idx: &RoadIndex, path: impl AsRef<Path>) -> io::Result<()> {
+    write_road_index(idx, std::fs::File::create(path)?)
+}
+
+/// [`read_road_index`] from a file path.
+pub fn load_road_index(
+    road: &RoadNetwork,
+    pois: &PoiSet,
+    path: impl AsRef<Path>,
+) -> io::Result<RoadIndex> {
+    read_road_index(road, pois, std::fs::File::open(path)?)
+}
+
+fn join_u32(xs: &[u32]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_u32_list(line: &str) -> io::Result<Vec<u32>> {
+    line.split_whitespace().map(|t| parse(Some(t))).collect()
+}
+
+fn next_line<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<String> {
+    lines
+        .next()
+        .ok_or_else(|| bad_data("unexpected end of road-index file"))?
+}
+
+fn expect_tag(tok: Option<&str>, tag: &str) -> io::Result<()> {
+    if tok == Some(tag) {
+        Ok(())
+    } else {
+        Err(bad_data("unexpected road-index section tag"))
+    }
+}
+
+fn parse<T: std::str::FromStr>(field: Option<&str>) -> io::Result<T> {
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data("malformed road-index field"))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +448,138 @@ mod tests {
     fn page_id_namespaces_do_not_collide() {
         assert_ne!(page_ids::road(5), page_ids::social(5));
         assert_eq!(page_ids::road(5), 5);
+    }
+
+    use gpssn_graph::ValueDistribution;
+    use gpssn_road::{generate_pois, generate_road_network, PoiGenConfig, RoadGenConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_instance() -> (RoadNetwork, PoiSet) {
+        let mut rng = StdRng::seed_from_u64(33);
+        let road = generate_road_network(
+            &RoadGenConfig {
+                num_vertices: 200,
+                space_size: 20.0,
+                neighbors_per_vertex: 2,
+            },
+            &mut rng,
+        );
+        let pois = PoiSet::new(
+            &road,
+            generate_pois(
+                &road,
+                &PoiGenConfig {
+                    num_pois: 80,
+                    num_keywords: 5,
+                    max_keywords_per_poi: 3,
+                    distribution: ValueDistribution::Uniform,
+                    keyword_locality: 0.8,
+                },
+                &mut rng,
+            ),
+        );
+        (road, pois)
+    }
+
+    fn build_index(road: &RoadNetwork, pois: &PoiSet, build_ch: bool) -> RoadIndex {
+        let pivots = RoadPivots::new(road, vec![0, 40, 90]);
+        RoadIndex::build(
+            road,
+            pois,
+            pivots,
+            RoadIndexConfig {
+                r_max: 3.0,
+                build_ch,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn assert_same_index(a: &RoadIndex, b: &RoadIndex) {
+        assert_eq!(a.num_pois(), b.num_pois());
+        assert_eq!(a.num_pages(), b.num_pages());
+        assert_eq!(a.pivots().pivots(), b.pivots().pivots());
+        for id in 0..a.num_pois() as u32 {
+            let (x, y) = (a.poi(id), b.poi(id));
+            assert_eq!(x.sup_keywords, y.sup_keywords);
+            assert_eq!(x.sub_keywords, y.sub_keywords);
+            assert_eq!(x.sup_sig, y.sup_sig);
+            assert_eq!(x.sub_sig, y.sub_sig);
+            let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|d| d.to_bits()).collect() };
+            assert_eq!(bits(&x.pivot_dists), bits(&y.pivot_dists));
+        }
+        for n in 0..a.num_pages() as u32 {
+            let (x, y) = (a.node(n), b.node(n));
+            assert_eq!(x.sup_sig, y.sup_sig);
+            assert_eq!(x.samples, y.samples);
+            assert_eq!(x.poi_count, y.poi_count);
+        }
+    }
+
+    #[test]
+    fn road_index_round_trips_with_ch() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, true);
+        assert!(idx.ch().is_some());
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let back = read_road_index(&road, &pois, &buf[..]).unwrap();
+        assert_same_index(&idx, &back);
+        // The CH oracle round-trips to bit-identical answers.
+        let (orig, loaded) = (idx.ch().unwrap(), back.ch().unwrap());
+        let mut s = gpssn_graph::ChSearch::new();
+        let targets: Vec<u32> = (0..road.num_vertices() as u32).step_by(7).collect();
+        for src in [0u32, 11, 63] {
+            let (x, _) = orig.dists(&mut s, &[(src, 0.0)], &targets);
+            let (y, _) = loaded.dists(&mut s, &[(src, 0.0)], &targets);
+            for (a, b) in x.iter().zip(y.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ch_less_index_round_trips_and_loads() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, false);
+        assert!(idx.ch().is_none());
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let back = read_road_index(&road, &pois, &buf[..]).unwrap();
+        assert!(back.ch().is_none(), "CH-less index must stay CH-less");
+        assert_same_index(&idx, &back);
+    }
+
+    #[test]
+    fn read_road_index_rejects_mismatched_pois() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, false);
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        // A POI set of a different size must be rejected.
+        let mut rng = StdRng::seed_from_u64(9);
+        let other = PoiSet::new(
+            &road,
+            generate_pois(
+                &road,
+                &PoiGenConfig {
+                    num_pois: 10,
+                    num_keywords: 3,
+                    max_keywords_per_poi: 2,
+                    distribution: ValueDistribution::Uniform,
+                    keyword_locality: 0.5,
+                },
+                &mut rng,
+            ),
+        );
+        assert!(read_road_index(&road, &other, &buf[..]).is_err());
+    }
+
+    #[test]
+    fn read_road_index_rejects_garbage() {
+        let (road, pois) = small_instance();
+        for text in ["", "# wrong magic\n", "# gpssn-road-index v1\ncfg nope\n"] {
+            assert!(read_road_index(&road, &pois, text.as_bytes()).is_err());
+        }
     }
 }

@@ -24,7 +24,7 @@ pub mod pivot_select;
 pub mod road_index;
 pub mod social_index;
 
-pub use io::IoCounter;
+pub use io::{load_road_index, read_road_index, save_road_index, write_road_index, IoCounter};
 pub use pivot_select::{select_road_pivots, select_social_pivots, PivotSelectConfig};
 pub use road_index::{PoiAugment, RoadIndex, RoadIndexConfig, RoadNodeAugment};
 pub use social_index::{SocialIndex, SocialIndexConfig, SocialNode};

@@ -16,7 +16,11 @@
 //!
 //! Distance columns (one single-source run per candidate pivot) are cached
 //! across swap iterations, so the whole search costs `O(global_iter ·
-//! swap_iter)` single-source traversals in the worst case.
+//! swap_iter)` single-source traversals in the worst case. Columns missing
+//! from the cache are independent single-source runs, so each evaluation
+//! fans them out over scoped threads; results are merged back in candidate
+//! order, keeping the selection bit-deterministic given the seed
+//! regardless of thread count.
 
 use gpssn_graph::{bfs, dijkstra_all, NodeId};
 use gpssn_road::RoadNetwork;
@@ -73,9 +77,9 @@ pub fn select_social_pivots(net: &SocialNetwork, cfg: &PivotSelectConfig) -> Vec
 }
 
 /// Generic Algorithm 1 over any single-source distance oracle.
-fn select_pivots<F>(n: usize, cfg: &PivotSelectConfig, mut column: F) -> Vec<NodeId>
+fn select_pivots<F>(n: usize, cfg: &PivotSelectConfig, column: F) -> Vec<NodeId>
 where
-    F: FnMut(NodeId) -> Vec<f64>,
+    F: Fn(NodeId) -> Vec<f64> + Sync,
 {
     assert!(cfg.count >= 1, "need at least one pivot");
     assert!(n >= cfg.count, "more pivots requested than vertices");
@@ -86,9 +90,22 @@ where
         .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
         .collect();
     let mut columns: HashMap<NodeId, Vec<f64>> = HashMap::new();
-    let mut cost_of = |pivots: &[NodeId], columns: &mut HashMap<NodeId, Vec<f64>>| -> f64 {
-        for &p in pivots {
-            columns.entry(p).or_insert_with(|| column(p));
+    let cost_of = |pivots: &[NodeId], columns: &mut HashMap<NodeId, Vec<f64>>| -> f64 {
+        // Uncached columns are independent single-source runs: fan out
+        // over scoped threads, merge in candidate order (the cost below
+        // is order-insensitive anyway — max over pivots — but the merge
+        // keeps the cache contents deterministic too).
+        let missing: Vec<NodeId> = {
+            let mut missing = Vec::new();
+            for &p in pivots {
+                if !columns.contains_key(&p) && !missing.contains(&p) {
+                    missing.push(p);
+                }
+            }
+            missing
+        };
+        for (p, col) in missing.iter().zip(columns_parallel(&missing, &column)) {
+            columns.insert(*p, col);
         }
         pairs
             .iter()
@@ -138,6 +155,29 @@ where
     }
     global_best.sort_unstable();
     global_best
+}
+
+/// Computes the distance columns of `missing` concurrently (one scoped
+/// thread per column — there are at most `cfg.count` of them per
+/// evaluation), returning them in input order.
+fn columns_parallel<F>(missing: &[NodeId], column: &F) -> Vec<Vec<f64>>
+where
+    F: Fn(NodeId) -> Vec<f64> + Sync,
+{
+    if missing.len() <= 1 {
+        return missing.iter().map(|&p| column(p)).collect();
+    }
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(missing.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = missing
+            .iter()
+            .map(|&p| scope.spawn(move || column(p)))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("pivot column worker panicked"));
+        }
+    });
+    out
 }
 
 #[cfg(test)]

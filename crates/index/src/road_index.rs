@@ -26,6 +26,12 @@ pub struct RoadIndexConfig {
     pub r_max: f64,
     /// Sample POIs retained per node for Eq. (18).
     pub samples_per_node: usize,
+    /// Build a contraction-hierarchy distance oracle at index time so
+    /// refinement can answer `dist_RN` probes without full Dijkstra runs
+    /// (bit-identical answers; see `gpssn_graph::ch`). Disable to trade
+    /// query speed for build time — the engine then falls back to plain
+    /// Dijkstra.
+    pub build_ch: bool,
 }
 
 impl Default for RoadIndexConfig {
@@ -35,6 +41,7 @@ impl Default for RoadIndexConfig {
             r_min: 0.5,
             r_max: 4.0,
             samples_per_node: 3,
+            build_ch: true,
         }
     }
 }
@@ -77,6 +84,10 @@ pub struct RoadIndex {
     node_aug: Vec<RoadNodeAugment>,
     pivots: RoadPivots,
     cfg: RoadIndexConfig,
+    /// Contraction-hierarchy oracle over the road graph, built once at
+    /// index time (absent when the index was built or loaded without
+    /// one — queries then fall back to Dijkstra).
+    ch: Option<gpssn_graph::ChOracle>,
 }
 
 impl RoadIndex {
@@ -132,13 +143,57 @@ impl RoadIndex {
             (0..n as PoiId).map(|id| (id, pois.location(id))),
         );
         let node_aug = aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node);
+        let ch = cfg
+            .build_ch
+            .then(|| gpssn_graph::ChOracle::build(road.graph()));
         RoadIndex {
             tree,
             poi_aug,
             node_aug,
             pivots,
             cfg,
+            ch,
         }
+    }
+
+    /// Reassembles an index from deserialized parts: the R\*-tree is
+    /// re-bulk-built (deterministic given the POI set and node capacity)
+    /// and node augments re-aggregated, so only the expensive-to-recompute
+    /// parts (per-POI keyword balls, the CH oracle) come from the file.
+    pub(crate) fn from_loaded_parts(
+        pois: &PoiSet,
+        pivots: RoadPivots,
+        cfg: RoadIndexConfig,
+        poi_aug: Vec<PoiAugment>,
+        ch: Option<gpssn_graph::ChOracle>,
+    ) -> Self {
+        let n = poi_aug.len();
+        let tree = RStarTree::bulk_build(
+            cfg.node_capacity,
+            (0..n as PoiId).map(|id| (id, pois.location(id))),
+        );
+        let node_aug = aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node);
+        RoadIndex {
+            tree,
+            poi_aug,
+            node_aug,
+            pivots,
+            cfg,
+            ch,
+        }
+    }
+
+    /// The contraction-hierarchy oracle, if the index carries one.
+    #[inline]
+    pub fn ch(&self) -> Option<&gpssn_graph::ChOracle> {
+        self.ch.as_ref()
+    }
+
+    /// Drops the CH oracle (used by tests and by callers that need the
+    /// Dijkstra fallback path of an already-built index).
+    pub fn without_ch(mut self) -> Self {
+        self.ch = None;
+        self
     }
 
     /// The underlying R\*-tree.
@@ -174,6 +229,12 @@ impl RoadIndex {
     /// Number of index pages (nodes).
     pub fn num_pages(&self) -> usize {
         self.tree.num_nodes()
+    }
+
+    /// Number of indexed POIs.
+    #[inline]
+    pub fn num_pois(&self) -> usize {
+        self.poi_aug.len()
     }
 }
 

@@ -8,13 +8,25 @@
 
 use crate::network::RoadNetwork;
 use crate::poi::NetworkPoint;
-use gpssn_graph::{dijkstra_targets, DijkstraWorkspace, NodeId};
+use gpssn_graph::{ChOracle, ChSearch, DijkstraWorkspace, NodeId};
 
 /// Exact road-network distance between two on-edge points.
 pub fn dist_rn(net: &RoadNetwork, a: &NetworkPoint, b: &NetworkPoint) -> f64 {
+    let mut ws = DijkstraWorkspace::new();
+    dist_rn_with(net, &mut ws, a, b)
+}
+
+/// [`dist_rn`] running inside a caller-provided [`DijkstraWorkspace`], so
+/// repeated calls are allocation-free.
+pub fn dist_rn_with(
+    net: &RoadNetwork,
+    ws: &mut DijkstraWorkspace,
+    a: &NetworkPoint,
+    b: &NetworkPoint,
+) -> f64 {
     let (bu, bv, _) = net.edge(b.edge);
-    let dist = dijkstra_targets(net.graph(), &a.seeds(net), &[bu, bv]);
-    point_dist_from_map(net, &dist, a, b)
+    ws.run_targets(net.graph(), &a.seeds(net), &[bu, bv]);
+    point_dist_from_map(net, ws.dist(), a, b)
 }
 
 /// Exact distances from `a` to each point in `targets` with a single
@@ -77,6 +89,16 @@ pub fn point_dist_from_map(
     b: &NetworkPoint,
 ) -> f64 {
     let (bu, bv, blen) = net.edge(b.edge);
+    compose_point_dist(a, b, blen, dist[bu as usize], dist[bv as usize])
+}
+
+/// The shared endpoint-to-point composition: given the vertex distances
+/// `d_bu` / `d_bv` to `b`'s edge endpoints (from any exact backend), adds
+/// the along-edge offsets and the same-edge shortcut *in a fixed
+/// operation order*, so the Dijkstra and CH backends produce bit-identical
+/// results from bit-identical endpoint distances.
+#[inline]
+fn compose_point_dist(a: &NetworkPoint, b: &NetworkPoint, blen: f64, d_bu: f64, d_bv: f64) -> f64 {
     // The along-edge shortcut is evaluated first so it wins even when
     // both endpoints sit at `INFINITY` in a radius-bounded (or
     // disconnected-component) map: two points on the same edge are always
@@ -86,10 +108,64 @@ pub fn point_dist_from_map(
     } else {
         f64::INFINITY
     };
-    let via_u = dist[bu as usize] + b.offset;
-    let via_v = dist[bv as usize] + (blen - b.offset);
+    let via_u = d_bu + b.offset;
+    let via_v = d_bv + (blen - b.offset);
     d = d.min(via_u).min(via_v);
     d
+}
+
+/// CH-backed [`dist_rn_many_counted_with`]: exact distances from `a` to
+/// each target through a [`ChOracle`], bit-identical to the Dijkstra
+/// backend (property-tested below). The returned count is the number of
+/// vertices the upward sweeps settled — the same budget unit as Dijkstra
+/// settles, just much smaller.
+pub fn dist_rn_many_ch(
+    net: &RoadNetwork,
+    ch: &ChOracle,
+    cs: &mut ChSearch,
+    a: &NetworkPoint,
+    targets: &[NetworkPoint],
+) -> (Vec<f64>, u64) {
+    dist_rn_matrix_ch(net, ch, cs, std::slice::from_ref(a), targets)
+}
+
+/// Bucket-based many-to-many `dist_RN`: the full `sources × targets`
+/// distance matrix (row-major) in one oracle call — one backward sweep
+/// per distinct target-edge endpoint, one forward sweep per source.
+/// Values are bit-identical to calling the Dijkstra backend per source
+/// (`dist[i][j]` folds source-to-target like a Dijkstra seeded at
+/// `sources[i]`).
+pub fn dist_rn_matrix_ch(
+    net: &RoadNetwork,
+    ch: &ChOracle,
+    cs: &mut ChSearch,
+    sources: &[NetworkPoint],
+    targets: &[NetworkPoint],
+) -> (Vec<f64>, u64) {
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(targets.len() * 2);
+    for t in targets {
+        let (u, v, _) = net.edge(t.edge);
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    let seed_arrays: Vec<[(NodeId, f64); 2]> = sources.iter().map(|s| s.seeds(net)).collect();
+    let seed_refs: Vec<&[(NodeId, f64)]> = seed_arrays.iter().map(|s| &s[..]).collect();
+    let (d, settles) = ch.batch_dists(cs, &seed_refs, &endpoints);
+    let cols = endpoints.len();
+    let mut out = Vec::with_capacity(sources.len() * targets.len());
+    for (i, a) in sources.iter().enumerate() {
+        for (j, t) in targets.iter().enumerate() {
+            let (_, _, blen) = net.edge(t.edge);
+            out.push(compose_point_dist(
+                a,
+                t,
+                blen,
+                d[i * cols + 2 * j],
+                d[i * cols + 2 * j + 1],
+            ));
+        }
+    }
+    (out, settles)
 }
 
 /// A materialized shortest route between two on-edge points: total
@@ -328,8 +404,106 @@ mod tests {
         RoadNetwork::from_euclidean_edges(locs, &edges)
     }
 
+    /// Random network with two disconnected clusters (unreachable pairs),
+    /// occasional coincident vertices joined by zero-weight edges, and
+    /// enough extra edges for alternative routes.
+    fn random_ch_net(rng: &mut StdRng, n: usize) -> RoadNetwork {
+        let mut locs: Vec<Point> = Vec::with_capacity(n);
+        for i in 0..n {
+            // Two clusters far apart; later vertices occasionally
+            // duplicate an earlier location exactly.
+            if i > 2 && rng.gen_bool(0.15) {
+                let j = rng.gen_range(0..i);
+                locs.push(locs[j]);
+            } else {
+                let base = if i % 2 == 0 { 0.0 } else { 1000.0 };
+                locs.push(Point::new(
+                    base + rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ));
+            }
+        }
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        let cluster = |i: usize| -> bool { locs[i].x >= 500.0 };
+        for v in 2..n {
+            // Span within the vertex's own cluster only.
+            let candidates: Vec<usize> = (0..v).filter(|&u| cluster(u) == cluster(v)).collect();
+            if let Some(&u) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+                let euclid = locs[u].distance(&locs[v]);
+                let w = if euclid == 0.0 && rng.gen_bool(0.5) {
+                    0.0
+                } else {
+                    euclid + rng.gen_range(0.0..3.0)
+                };
+                edges.push((u as u32, v as u32, w));
+            }
+        }
+        for _ in 0..n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && cluster(u) == cluster(v) {
+                let euclid = locs[u].distance(&locs[v]);
+                edges.push((u as u32, v as u32, euclid + rng.gen_range(0.0..5.0)));
+            }
+        }
+        if edges.is_empty() {
+            edges.push((0, 2, locs[0].distance(&locs[2]) + 1.0));
+        }
+        RoadNetwork::from_weighted_edges(locs, &edges)
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The CH backend is bitwise-identical to the Dijkstra backend on
+        /// random networks with unreachable pairs, same-edge shortcut
+        /// pairs, and zero-weight edges — single rows and full matrices.
+        #[test]
+        fn ch_backend_is_bitwise_identical(seed in 0u64..1500, n in 4usize..28) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = random_ch_net(&mut rng, n);
+            let ch = gpssn_graph::ChOracle::build_with_threads(
+                net.graph(),
+                if seed % 3 == 0 { 2 } else { 1 },
+            );
+            let mut cs = gpssn_graph::ChSearch::new();
+            let mut ws = DijkstraWorkspace::new();
+            let m = net.num_edges();
+            let mut pts: Vec<NetworkPoint> = (0..6)
+                .map(|_| {
+                    let e = rng.gen_range(0..m) as u32;
+                    let len = net.edge_length(e);
+                    NetworkPoint::new(&net, e, rng.gen_range(0.0..=1.0) * len)
+                })
+                .collect();
+            // Force a same-edge pair.
+            let twin_edge = pts[0].edge;
+            let twin_len = net.edge_length(twin_edge);
+            pts.push(NetworkPoint::new(
+                &net,
+                twin_edge,
+                rng.gen_range(0.0..=1.0) * twin_len,
+            ));
+            let sources = &pts[..3];
+            for a in sources {
+                let (want, _) = dist_rn_many_counted_with(&net, &mut ws, a, &pts);
+                let (got, _) = dist_rn_many_ch(&net, &ch, &mut cs, a, &pts);
+                for (j, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "seed {} target {}: ch={:?} dijkstra={:?}", seed, j, g, w
+                    );
+                }
+            }
+            // The matrix kernel matches its per-source rows.
+            let (matrix, _) = dist_rn_matrix_ch(&net, &ch, &mut cs, sources, &pts);
+            for (i, a) in sources.iter().enumerate() {
+                let want = dist_rn_many(&net, a, &pts);
+                for (j, w) in want.iter().enumerate() {
+                    prop_assert_eq!(matrix[i * pts.len() + j].to_bits(), w.to_bits());
+                }
+            }
+        }
 
         /// dist_RN is symmetric, nonnegative, >= Euclidean distance, and
         /// satisfies the triangle inequality on random networks.

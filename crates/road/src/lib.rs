@@ -24,8 +24,8 @@ pub mod pivots;
 pub mod poi;
 
 pub use distance::{
-    dist_rn, dist_rn_many, dist_rn_many_counted, dist_rn_many_counted_with, point_dist_from_map,
-    shortest_route, Route,
+    dist_rn, dist_rn_many, dist_rn_many_ch, dist_rn_many_counted, dist_rn_many_counted_with,
+    dist_rn_matrix_ch, dist_rn_with, point_dist_from_map, shortest_route, Route,
 };
 pub use generator::{generate_pois, generate_road_network, PoiGenConfig, RoadGenConfig};
 pub use network::RoadNetwork;

@@ -6,7 +6,7 @@
 //! change nothing: a hit only ever returns what the miss path would
 //! have recomputed.
 
-use gpssn::core::algorithm::{EngineConfig, QueryOptions};
+use gpssn::core::algorithm::{DistanceBackend, EngineConfig, QueryOptions};
 use gpssn::core::{DistanceCacheConfig, GpSsnAnswer, GpSsnEngine, GpSsnQuery};
 use gpssn::index::{PivotSelectConfig, SocialIndexConfig};
 use gpssn::ssn::{synthetic, SpatialSocialNetwork, SyntheticConfig};
@@ -83,6 +83,63 @@ fn threads_opts(threads: usize) -> QueryOptions {
     QueryOptions {
         refine_threads: threads,
         ..Default::default()
+    }
+}
+
+fn backend_opts(backend: DistanceBackend) -> QueryOptions {
+    QueryOptions {
+        distance_backend: backend,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ch_backend_is_bit_identical_to_dijkstra() {
+    let mut checked = 0usize;
+    let mut answered = 0usize;
+    let mut ch_engaged = 0usize;
+    for seed in 0..4u64 {
+        let ssn = synthetic(&SyntheticConfig::uni().scaled(0.004), seed);
+        let engine = GpSsnEngine::build(&ssn, small_cfg(seed, None));
+        for q in corpus(&ssn, seed) {
+            let dij = engine.query_with_options(&q, &backend_opts(DistanceBackend::Dijkstra));
+            let ch = engine.query_with_options(&q, &backend_opts(DistanceBackend::Ch));
+            assert_bit_identical(&dij.answer, &ch.answer, "CH backend vs Dijkstra");
+            assert_eq!(
+                dij.metrics.ch_batches, 0,
+                "Dijkstra backend must not touch the CH oracle"
+            );
+            ch_engaged += (ch.metrics.ch_batches > 0) as usize;
+            checked += 1;
+            answered += dij.answer.is_some() as usize;
+        }
+    }
+    assert!(checked >= 200, "stress corpus too small: {checked}");
+    assert!(answered >= 10, "too few feasible cases: {answered}");
+    assert!(
+        ch_engaged >= 10,
+        "the CH oracle barely engaged ({ch_engaged} queries) — the test proves nothing"
+    );
+}
+
+#[test]
+fn ch_less_index_falls_back_to_dijkstra() {
+    // An engine whose road index skipped CH construction still serves
+    // queries under the default `DistanceBackend::Ch`: the backend
+    // degrades to Dijkstra silently and reports zero CH batches.
+    let ssn = synthetic(&SyntheticConfig::uni().scaled(0.004), 7);
+    let mut chless_cfg = small_cfg(7, None);
+    chless_cfg.road_index.build_ch = false;
+    let chless = GpSsnEngine::build(&ssn, chless_cfg);
+    let full = GpSsnEngine::build(&ssn, small_cfg(7, None));
+    for q in corpus(&ssn, 7) {
+        let a = chless.query(&q);
+        let b = full.query_with_options(&q, &backend_opts(DistanceBackend::Dijkstra));
+        assert_bit_identical(&a.answer, &b.answer, "CH-less fallback vs Dijkstra");
+        assert_eq!(
+            a.metrics.ch_batches, 0,
+            "a CH-less index cannot have served CH batches"
+        );
     }
 }
 
