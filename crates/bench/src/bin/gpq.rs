@@ -5,8 +5,19 @@
 //! cargo run --release -p gpssn-bench --bin gpq -- \
 //!     --data city.ssn --user 11 --tau 4 --gamma 0.3 --theta 0.4 --r 2 \
 //!     [--top-k 3] [--approx 64] [--tune 0.7] \
-//!     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N]
+//!     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
+//!     [--trace-out FILE] [--metrics-out FILE] [--log jsonl]
 //! ```
+//!
+//! Telemetry flags:
+//!
+//! * `--trace-out FILE` — write a Chrome `trace_event` JSON of the
+//!   query's phase spans (load in `chrome://tracing` or Perfetto).
+//! * `--metrics-out FILE` — write a Prometheus text-format exposition
+//!   of the run's counters and phase-duration histograms.
+//! * `--log jsonl` — print one structured JSON log line per query to
+//!   stdout (parameters, completion class, phase durations, cache
+//!   hit rate).
 //!
 //! Every error prints a single line on stderr and maps to a stable exit
 //! code so scripts can dispatch on the failure class:
@@ -27,13 +38,17 @@
 
 use gpssn_core::{
     suggest_parameters, Completion, EngineConfig, GpSsnEngine, GpSsnError, GpSsnQuery, QueryBudget,
+    QueryOutcome,
 };
+use gpssn_obs::{Obs, ObsConfig};
 use gpssn_ssn::{load_ssn, DatasetStats};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
      [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] \
-     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N]";
+     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
+     [--trace-out FILE] [--metrics-out FILE] [--log jsonl]";
 
 fn die_usage(msg: &str) -> ! {
     eprintln!("gpq: {msg}");
@@ -76,6 +91,9 @@ fn main() {
     let mut approx: Option<usize> = None;
     let mut tune: Option<f64> = None;
     let mut budget = QueryBudget::unlimited();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut log_jsonl = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +129,17 @@ fn main() {
             "--max-settles" => {
                 budget.max_dijkstra_settles = Some(take(&args, &mut i, "--max-settles", "a count"))
             }
+            "--trace-out" => trace_out = Some(take(&args, &mut i, "--trace-out", "a file path")),
+            "--metrics-out" => {
+                metrics_out = Some(take(&args, &mut i, "--metrics-out", "a file path"))
+            }
+            "--log" => {
+                let fmt: String = take(&args, &mut i, "--log", "a format (jsonl)");
+                match fmt.as_str() {
+                    "jsonl" => log_jsonl = true,
+                    other => die_usage(&format!("--log supports jsonl, got {other:?}")),
+                }
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
@@ -137,8 +166,22 @@ fn main() {
         );
     }
 
+    let obs = (trace_out.is_some() || metrics_out.is_some() || log_jsonl).then(|| {
+        Arc::new(Obs::new(ObsConfig {
+            metrics: true,
+            tracing: trace_out.is_some(),
+            trace_capacity: 1 << 16,
+        }))
+    });
+
     eprintln!("building indexes...");
-    let engine = GpSsnEngine::build(&ssn, EngineConfig::default());
+    let engine = GpSsnEngine::build(
+        &ssn,
+        EngineConfig {
+            obs: obs.clone(),
+            ..Default::default()
+        },
+    );
     eprintln!(
         "  I_R {} pages, I_S {} pages",
         engine.road_index().num_pages(),
@@ -146,11 +189,18 @@ fn main() {
     );
     eprintln!("query: {q:?}");
 
+    let sinks = TelemetrySinks {
+        obs,
+        trace_out,
+        metrics_out,
+        log_jsonl,
+    };
     if let Some(samples) = approx {
         let out = match engine.try_query_approximate(&q, samples, 7, &budget) {
             Ok(out) => out,
             Err(e) => fail(&e),
         };
+        emit_telemetry(&sinks, &engine, &q, "approximate", Some(&out));
         report_completion(&out.completion);
         report(
             "approximate",
@@ -165,6 +215,7 @@ fn main() {
             Ok(out) => out,
             Err(e) => fail(&e),
         };
+        emit_telemetry(&sinks, &engine, &q, "top_k", None);
         report_completion(&out.completion);
         if out.answers.is_empty() {
             println!("no feasible answers");
@@ -184,6 +235,7 @@ fn main() {
         Ok(out) => out,
         Err(e) => fail(&e),
     };
+    emit_telemetry(&sinks, &engine, &q, "exact", Some(&out));
     report_completion(&out.completion);
     let mode = if matches!(out.completion, Completion::Exact) {
         "exact"
@@ -191,6 +243,117 @@ fn main() {
         "anytime"
     };
     report(mode, &out.answer, out.metrics.io_pages, out.metrics.cpu);
+}
+
+/// Where this run's telemetry goes, if anywhere.
+struct TelemetrySinks {
+    obs: Option<Arc<Obs>>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    log_jsonl: bool,
+}
+
+/// Flushes telemetry after the query: the cache gauges are published,
+/// then the Chrome trace / Prometheus exposition files are written and
+/// the JSONL log line printed. File-write failures are warnings — the
+/// query result has already been computed and still gets reported.
+fn emit_telemetry(
+    sinks: &TelemetrySinks,
+    engine: &GpSsnEngine,
+    q: &GpSsnQuery,
+    path: &str,
+    out: Option<&QueryOutcome>,
+) {
+    let Some(obs) = &sinks.obs else {
+        return;
+    };
+    engine.publish_cache_metrics();
+    let snap = obs.base_registry().snapshot();
+    if sinks.log_jsonl {
+        println!("{}", jsonl_line(&snap, q, path, out));
+    }
+    if let Some(p) = &sinks.metrics_out {
+        if let Err(e) = std::fs::write(p, snap.to_prometheus()) {
+            eprintln!("gpq: cannot write {p}: {e}");
+        } else {
+            eprintln!("metrics written to {p}");
+        }
+    }
+    if let Some(p) = &sinks.trace_out {
+        let records = obs.tracer().records();
+        if let Err(e) = std::fs::write(p, gpssn_obs::chrome_trace_json(&records)) {
+            eprintln!("gpq: cannot write {p}: {e}");
+        } else {
+            eprintln!(
+                "trace with {} spans written to {p} (open in chrome://tracing or Perfetto)",
+                records.len()
+            );
+        }
+    }
+}
+
+/// One structured log line: query parameters, outcome, per-phase
+/// durations pulled from the registry's histograms, and cache tallies.
+fn jsonl_line(
+    snap: &gpssn_obs::Snapshot,
+    q: &GpSsnQuery,
+    path: &str,
+    out: Option<&QueryOutcome>,
+) -> String {
+    let mut line = format!(
+        "{{\"event\":\"query\",\"path\":\"{path}\",\"user\":{},\"tau\":{},\
+         \"gamma\":{},\"theta\":{},\"r\":{}",
+        q.user, q.tau, q.gamma, q.theta, q.radius
+    );
+    if let Some(out) = out {
+        let class = match &out.completion {
+            Completion::Exact => "exact",
+            Completion::TruncatedWithGap(_) => "truncated",
+            Completion::Failed(_) => "failed",
+        };
+        line.push_str(&format!(
+            ",\"completion\":\"{class}\",\"cpu_us\":{},\"io_pages\":{},\
+             \"heap_pops\":{},\"dijkstra_settles\":{},\"ch_settles\":{},\
+             \"cache_hit_rate\":{:.4}",
+            out.metrics.cpu.as_micros(),
+            out.metrics.io_pages,
+            out.metrics.heap_pops,
+            out.metrics.backend_served.dijkstra_settles,
+            out.metrics.backend_served.ch_settles,
+            out.metrics.cache.hit_rate(),
+        ));
+        match &out.answer {
+            Some(ans) => line.push_str(&format!(
+                ",\"maxdist\":{},\"group_size\":{},\"pois\":{}",
+                ans.maxdist,
+                ans.users.len(),
+                ans.pois.len()
+            )),
+            None => line.push_str(",\"maxdist\":null"),
+        }
+    }
+    line.push_str(",\"phases\":{");
+    let mut first = true;
+    for phase in [
+        "prune_social",
+        "prune_road",
+        "refine",
+        "refine_fallback",
+        "sample",
+    ] {
+        if let Some(h) = snap.histogram("gpssn_phase_duration_ns", &[("phase", phase)]) {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!(
+                "\"{phase}\":{{\"ns\":{},\"count\":{}}}",
+                h.sum, h.count
+            ));
+        }
+    }
+    line.push_str("}}");
+    line
 }
 
 /// A `Failed` completion is a hard error (the budget tripped before any

@@ -29,7 +29,7 @@
 //! this).
 
 use crate::cache::{DistanceCache, DistanceCacheConfig};
-use crate::error::{BudgetState, Completion, GpSsnError, QueryBudget};
+use crate::error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 use crate::pruning::{
     corollary2_filter, lb_match_score_node, lb_maxdist_node, lb_maxdist_poi,
     prune_node_by_social_distance, prune_user_by_social_distance, ub_match_score_keywords,
@@ -37,18 +37,21 @@ use crate::pruning::{
 };
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use crate::refinement::{verify_center, ChBackend, VerifyContext};
+use crate::stats::BackendServed;
 use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 use gpssn_graph::DijkstraWorkspace;
 use gpssn_index::{
     select_road_pivots, select_social_pivots, IoCounter, PivotSelectConfig, RoadIndex,
     RoadIndexConfig, SocialIndex, SocialIndexConfig,
 };
+use gpssn_obs::Obs;
 use gpssn_road::{PoiId, RoadPivots};
 use gpssn_social::{SocialPivots, UserId};
 use gpssn_spatial::Entry;
 use gpssn_ssn::SpatialSocialNetwork;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine construction parameters.
@@ -83,6 +86,13 @@ pub struct EngineConfig {
     /// hits simply stretch how far the budget reaches (cached work
     /// charges no Dijkstra settles). `None` disables caching.
     pub distance_cache: Option<DistanceCacheConfig>,
+    /// Telemetry sink shared by every query this engine serves: phase
+    /// spans (text flamegraph / Chrome trace) plus per-query counters
+    /// and phase-duration histograms (Prometheus / JSON). `None` — the
+    /// default — costs each instrumentation site one `Option` check; an
+    /// attached-but-disabled sink costs one relaxed atomic load (the
+    /// `obs_overhead` bench keeps this honest).
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +107,7 @@ impl Default for EngineConfig {
             page_cache_capacity: None,
             exact_social_distance: false,
             distance_cache: Some(DistanceCacheConfig::default()),
+            obs: None,
         }
     }
 }
@@ -232,6 +243,63 @@ impl<'a> GpSsnEngine<'a> {
         self.distance_cache.as_ref()
     }
 
+    /// Publishes the distance cache's lifetime counters and per-shard
+    /// occupancy/capacity gauges into the attached telemetry registry.
+    /// Values are absolute (set, not added), so calling this repeatedly
+    /// — e.g. right before scraping — never double-counts. A no-op
+    /// without an active metrics sink or a configured cache.
+    pub fn publish_cache_metrics(&self) {
+        let (Some(o), Some(cache)) = (
+            self.obs().filter(|o| o.metrics_on()),
+            self.distance_cache.as_ref(),
+        ) else {
+            return;
+        };
+        let reg = o.registry();
+        let life = cache.lifetime_stats();
+        for (kind, hits, misses, evictions) in [
+            (
+                "ball",
+                life.ball_hits,
+                life.ball_misses,
+                life.ball_evictions,
+            ),
+            (
+                "dist",
+                life.dist_hits,
+                life.dist_misses,
+                life.dist_evictions,
+            ),
+        ] {
+            reg.set_counter("gpssn_cache_lifetime_hits_total", &[("kind", kind)], hits);
+            reg.set_counter(
+                "gpssn_cache_lifetime_misses_total",
+                &[("kind", kind)],
+                misses,
+            );
+            reg.set_counter("gpssn_cache_evictions_total", &[("kind", kind)], evictions);
+        }
+        reg.set_gauge("gpssn_cache_hit_rate", &[], life.hit_rate());
+        for (kind, shards) in [
+            ("ball", cache.ball_shard_occupancy()),
+            ("dist", cache.dist_shard_occupancy()),
+        ] {
+            for (i, s) in shards.iter().enumerate() {
+                let shard = i.to_string();
+                reg.set_gauge(
+                    "gpssn_cache_shard_entries",
+                    &[("kind", kind), ("shard", &shard)],
+                    s.entries as f64,
+                );
+                reg.set_gauge(
+                    "gpssn_cache_shard_capacity",
+                    &[("kind", kind), ("shard", &shard)],
+                    s.capacity as f64,
+                );
+            }
+        }
+    }
+
     /// The CH oracle serving this query's `dist_RN` batches, honouring
     /// [`QueryOptions::distance_backend`]: `None` under the Dijkstra
     /// backend or when the road index carries no oracle.
@@ -240,6 +308,19 @@ impl<'a> GpSsnEngine<'a> {
             DistanceBackend::Dijkstra => None,
             DistanceBackend::Ch => self.road_index.ch(),
         }
+    }
+
+    /// The attached telemetry sink when it is live (metrics or tracing
+    /// enabled); dormant and absent sinks both come back `None`, so
+    /// every instrumentation site downstream stays a single check.
+    fn obs(&self) -> Option<&Obs> {
+        self.cfg.obs.as_deref().filter(|o| o.active())
+    }
+
+    /// The telemetry sink attached at build time, regardless of whether
+    /// metrics or tracing are currently enabled on it.
+    pub fn obs_handle(&self) -> Option<&Arc<Obs>> {
+        self.cfg.obs.as_ref()
     }
 
     /// The spatial-social network this engine serves.
@@ -298,6 +379,10 @@ impl<'a> GpSsnEngine<'a> {
         self.validate_radius(q)?;
         self.check_static_feasibility(q)?;
         let meter = BudgetState::new(budget);
+        let obs = self.obs();
+        let _qspan = obs
+            .filter(|o| o.tracing_on())
+            .map(|o| o.tracer().span("query"));
 
         let start = Instant::now();
         let io = IoCounter::new();
@@ -307,9 +392,11 @@ impl<'a> GpSsnEngine<'a> {
             ..Default::default()
         };
 
-        let candidates = self.social_phase(q, opts, &io, &mut stats);
+        let candidates = gpssn_obs::phase(obs, "prune_social", || {
+            self.social_phase(q, opts, &io, &mut stats)
+        });
         let (answer, delta, completion) =
-            self.road_phase(q, opts, &candidates, &io, &mut stats, &meter);
+            self.road_phase(q, opts, &candidates, &io, &mut stats, &meter, obs);
 
         if opts.collect_stats {
             self.independent_rule_measurement(q, delta, &mut stats);
@@ -318,22 +405,13 @@ impl<'a> GpSsnEngine<'a> {
         }
         stats.candidate_users = candidates.len();
 
-        let (ch_batches, ch_settles) = meter.ch_tallies();
-        Ok(QueryOutcome {
+        let out = QueryOutcome {
             answer,
             completion,
-            metrics: QueryMetrics {
-                cpu: start.elapsed(),
-                io_pages: io.count(),
-                heap_pops: meter.pops(),
-                groups_enumerated: meter.groups(),
-                dijkstra_settles: meter.settles(),
-                ch_batches,
-                ch_settles,
-                cache: cache_stats(&meter),
-                stats,
-            },
-        })
+            metrics: finish_metrics(start, &io, &meter, stats),
+        };
+        record_query(obs, "exact", &out, &meter);
+        Ok(out)
     }
 
     /// `Err(InvalidQuery)` / `Err(UnknownUser)` for malformed parameters.
@@ -431,18 +509,44 @@ impl<'a> GpSsnEngine<'a> {
             return queries.iter().map(run_one).collect();
         }
         let chunk = queries.len().div_ceil(threads);
+        // Each worker accumulates metrics into a private registry; the
+        // merge below folds them into the base registry in chunk order,
+        // so batch counter totals are reproducible under any thread
+        // interleaving (see `Obs::with_registry`).
+        let obs = self.obs().filter(|o| o.metrics_on());
+        let chunk_regs: Vec<Arc<gpssn_obs::Registry>> = (0..queries.len().div_ceil(chunk))
+            .map(|_| Arc::new(gpssn_obs::Registry::new()))
+            .collect();
         let mut results: Vec<Option<Result<QueryOutcome, GpSsnError>>> =
             (0..queries.len()).map(|_| None).collect();
         let run_one = &run_one;
+        let redirect = obs.is_some();
         std::thread::scope(|scope| {
-            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            for ((qs, rs), reg) in queries
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .zip(&chunk_regs)
+            {
+                let reg = Arc::clone(reg);
                 scope.spawn(move || {
-                    for (q, r) in qs.iter().zip(rs.iter_mut()) {
-                        *r = Some(run_one(q));
+                    let mut run = move || {
+                        for (q, r) in qs.iter().zip(rs.iter_mut()) {
+                            *r = Some(run_one(q));
+                        }
+                    };
+                    if redirect {
+                        Obs::with_registry(reg, run);
+                    } else {
+                        run();
                     }
                 });
             }
         });
+        if let Some(o) = obs {
+            for reg in &chunk_regs {
+                o.base_registry().merge_from(reg);
+            }
+        }
         results
             .into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -483,6 +587,10 @@ impl<'a> GpSsnEngine<'a> {
         self.validate_radius(q)?;
         self.check_static_feasibility(q)?;
         let meter = BudgetState::new(budget);
+        let obs = self.obs();
+        let _qspan = obs
+            .filter(|o| o.tracing_on())
+            .map(|o| o.tracer().span("query"));
         let start = Instant::now();
         let io = IoCounter::new();
         let opts = QueryOptions::default();
@@ -491,57 +599,53 @@ impl<'a> GpSsnEngine<'a> {
             pois_total: self.ssn.pois().len(),
             ..Default::default()
         };
-        let candidates = self.social_phase(q, &opts, &io, &mut stats);
-        let (mut centers, mut outstanding) =
-            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
+        let candidates = gpssn_obs::phase(obs, "prune_social", || {
+            self.social_phase(q, &opts, &io, &mut stats)
+        });
+        let (mut centers, mut outstanding) = gpssn_obs::phase(obs, "prune_road", || {
+            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter)
+        });
         centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut best: Option<GpSsnAnswer> = None;
         let mut best_val = f64::INFINITY;
-        for &(lb, center) in &centers {
-            if lb >= best_val {
-                break;
+        gpssn_obs::phase(obs, "sample", || {
+            for &(lb, center) in &centers {
+                if lb >= best_val {
+                    break;
+                }
+                if meter.is_tripped() {
+                    outstanding = outstanding.min(lb);
+                    break;
+                }
+                let filtered = self.filter_candidates_for_center(&candidates, center, best_val);
+                if let Some(ans) = crate::sampling::verify_center_sampled(
+                    self.ssn,
+                    q,
+                    &filtered,
+                    center,
+                    best_val,
+                    samples_per_center,
+                    &mut rng,
+                    &meter,
+                ) {
+                    best_val = ans.maxdist;
+                    best = Some(ans);
+                }
+                if meter.is_tripped() {
+                    outstanding = outstanding.min(lb);
+                    break;
+                }
             }
-            if meter.is_tripped() {
-                outstanding = outstanding.min(lb);
-                break;
-            }
-            let filtered = self.filter_candidates_for_center(&candidates, center, best_val);
-            if let Some(ans) = crate::sampling::verify_center_sampled(
-                self.ssn,
-                q,
-                &filtered,
-                center,
-                best_val,
-                samples_per_center,
-                &mut rng,
-                &meter,
-            ) {
-                best_val = ans.maxdist;
-                best = Some(ans);
-            }
-            if meter.is_tripped() {
-                outstanding = outstanding.min(lb);
-                break;
-            }
-        }
+        });
         let completion = completion_of(&meter, best_val, outstanding);
-        let (ch_batches, ch_settles) = meter.ch_tallies();
-        Ok(QueryOutcome {
+        let out = QueryOutcome {
             answer: best,
             completion,
-            metrics: QueryMetrics {
-                cpu: start.elapsed(),
-                io_pages: io.count(),
-                heap_pops: meter.pops(),
-                groups_enumerated: meter.groups(),
-                dijkstra_settles: meter.settles(),
-                ch_batches,
-                ch_settles,
-                cache: cache_stats(&meter),
-                stats,
-            },
-        })
+            metrics: finish_metrics(start, &io, &meter, stats),
+        };
+        record_query(obs, "approximate", &out, &meter);
+        Ok(out)
     }
 
     /// Top-`k` GP-SSN: the `k` best answers over *distinct candidate
@@ -574,16 +678,28 @@ impl<'a> GpSsnEngine<'a> {
         self.validate_radius(q)?;
         self.check_static_feasibility(q)?;
         let meter = BudgetState::new(budget);
+        let obs = self.obs();
+        let _qspan = obs
+            .filter(|o| o.tracing_on())
+            .map(|o| o.tracer().span("query"));
         let io = IoCounter::new();
         let opts = QueryOptions {
             use_delta_pruning: false,
             ..Default::default()
         };
         let mut stats = PruningStats::default();
-        let candidates = self.social_phase(q, &opts, &io, &mut stats);
-        let (mut centers, mut outstanding) =
-            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter);
+        let candidates = gpssn_obs::phase(obs, "prune_social", || {
+            self.social_phase(q, &opts, &io, &mut stats)
+        });
+        let (mut centers, mut outstanding) = gpssn_obs::phase(obs, "prune_road", || {
+            self.collect_centers(q, &opts, &candidates, &io, &mut stats, &meter)
+        });
         centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let refine_span = obs
+            .filter(|o| o.tracing_on())
+            .map(|o| o.tracer().span("refine"));
+        let span_parent = refine_span.as_ref().map_or(0, |s| s.id());
+        let refine_started = obs.map(|_| Instant::now());
         let mut ws = DijkstraWorkspace::new();
         let mut chws = gpssn_graph::ChSearch::new();
         let mut ctx = VerifyContext {
@@ -594,6 +710,8 @@ impl<'a> GpSsnEngine<'a> {
             }),
             cache: self.distance_cache.as_ref(),
             budget: &meter,
+            obs,
+            span_parent,
         };
         let mut best_k: Vec<GpSsnAnswer> = Vec::new();
         for &(lb, center) in &centers {
@@ -632,6 +750,16 @@ impl<'a> GpSsnEngine<'a> {
                 outstanding = outstanding.min(lb);
                 break;
             }
+        }
+        record_phase_ns(obs, "refine", refine_started);
+        drop(refine_span);
+        meter.note_workspace(
+            ws.resets() + chws.resets(),
+            ws.recycles() + chws.recycles(),
+            chws.unpacks(),
+        );
+        if let Some(o) = obs.filter(|o| o.metrics_on()) {
+            o.inc("gpssn_queries_total", &[("path", "top_k")], 1);
         }
         let kth_val = if best_k.len() >= k {
             best_k.last().expect("non-empty").maxdist
@@ -835,6 +963,7 @@ impl<'a> GpSsnEngine<'a> {
     // Phase 2: road traversal + refinement (Algorithm 2 lines 11–31)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn road_phase(
         &self,
         q: &GpSsnQuery,
@@ -843,6 +972,7 @@ impl<'a> GpSsnEngine<'a> {
         io: &IoCounter,
         stats: &mut PruningStats,
         meter: &BudgetState,
+        obs: Option<&Obs>,
     ) -> (Option<GpSsnAnswer>, f64, Completion) {
         let idx = &self.road_index;
         let uq_interest = self.ssn.social().interest(q.user);
@@ -894,46 +1024,49 @@ impl<'a> GpSsnEngine<'a> {
         let mut outstanding = f64::INFINITY;
         heap.push(0.0, Item::Node(idx.tree().root()));
 
-        while let Some((lb, item)) = heap.pop() {
-            meter.note_pop();
-            if meter.is_tripped() {
-                outstanding = outstanding.min(lb);
-                break;
-            }
-            if opts.use_delta_pruning && lb > delta {
-                // Paper line 14: everything remaining is δ-cut. Keep for
-                // the exactness fallback; no I/O is spent on them now.
+        gpssn_obs::phase(obs, "prune_road", || {
+            while let Some((lb, item)) = heap.pop() {
+                meter.note_pop();
+                if meter.is_tripped() {
+                    outstanding = outstanding.min(lb);
+                    break;
+                }
+                if opts.use_delta_pruning && lb > delta {
+                    // Paper line 14: everything remaining is δ-cut. Keep
+                    // for the exactness fallback; no I/O is spent on
+                    // them now.
+                    match item {
+                        Item::Node(n) => {
+                            stats.pois_pruned_index += idx.node(n).poi_count;
+                        }
+                        Item::Center(_) => {
+                            stats.pois_pruned_object += 1;
+                        }
+                    }
+                    deferred.push((lb, item));
+                    continue;
+                }
                 match item {
                     Item::Node(n) => {
-                        stats.pois_pruned_index += idx.node(n).poi_count;
+                        self.touch(io, gpssn_index::io::page_ids::road(n));
+                        self.expand_node(
+                            q,
+                            opts,
+                            n,
+                            uq_interest,
+                            uq_rn,
+                            &scand_ub,
+                            &mut heap,
+                            &mut centers,
+                            &mut delta,
+                            stats,
+                            true,
+                        );
                     }
-                    Item::Center(_) => {
-                        stats.pois_pruned_object += 1;
-                    }
+                    Item::Center(o) => centers.push((lb, o)),
                 }
-                deferred.push((lb, item));
-                continue;
             }
-            match item {
-                Item::Node(n) => {
-                    self.touch(io, gpssn_index::io::page_ids::road(n));
-                    self.expand_node(
-                        q,
-                        opts,
-                        n,
-                        uq_interest,
-                        uq_rn,
-                        &scand_ub,
-                        &mut heap,
-                        &mut centers,
-                        &mut delta,
-                        stats,
-                        true,
-                    );
-                }
-                Item::Center(o) => centers.push((lb, o)),
-            }
-        }
+        });
 
         // Refinement over surviving centers, cheapest lower bound first
         // (ties broken by center id so every execution mode agrees on
@@ -944,7 +1077,17 @@ impl<'a> GpSsnEngine<'a> {
             // unverified, so its lb is outstanding.
             outstanding = centers.iter().fold(outstanding, |m, &(lb, _)| m.min(lb));
         }
-        let refined = self.refine_centers(q, opts, candidates, &centers, meter);
+        // The refine span is opened by hand (not via `Obs::phase`)
+        // because its id seeds `VerifyContext::span_parent`, under which
+        // parallel workers hang their cross-thread `verify_center` spans.
+        let refine_span = obs
+            .filter(|o| o.tracing_on())
+            .map(|o| o.tracer().span("refine"));
+        let span_parent = refine_span.as_ref().map_or(0, |s| s.id());
+        let refine_started = obs.map(|_| Instant::now());
+        let refined = self.refine_centers(q, opts, candidates, &centers, meter, obs, span_parent);
+        record_phase_ns(obs, "refine", refine_started);
+        drop(refine_span);
         stats.pairs_refined += refined.pairs_refined;
         outstanding = outstanding.min(refined.unresolved);
         let mut best = refined.answer;
@@ -960,6 +1103,10 @@ impl<'a> GpSsnEngine<'a> {
         } else {
             let mut ws = DijkstraWorkspace::new();
             let mut chws = gpssn_graph::ChSearch::new();
+            let fb_span = obs
+                .filter(|o| o.tracing_on())
+                .map(|o| o.tracer().span("refine_fallback"));
+            let fb_started = obs.map(|_| Instant::now());
             let mut ctx = VerifyContext {
                 ws: &mut ws,
                 ch: self.ch_for(opts).map(|oracle| ChBackend {
@@ -968,6 +1115,8 @@ impl<'a> GpSsnEngine<'a> {
                 }),
                 cache: self.distance_cache.as_ref(),
                 budget: meter,
+                obs,
+                span_parent: fb_span.as_ref().map_or(0, |s| s.id()),
             };
             let mut fallback = MinHeap::new();
             for (lb, item) in deferred {
@@ -1029,6 +1178,13 @@ impl<'a> GpSsnEngine<'a> {
                     }
                 }
             }
+            record_phase_ns(obs, "refine_fallback", fb_started);
+            drop(fb_span);
+            meter.note_workspace(
+                ws.resets() + chws.resets(),
+                ws.recycles() + chws.recycles(),
+                chws.unpacks(),
+            );
         }
 
         stats.candidate_pois = centers.len();
@@ -1134,6 +1290,7 @@ impl<'a> GpSsnEngine<'a> {
     /// Verifies the sorted candidate centers and returns the best
     /// feasible answer, dispatching on [`QueryOptions::refine_threads`].
     /// `centers` must be sorted ascending by `(lb, id)`.
+    #[allow(clippy::too_many_arguments)]
     fn refine_centers(
         &self,
         q: &GpSsnQuery,
@@ -1141,6 +1298,8 @@ impl<'a> GpSsnEngine<'a> {
         candidates: &[UserId],
         centers: &[(f64, PoiId)],
         meter: &BudgetState,
+        obs: Option<&Obs>,
+        span_parent: u64,
     ) -> RefineOutcome {
         let threads = match opts.refine_threads {
             0 => std::thread::available_parallelism()
@@ -1151,14 +1310,24 @@ impl<'a> GpSsnEngine<'a> {
         .min(centers.len().max(1));
         let ch = self.ch_for(opts);
         if threads <= 1 {
-            self.refine_centers_sequential(q, candidates, centers, ch, meter)
+            self.refine_centers_sequential(q, candidates, centers, ch, meter, obs, span_parent)
         } else {
-            self.refine_centers_parallel(q, candidates, centers, threads, ch, meter)
+            self.refine_centers_parallel(
+                q,
+                candidates,
+                centers,
+                threads,
+                ch,
+                meter,
+                obs,
+                span_parent,
+            )
         }
     }
 
     /// The classical Algorithm-2 refinement loop: ascending-`lb` sweep
     /// with early termination once `lb` reaches the incumbent.
+    #[allow(clippy::too_many_arguments)]
     fn refine_centers_sequential(
         &self,
         q: &GpSsnQuery,
@@ -1166,6 +1335,8 @@ impl<'a> GpSsnEngine<'a> {
         centers: &[(f64, PoiId)],
         ch: Option<&gpssn_graph::ChOracle>,
         meter: &BudgetState,
+        obs: Option<&Obs>,
+        span_parent: u64,
     ) -> RefineOutcome {
         let mut out = RefineOutcome::empty();
         let mut ws = DijkstraWorkspace::new();
@@ -1178,6 +1349,8 @@ impl<'a> GpSsnEngine<'a> {
             }),
             cache: self.distance_cache.as_ref(),
             budget: meter,
+            obs,
+            span_parent,
         };
         for &(lb, center) in centers {
             if lb >= out.best_val {
@@ -1210,6 +1383,11 @@ impl<'a> GpSsnEngine<'a> {
                 break;
             }
         }
+        meter.note_workspace(
+            ws.resets() + chws.resets(),
+            ws.recycles() + chws.recycles(),
+            chws.unpacks(),
+        );
         out
     }
 
@@ -1233,6 +1411,7 @@ impl<'a> GpSsnEngine<'a> {
     /// differ from the sequential run (workers got further before the
     /// trip); the reported gap stays sound because every claimed-but-
     /// unfinished center folds its `lb` into `unresolved`.
+    #[allow(clippy::too_many_arguments)]
     fn refine_centers_parallel(
         &self,
         q: &GpSsnQuery,
@@ -1241,6 +1420,8 @@ impl<'a> GpSsnEngine<'a> {
         threads: usize,
         ch: Option<&gpssn_graph::ChOracle>,
         meter: &BudgetState,
+        obs: Option<&Obs>,
+        span_parent: u64,
     ) -> RefineOutcome {
         let next = AtomicUsize::new(0);
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
@@ -1255,6 +1436,8 @@ impl<'a> GpSsnEngine<'a> {
                 }),
                 cache: self.distance_cache.as_ref(),
                 budget: meter,
+                obs,
+                span_parent,
             };
             let mut local: Option<(f64, usize, GpSsnAnswer)> = None;
             let mut pairs = 0u64;
@@ -1301,6 +1484,11 @@ impl<'a> GpSsnEngine<'a> {
                     break;
                 }
             }
+            meter.note_workspace(
+                ws.resets() + chws.resets(),
+                ws.recycles() + chws.recycles(),
+                chws.unpacks(),
+            );
             (local, pairs, unresolved)
         };
         // Pilot: verify the cheapest center on the calling thread before
@@ -1456,6 +1644,184 @@ fn cache_stats(meter: &BudgetState) -> crate::stats::CacheStats {
         dist_hits,
         dist_misses,
     }
+}
+
+/// Assembles [`QueryMetrics`] from the meter's tallies. The settle
+/// split is disjoint by construction: `meter.settles()` is the
+/// budget-charged total across both backends, CH sweeps tally their
+/// settles separately, and the difference is the plain-Dijkstra share.
+fn finish_metrics(
+    start: Instant,
+    io: &IoCounter,
+    meter: &BudgetState,
+    stats: PruningStats,
+) -> QueryMetrics {
+    let (ch_batches, ch_settles) = meter.ch_tallies();
+    let dijkstra_settles = meter.settles().saturating_sub(ch_settles);
+    let (ws_resets, heap_recycles, ch_unpacks) = meter.workspace_tallies();
+    let backend_served = BackendServed {
+        dijkstra_batches: meter.dijkstra_batches(),
+        dijkstra_settles,
+        ch_batches,
+        ch_settles,
+    };
+    QueryMetrics {
+        cpu: start.elapsed(),
+        io_pages: io.count(),
+        heap_pops: meter.pops(),
+        groups_enumerated: meter.groups(),
+        dijkstra_settles,
+        ch_batches,
+        ch_settles,
+        backend_served,
+        ws_resets,
+        heap_recycles,
+        ch_unpacks,
+        cache: cache_stats(meter),
+        stats,
+    }
+}
+
+/// Records one phase duration into the `gpssn_phase_duration_ns`
+/// histogram; used where the phase's span is opened by hand (its id
+/// feeds `VerifyContext::span_parent`) so [`Obs::phase`] cannot wrap
+/// the work. `started` is `Some` exactly when `obs` is.
+fn record_phase_ns(obs: Option<&Obs>, name: &'static str, started: Option<Instant>) {
+    if let (Some(o), Some(t0)) = (obs, started) {
+        o.observe(
+            "gpssn_phase_duration_ns",
+            &[("phase", name)],
+            t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+/// Folds one finished query into the metrics registry — called once per
+/// query at outcome assembly, so the hot traversal and refinement paths
+/// never touch the registry. Under [`Obs::with_registry`] redirection
+/// (batch workers) this lands in the calling thread's private registry.
+fn record_query(obs: Option<&Obs>, path: &'static str, out: &QueryOutcome, meter: &BudgetState) {
+    let Some(o) = obs.filter(|o| o.metrics_on()) else {
+        return;
+    };
+    let m = &out.metrics;
+    o.inc("gpssn_queries_total", &[("path", path)], 1);
+    if out.answer.is_some() {
+        o.inc("gpssn_answers_total", &[("path", path)], 1);
+    }
+    let class = match &out.completion {
+        Completion::Exact => "exact",
+        Completion::TruncatedWithGap(_) => "truncated",
+        Completion::Failed(_) => "failed",
+    };
+    o.inc("gpssn_query_completions_total", &[("class", class)], 1);
+    if let Some(trip) = meter.trip() {
+        let resource = match trip {
+            Trip::Deadline => "deadline",
+            Trip::HeapPops => "heap_pops",
+            Trip::Groups => "groups",
+            Trip::DijkstraSettles => "settles",
+        };
+        o.inc("gpssn_budget_trips_total", &[("resource", resource)], 1);
+    }
+    o.inc("gpssn_io_pages_total", &[], m.io_pages);
+    o.inc("gpssn_heap_pops_total", &[], m.heap_pops);
+    o.inc("gpssn_groups_enumerated_total", &[], m.groups_enumerated);
+    let b = &m.backend_served;
+    o.inc(
+        "gpssn_distance_batches_total",
+        &[("backend", "dijkstra")],
+        b.dijkstra_batches,
+    );
+    o.inc(
+        "gpssn_distance_batches_total",
+        &[("backend", "ch")],
+        b.ch_batches,
+    );
+    o.inc(
+        "gpssn_settles_total",
+        &[("backend", "dijkstra")],
+        b.dijkstra_settles,
+    );
+    o.inc("gpssn_settles_total", &[("backend", "ch")], b.ch_settles);
+    let c = &m.cache;
+    o.inc(
+        "gpssn_cache_lookups_total",
+        &[("kind", "ball"), ("result", "hit")],
+        c.ball_hits,
+    );
+    o.inc(
+        "gpssn_cache_lookups_total",
+        &[("kind", "ball"), ("result", "miss")],
+        c.ball_misses,
+    );
+    o.inc(
+        "gpssn_cache_lookups_total",
+        &[("kind", "dist"), ("result", "hit")],
+        c.dist_hits,
+    );
+    o.inc(
+        "gpssn_cache_lookups_total",
+        &[("kind", "dist"), ("result", "miss")],
+        c.dist_misses,
+    );
+    o.inc("gpssn_workspace_resets_total", &[], m.ws_resets);
+    o.inc("gpssn_heap_recycles_total", &[], m.heap_recycles);
+    o.inc("gpssn_ch_unpacks_total", &[], m.ch_unpacks);
+    let s = &m.stats;
+    // Fig. 7 pruning powers are ratios of the counters below over these
+    // denominators; `tests/obs_telemetry.rs` checks the exposition path
+    // reconstructs the legacy `PruningStats` accessors exactly.
+    o.inc("gpssn_users_scanned_total", &[], s.users_total as u64);
+    o.inc("gpssn_pois_scanned_total", &[], s.pois_total as u64);
+    o.inc(
+        "gpssn_pruned_users_total",
+        &[("stage", "index")],
+        s.users_pruned_index as u64,
+    );
+    o.inc(
+        "gpssn_pruned_users_total",
+        &[("stage", "object")],
+        s.users_pruned_object as u64,
+    );
+    o.inc(
+        "gpssn_pruned_users_total",
+        &[("stage", "distance")],
+        s.users_pruned_by_distance as u64,
+    );
+    o.inc(
+        "gpssn_pruned_users_total",
+        &[("stage", "interest")],
+        s.users_pruned_by_interest as u64,
+    );
+    o.inc(
+        "gpssn_pruned_pois_total",
+        &[("stage", "index")],
+        s.pois_pruned_index as u64,
+    );
+    o.inc(
+        "gpssn_pruned_pois_total",
+        &[("stage", "object")],
+        s.pois_pruned_object as u64,
+    );
+    o.inc(
+        "gpssn_pruned_pois_total",
+        &[("stage", "distance")],
+        s.pois_pruned_by_distance as u64,
+    );
+    o.inc(
+        "gpssn_pruned_pois_total",
+        &[("stage", "matching")],
+        s.pois_pruned_by_matching as u64,
+    );
+    o.inc("gpssn_pairs_refined_total", &[], s.pairs_refined);
+    o.inc("gpssn_candidate_users_total", &[], s.candidate_users as u64);
+    o.inc("gpssn_candidate_pois_total", &[], s.candidate_pois as u64);
+    o.observe(
+        "gpssn_query_cpu_ns",
+        &[("path", path)],
+        m.cpu.as_nanos().min(u64::MAX as u128) as u64,
+    );
 }
 
 /// What one refinement worker hands back: its best `(value, claim

@@ -34,6 +34,7 @@ use gpssn_road::PoiId;
 use gpssn_social::UserId;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which endpoint seeded the Dijkstra that produced a cached distance.
@@ -81,6 +82,8 @@ struct Shard<K, V> {
     map: HashMap<K, V>,
     order: VecDeque<K>,
     capacity: usize,
+    /// Lifetime entries displaced by the capacity bound.
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
@@ -89,6 +92,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
             map: HashMap::new(),
             order: VecDeque::new(),
             capacity,
+            evictions: 0,
         }
     }
 
@@ -105,10 +109,50 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
             while self.order.len() > self.capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.map.remove(&old);
+                    self.evictions += 1;
                 }
             }
         }
     }
+}
+
+/// Lifetime counters of one [`DistanceCache`] (never reset; a per-query
+/// view lives in [`crate::CacheStats`]). All sums saturate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLifetimeStats {
+    /// Ball lookups served from the cache.
+    pub ball_hits: u64,
+    /// Ball lookups that missed.
+    pub ball_misses: u64,
+    /// Ball entries displaced by the capacity bound.
+    pub ball_evictions: u64,
+    /// `dist_RN` lookups served from the cache.
+    pub dist_hits: u64,
+    /// `dist_RN` lookups that missed.
+    pub dist_misses: u64,
+    /// `dist_RN` entries displaced by the capacity bound.
+    pub dist_evictions: u64,
+}
+
+impl CacheLifetimeStats {
+    /// Lifetime hit fraction over both maps, `0.0` before any lookup
+    /// (saturating arithmetic — see [`crate::CacheStats::hit_rate`]).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.ball_hits.saturating_add(self.dist_hits);
+        let total = hits
+            .saturating_add(self.ball_misses)
+            .saturating_add(self.dist_misses);
+        hits as f64 / total.max(1) as f64
+    }
+}
+
+/// Resident entries and capacity of one shard, for occupancy gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// FIFO capacity of this shard.
+    pub capacity: usize,
 }
 
 /// Sharded, capacity-bounded cache of road-network balls and exact
@@ -118,6 +162,11 @@ impl<K: Eq + Hash + Clone, V: Clone> Shard<K, V> {
 pub struct DistanceCache {
     balls: Vec<Mutex<Shard<BallKey, BallRow>>>,
     dists: Vec<Mutex<Shard<DistKey, f64>>>,
+    /// Lifetime hit/miss tallies (evictions live inside the shards).
+    ball_hits: AtomicU64,
+    ball_misses: AtomicU64,
+    dist_hits: AtomicU64,
+    dist_misses: AtomicU64,
 }
 
 /// Locks a shard, recovering from poisoning (see module docs).
@@ -149,13 +198,24 @@ impl DistanceCache {
             dists: (0..shards)
                 .map(|_| Mutex::new(Shard::new(per(cfg.dist_capacity))))
                 .collect(),
+            ball_hits: AtomicU64::new(0),
+            ball_misses: AtomicU64::new(0),
+            dist_hits: AtomicU64::new(0),
+            dist_misses: AtomicU64::new(0),
         }
     }
 
     /// The cached ball `⊙(center, radius)`, if present.
     pub fn get_ball(&self, center: PoiId, radius: f64) -> Option<Arc<Vec<(PoiId, f64)>>> {
         let key = (center, radius.to_bits());
-        lock_shard(&self.balls[shard_of(&key, self.balls.len())]).get(&key)
+        let hit = lock_shard(&self.balls[shard_of(&key, self.balls.len())]).get(&key);
+        let tally = if hit.is_some() {
+            &self.ball_hits
+        } else {
+            &self.ball_misses
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+        hit
     }
 
     /// Stores the ball `⊙(center, radius)`.
@@ -168,7 +228,14 @@ impl DistanceCache {
     /// present.
     pub fn get_dist(&self, user: UserId, poi: PoiId, dir: DistDir) -> Option<f64> {
         let key = (user, poi, dir);
-        lock_shard(&self.dists[shard_of(&key, self.dists.len())]).get(&key)
+        let hit = lock_shard(&self.dists[shard_of(&key, self.dists.len())]).get(&key);
+        let tally = if hit.is_some() {
+            &self.dist_hits
+        } else {
+            &self.dist_misses
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+        hit
     }
 
     /// Stores `dist_RN(user, poi)` computed in direction `dir`.
@@ -185,6 +252,46 @@ impl DistanceCache {
     /// Distance entries currently resident (across all shards).
     pub fn dist_entries(&self) -> usize {
         self.dists.iter().map(|s| lock_shard(s).map.len()).sum()
+    }
+
+    /// Lifetime hit/miss/eviction counters across all shards.
+    pub fn lifetime_stats(&self) -> CacheLifetimeStats {
+        CacheLifetimeStats {
+            ball_hits: self.ball_hits.load(Ordering::Relaxed),
+            ball_misses: self.ball_misses.load(Ordering::Relaxed),
+            ball_evictions: self.balls.iter().map(|s| lock_shard(s).evictions).sum(),
+            dist_hits: self.dist_hits.load(Ordering::Relaxed),
+            dist_misses: self.dist_misses.load(Ordering::Relaxed),
+            dist_evictions: self.dists.iter().map(|s| lock_shard(s).evictions).sum(),
+        }
+    }
+
+    /// Per-shard occupancy of the ball map, in shard order.
+    pub fn ball_shard_occupancy(&self) -> Vec<ShardOccupancy> {
+        self.balls
+            .iter()
+            .map(|s| {
+                let g = lock_shard(s);
+                ShardOccupancy {
+                    entries: g.map.len(),
+                    capacity: g.capacity,
+                }
+            })
+            .collect()
+    }
+
+    /// Per-shard occupancy of the `dist_RN` map, in shard order.
+    pub fn dist_shard_occupancy(&self) -> Vec<ShardOccupancy> {
+        self.dists
+            .iter()
+            .map(|s| {
+                let g = lock_shard(s);
+                ShardOccupancy {
+                    entries: g.map.len(),
+                    capacity: g.capacity,
+                }
+            })
+            .collect()
     }
 }
 
@@ -225,6 +332,40 @@ mod tests {
         // Oldest entries left; newest retained.
         assert!(c.get_dist(0, 0, DistDir::FromUser).is_none());
         assert_eq!(c.get_dist(9, 0, DistDir::FromUser), Some(9.0));
+    }
+
+    #[test]
+    fn lifetime_stats_track_hits_misses_evictions() {
+        let c = DistanceCache::new(&tiny());
+        // Fresh cache: all-zero stats and a safe hit rate.
+        assert_eq!(c.lifetime_stats(), CacheLifetimeStats::default());
+        assert_eq!(c.lifetime_stats().hit_rate(), 0.0);
+        c.put_dist(1, 1, DistDir::FromUser, 1.0);
+        assert!(c.get_dist(1, 1, DistDir::FromUser).is_some()); // hit
+        assert!(c.get_dist(2, 2, DistDir::FromUser).is_none()); // miss
+        for i in 0..10u32 {
+            c.put_dist(i, 0, DistDir::FromPoi, i as f64); // overflows cap 4
+        }
+        let s = c.lifetime_stats();
+        assert_eq!(s.dist_hits, 1);
+        assert_eq!(s.dist_misses, 1);
+        assert!(s.dist_evictions >= 6, "expected evictions, got {s:?}");
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_occupancy_reports_entries_and_capacity() {
+        let c = DistanceCache::new(&DistanceCacheConfig {
+            ball_capacity: 8,
+            dist_capacity: 8,
+            shards: 2,
+        });
+        c.put_dist(1, 1, DistDir::FromUser, 1.0);
+        let occ = c.dist_shard_occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ.iter().map(|o| o.entries).sum::<usize>(), 1);
+        assert!(occ.iter().all(|o| o.capacity == 4));
+        assert_eq!(c.ball_shard_occupancy().len(), 2);
     }
 
     #[test]

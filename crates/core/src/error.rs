@@ -225,6 +225,14 @@ pub struct BudgetState {
     /// the same settle budget as plain Dijkstra).
     ch_batches: AtomicU64,
     ch_settles: AtomicU64,
+    /// Plain-Dijkstra batches (the non-CH complement of `ch_batches`).
+    dijkstra_batches: AtomicU64,
+    /// Workspace telemetry folded in by the refinement workers: runs
+    /// prepared, runs that reused already-sized storage, and CH near-tie
+    /// path unpacks.
+    ws_resets: AtomicU64,
+    heap_recycles: AtomicU64,
+    ch_unpacks: AtomicU64,
 }
 
 const TRIP_NONE: u8 = 0;
@@ -266,6 +274,10 @@ impl BudgetState {
             dist_misses: AtomicU64::new(0),
             ch_batches: AtomicU64::new(0),
             ch_settles: AtomicU64::new(0),
+            dijkstra_batches: AtomicU64::new(0),
+            ws_resets: AtomicU64::new(0),
+            heap_recycles: AtomicU64::new(0),
+            ch_unpacks: AtomicU64::new(0),
         }
     }
 
@@ -367,6 +379,38 @@ impl BudgetState {
         (
             self.ch_batches.load(Ordering::Relaxed),
             self.ch_settles.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records one multi-target batch served by plain Dijkstra (the
+    /// complement of [`Self::note_ch_batch`]; its settles are charged
+    /// through [`Self::add_settles`] like everything else).
+    #[inline]
+    pub fn note_dijkstra_batch(&self) {
+        self.dijkstra_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-Dijkstra batches recorded so far.
+    pub fn dijkstra_batches(&self) -> u64 {
+        self.dijkstra_batches.load(Ordering::Relaxed)
+    }
+
+    /// Folds workspace lifetime telemetry into the meter: `resets` runs
+    /// prepared, `recycles` runs that reused already-sized storage, and
+    /// `unpacks` CH near-tie path unpacks. Called once per workspace at
+    /// the end of each refinement scope, not per run.
+    pub fn note_workspace(&self, resets: u64, recycles: u64, unpacks: u64) {
+        self.ws_resets.fetch_add(resets, Ordering::Relaxed);
+        self.heap_recycles.fetch_add(recycles, Ordering::Relaxed);
+        self.ch_unpacks.fetch_add(unpacks, Ordering::Relaxed);
+    }
+
+    /// `(ws_resets, heap_recycles, ch_unpacks)` folded in so far.
+    pub fn workspace_tallies(&self) -> (u64, u64, u64) {
+        (
+            self.ws_resets.load(Ordering::Relaxed),
+            self.heap_recycles.load(Ordering::Relaxed),
+            self.ch_unpacks.load(Ordering::Relaxed),
         )
     }
 

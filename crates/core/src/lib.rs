@@ -38,12 +38,12 @@ pub mod tuning;
 pub use algorithm::{DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions};
 pub use baseline::{
     estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
-    BaselineEstimate,
+    try_exact_baseline_with_obs, BaselineEstimate,
 };
-pub use cache::{DistDir, DistanceCache, DistanceCacheConfig};
+pub use cache::{CacheLifetimeStats, DistDir, DistanceCache, DistanceCacheConfig, ShardOccupancy};
 pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};
 pub use refinement::{verify_center, CenterVerification, ChBackend, VerifyContext};
 pub use sampling::{sample_connected_group, verify_center_sampled};
-pub use stats::{CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
+pub use stats::{BackendServed, CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

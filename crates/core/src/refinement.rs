@@ -71,6 +71,12 @@ pub struct VerifyContext<'a> {
     pub cache: Option<&'a DistanceCache>,
     /// The query's budget meter (shared across workers).
     pub budget: &'a BudgetState,
+    /// Telemetry sink, if the engine has one attached.
+    pub obs: Option<&'a gpssn_obs::Obs>,
+    /// Trace-span id of the enclosing refinement phase (0 when tracing
+    /// is off); each verified center opens a `verify_center` span under
+    /// it, which works across worker threads.
+    pub span_parent: u64,
 }
 
 /// A CH oracle handle paired with a per-worker search workspace.
@@ -93,14 +99,22 @@ fn dist_batch(
     source: &NetworkPoint,
     targets: &[NetworkPoint],
 ) -> Vec<f64> {
+    // `filter(tracing_on)` keeps the disabled path to one relaxed load —
+    // no inert guard, no `Instant::now`.
+    let obs = ctx.obs.filter(|o| o.tracing_on());
     let (row, settled) = match ctx.ch.as_mut() {
         Some(chb) => {
+            let _span = obs.map(|o| o.tracer().span("ch_p2p"));
             let (row, settled) =
                 dist_rn_many_ch(ssn.road(), chb.oracle, chb.search, source, targets);
             ctx.budget.note_ch_batch(settled);
             (row, settled)
         }
-        None => dist_rn_many_counted_with(ssn.road(), ctx.ws, source, targets),
+        None => {
+            let _span = obs.map(|o| o.tracer().span("dijkstra_batch"));
+            ctx.budget.note_dijkstra_batch();
+            dist_rn_many_counted_with(ssn.road(), ctx.ws, source, targets)
+        }
     };
     ctx.budget.add_settles(settled);
     row
@@ -218,12 +232,23 @@ pub fn verify_center(
     if q.user == test_hooks::PANIC_ON_USER.load(std::sync::atomic::Ordering::Relaxed) {
         panic!("test hook: injected refinement fault for user {}", q.user);
     }
+    // Opened with an explicit parent so worker threads chain under the
+    // refinement phase; nested spans (ball, distance batches) pick this
+    // span up through the thread-local current-span cell.
+    let _vspan = ctx.obs.filter(|o| o.tracing_on()).map(|o| {
+        o.tracer()
+            .span_with_parent("verify_center", ctx.span_parent)
+    });
     let mut out = CenterVerification {
         answer: None,
         subsets_examined: 0,
     };
     let budget = ctx.budget;
     let center_pos = ssn.pois().get(center).position;
+    let ball_span = ctx
+        .obs
+        .filter(|o| o.tracing_on())
+        .map(|o| o.tracer().span("ball"));
     let ball: Arc<Vec<(PoiId, f64)>> = match ctx.cache {
         Some(cache) => match cache.get_ball(center, q.radius) {
             Some(b) => {
@@ -247,6 +272,7 @@ pub fn verify_center(
                 .network_ball_with(ssn.road(), ctx.ws, &center_pos, q.radius),
         ),
     };
+    drop(ball_span);
     if ball.is_empty() {
         return out;
     }
@@ -449,6 +475,8 @@ mod tests {
             ch: None,
             cache: None,
             budget: &budget,
+            obs: None,
+            span_parent: 0,
         };
         verify_center(ssn, q, candidates, center, best, usize::MAX, &mut ctx)
     }

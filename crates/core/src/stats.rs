@@ -135,15 +135,45 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Fraction of all lookups (balls and distances) served from the
-    /// cache; `0.0` when there were none.
+    /// cache; `0.0` when there were none. Saturating arithmetic
+    /// throughout: reading metrics before the first query (all-zero
+    /// tallies) or after pathological overflow yields a rate in
+    /// `[0, 1]`, never a division by zero or a wrapped sum.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.ball_hits + self.dist_hits;
-        let total = hits + self.ball_misses + self.dist_misses;
-        if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
-        }
+        let hits = self.ball_hits.saturating_add(self.dist_hits);
+        let total = hits
+            .saturating_add(self.ball_misses)
+            .saturating_add(self.dist_misses);
+        hits as f64 / total.max(1) as f64
+    }
+}
+
+/// Which distance backend served refinement's multi-target batches —
+/// disjoint by construction: a batch (and its settles) is charged to
+/// exactly one side, so `ch_settles + dijkstra_settles` is the true
+/// total without double counting even on CH-fallback queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendServed {
+    /// Batches answered by plain Dijkstra sweeps.
+    pub dijkstra_batches: u64,
+    /// Vertices settled by those plain sweeps.
+    pub dijkstra_settles: u64,
+    /// Batches answered by the contraction-hierarchy oracle.
+    pub ch_batches: u64,
+    /// Vertices settled by CH upward/backward sweeps.
+    pub ch_settles: u64,
+}
+
+impl BackendServed {
+    /// Settles across both backends — the value charged against
+    /// [`crate::QueryBudget::max_dijkstra_settles`].
+    pub fn total_settles(&self) -> u64 {
+        self.dijkstra_settles.saturating_add(self.ch_settles)
+    }
+
+    /// Batches across both backends.
+    pub fn total_batches(&self) -> u64 {
+        self.dijkstra_batches.saturating_add(self.ch_batches)
     }
 }
 
@@ -160,21 +190,41 @@ pub struct QueryMetrics {
     /// Connected user subsets enumerated (the unit of
     /// [`crate::QueryBudget::max_groups_enumerated`]).
     pub groups_enumerated: u64,
-    /// Vertices settled by refinement-time shortest-path runs — plain
-    /// Dijkstra sweeps plus CH upward/backward sweeps (the unit of
-    /// [`crate::QueryBudget::max_dijkstra_settles`]).
+    /// Vertices settled by *plain Dijkstra* refinement-time runs —
+    /// disjoint from [`QueryMetrics::ch_settles`]; the budget unit
+    /// [`crate::QueryBudget::max_dijkstra_settles`] charges their sum
+    /// ([`QueryMetrics::total_settles`]).
     pub dijkstra_settles: u64,
     /// Multi-target batches served by the contraction-hierarchy oracle
     /// (zero under [`crate::DistanceBackend::Dijkstra`] or when the road
     /// index carries no oracle).
     pub ch_batches: u64,
-    /// Vertices settled by those CH batches — the CH share of
+    /// Vertices settled by those CH batches — disjoint from
     /// [`QueryMetrics::dijkstra_settles`].
     pub ch_settles: u64,
+    /// Per-backend batch/settle breakdown (the same numbers as the four
+    /// fields above, grouped; see [`BackendServed`]).
+    pub backend_served: BackendServed,
+    /// Workspace runs prepared during refinement (Dijkstra + CH).
+    pub ws_resets: u64,
+    /// Workspace runs that reused already-sized storage — lazy
+    /// touched-list reset plus recycled heap, no allocation.
+    pub heap_recycles: u64,
+    /// CH near-tie candidate paths unpacked to original edges for
+    /// bit-exactness.
+    pub ch_unpacks: u64,
     /// Distance-cache tallies (see [`CacheStats`]).
     pub cache: CacheStats,
     /// Pruning counters.
     pub stats: PruningStats,
+}
+
+impl QueryMetrics {
+    /// Vertices settled across both distance backends — the value the
+    /// settle budget charged.
+    pub fn total_settles(&self) -> u64 {
+        self.dijkstra_settles.saturating_add(self.ch_settles)
+    }
 }
 
 /// The result of running a GP-SSN query.
@@ -269,6 +319,40 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.pair_power(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_safe_before_first_query_and_at_saturation() {
+        // Fresh cache, no lookups yet: rate is 0, not NaN.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        // Saturating sums keep the rate finite and in [0, 1] even at the
+        // counter extremes.
+        let s = CacheStats {
+            ball_hits: u64::MAX,
+            dist_hits: u64::MAX,
+            ball_misses: u64::MAX,
+            dist_misses: 0,
+        };
+        let r = s.hit_rate();
+        assert!(r.is_finite() && (0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn backend_breakdown_sums_disjoint_counters() {
+        let b = BackendServed {
+            dijkstra_batches: 2,
+            dijkstra_settles: 100,
+            ch_batches: 3,
+            ch_settles: 40,
+        };
+        assert_eq!(b.total_settles(), 140);
+        assert_eq!(b.total_batches(), 5);
+        let m = QueryMetrics {
+            dijkstra_settles: 100,
+            ch_settles: 40,
+            ..Default::default()
+        };
+        assert_eq!(m.total_settles(), 140);
     }
 
     #[test]

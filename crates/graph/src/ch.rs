@@ -493,6 +493,7 @@ impl ChOracle {
     /// source-to-target starting from the seed's initial distance —
     /// Dijkstra's exact accumulation order.
     fn fold_candidate(&self, search: &mut ChSearch, m: NodeId, slot: u32) -> f64 {
+        search.unpacks += 1;
         // Forward chain: walk m -> seed root, then fold in reverse
         // (travel) order. The root's dist is its untouched seed d0.
         search.fchain.clear();
@@ -687,6 +688,13 @@ pub struct ChSearch {
     folded: Vec<f64>,
     fchain: Vec<u32>,
     stack: Vec<u32>,
+    /// Lifetime count of batches prepared by this workspace.
+    resets: u64,
+    /// Batches that reused already-sized storage (no growth needed).
+    recycles: u64,
+    /// Lifetime count of candidate paths unpacked-and-folded to original
+    /// edges ([`ChOracle`] near-tie exactness work).
+    unpacks: u64,
 }
 
 impl ChSearch {
@@ -696,6 +704,7 @@ impl ChSearch {
     }
 
     fn prepare(&mut self, n: usize) {
+        self.resets += 1;
         if self.dist.len() < n {
             self.dist.resize(n, INFINITY);
             self.parent.resize(n, NodeId::MAX);
@@ -703,7 +712,28 @@ impl ChSearch {
             self.tslot.resize(n, 0);
             self.slot_hint.resize(n, 0);
             self.heap.grow(n);
+        } else if n > 0 {
+            self.recycles += 1;
         }
+    }
+
+    /// Lifetime number of batches this workspace prepared.
+    #[inline]
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Lifetime number of batches that reused already-sized storage.
+    #[inline]
+    pub fn recycles(&self) -> u64 {
+        self.recycles
+    }
+
+    /// Lifetime number of near-tie candidate paths unpacked to original
+    /// edges and folded for bit-exactness.
+    #[inline]
+    pub fn unpacks(&self) -> u64 {
+        self.unpacks
     }
 
     /// Restores `dist` to `INFINITY` at every vertex the latest sweep

@@ -52,6 +52,11 @@ pub struct DijkstraWorkspace {
     /// Settled vertices of the latest run, in non-decreasing distance
     /// order.
     settled: Vec<NodeId>,
+    /// Lifetime count of runs prepared by this workspace.
+    resets: u64,
+    /// Runs that reused already-sized storage (no growth needed) — the
+    /// telemetry signal that heap/map recycling is actually paying off.
+    recycles: u64,
 }
 
 impl DijkstraWorkspace {
@@ -73,6 +78,19 @@ impl DijkstraWorkspace {
     #[inline]
     pub fn settled(&self) -> &[NodeId] {
         &self.settled
+    }
+
+    /// Lifetime number of runs this workspace prepared.
+    #[inline]
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Lifetime number of runs that reused already-sized storage (lazy
+    /// touched-list reset + recycled heap, no allocation).
+    #[inline]
+    pub fn recycles(&self) -> u64 {
+        self.recycles
     }
 
     /// Consumes the workspace, returning the latest distance map.
@@ -112,10 +130,13 @@ impl DijkstraWorkspace {
     /// Grows per-vertex storage to cover `n` vertices and rolls the
     /// target generation.
     fn prepare(&mut self, n: usize) {
+        self.resets += 1;
         if self.dist.len() < n {
             self.dist.resize(n, INFINITY);
             self.target_stamp.resize(n, 0);
             self.heap.grow(n);
+        } else if n > 0 {
+            self.recycles += 1;
         }
         // Reset only what the previous run wrote.
         for &v in &self.touched {
@@ -227,6 +248,9 @@ mod tests {
         assert_eq!(ws.dist()[3], 0.5);
         assert_eq!(ws.dist()[1], f64::INFINITY, "stale entry leaked");
         assert_eq!(ws.dist()[0], f64::INFINITY);
+        // The first run grew storage, the second reused it.
+        assert_eq!(ws.resets(), 2);
+        assert_eq!(ws.recycles(), 1);
     }
 
     #[test]

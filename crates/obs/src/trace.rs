@@ -1,0 +1,428 @@
+//! Span tracing: RAII guards, mutex-sharded ring-buffer sink, and two
+//! renderers (text flamegraph, Chrome `trace_event` JSON).
+//!
+//! Design constraints, in order:
+//! 1. *Disabled must be free.* [`Tracer::span`] starts with one relaxed
+//!    atomic load; when tracing is off it returns an inert guard whose
+//!    `Drop` does nothing.
+//! 2. *No allocation on the hot path.* Span names are `&'static str`;
+//!    a finished span is one fixed-size record pushed into a bounded
+//!    ring (oldest records overwritten, never a reallocation storm).
+//! 3. *Cross-thread parentage.* Within a thread, parent ids come from a
+//!    thread-local current-span cell, so nesting is implicit. Worker
+//!    threads (parallel center refinement) receive the parent id
+//!    explicitly via [`Tracer::span_with_parent`].
+//!
+//! Records land in the ring when the span *ends*, so children precede
+//! their parents in the buffer; renderers sort by start time and treat
+//! records whose parent was evicted from the ring as roots.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One finished span. Timestamps are nanoseconds since the tracer's
+/// epoch (construction time), monotonic by construction ([`Instant`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id, > 0 (0 is "no span" / "no parent").
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Static phase name (`"query"`, `"refine"`, `"ch_p2p"`, ...).
+    pub name: &'static str,
+    /// Small dense thread label (1, 2, ...) assigned per thread on first
+    /// use — *not* the OS thread id.
+    pub tid: u64,
+    /// Start offset from the tracer epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+}
+
+const SHARDS: usize = 8;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Dense per-thread label for trace rendering.
+    static TRACE_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Innermost live span on this thread (0 = none).
+    static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The span sink. Cheap to share behind `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_id: AtomicU64,
+    shards: Vec<Mutex<Ring>>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` finished spans (rounded up to
+    /// a multiple of the shard count); older spans are evicted FIFO.
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        Tracer {
+            enabled: AtomicBool::new(enabled),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: VecDeque::with_capacity(per_shard),
+                        cap: per_shard,
+                        dropped: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether spans are currently recorded. One relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Opens a span whose parent is the innermost live span on this
+    /// thread. Returns an inert guard when tracing is disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span::inert();
+        }
+        let parent = CURRENT_SPAN.with(|c| c.get());
+        self.open(name, parent)
+    }
+
+    /// Opens a span under an explicit parent id — for worker threads
+    /// that inherit a phase started on another thread. The span still
+    /// becomes the thread-local current span, so nested [`Tracer::span`]
+    /// calls on the worker chain under it.
+    #[inline]
+    pub fn span_with_parent(&self, name: &'static str, parent: u64) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span::inert();
+        }
+        self.open(name, parent)
+    }
+
+    fn open(&self, name: &'static str, parent: u64) -> Span<'_> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_SPAN.with(|c| c.replace(id));
+        Span {
+            tracer: Some(self),
+            id,
+            parent,
+            name,
+            prev,
+            start: Instant::now(),
+        }
+    }
+
+    fn record(&self, span: &Span<'_>) {
+        let start_ns = span
+            .start
+            .saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let dur_ns = span.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let rec = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            tid: TRACE_TID.with(|t| *t),
+            start_ns,
+            dur_ns,
+        };
+        let shard = (rec.tid as usize) % SHARDS;
+        let mut ring = match self.shards[shard].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.push(rec);
+    }
+
+    /// All recorded spans, sorted by `(start_ns, id)` so renders are
+    /// stable. Non-destructive.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let ring = match shard.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            out.extend(ring.buf.iter().cloned());
+        }
+        out.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+
+    /// Spans evicted from the ring because the capacity was exceeded.
+    pub fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(g) => g.dropped,
+                Err(poisoned) => poisoned.into_inner().dropped,
+            })
+            .sum()
+    }
+
+    /// Discard all recorded spans (keeps the epoch and id counter).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut ring = match shard.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            ring.buf.clear();
+            ring.dropped = 0;
+        }
+    }
+}
+
+/// RAII span guard: records itself (and restores the thread's previous
+/// current span) on drop. An inert guard does neither.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    prev: u64,
+    start: Instant,
+}
+
+impl Span<'_> {
+    fn inert() -> Self {
+        Span {
+            tracer: None,
+            id: 0,
+            parent: 0,
+            name: "",
+            prev: 0,
+            start: Instant::now(),
+        }
+    }
+
+    /// This span's id (0 for an inert guard) — pass to
+    /// [`Tracer::span_with_parent`] on worker threads.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            CURRENT_SPAN.with(|c| c.set(self.prev));
+            tracer.record(self);
+        }
+    }
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the object form,
+/// `{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+/// Perfetto. Each span becomes one complete (`"ph":"X"`) event with
+/// microsecond `ts`/`dur`; span and parent ids ride along in `args`.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Names are static identifiers chosen by us, but escape anyway
+        // so the output is valid JSON for any future name.
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"gpssn\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            crate::json::escape(r.name),
+            format_us(r.start_ns),
+            format_us(r.dur_ns),
+            r.tid,
+            r.id,
+            r.parent
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Nanoseconds rendered as decimal microseconds ("12.345").
+fn format_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders spans as an indented text flamegraph. Siblings with the same
+/// name are aggregated (`verify_center x152`) so wide fan-outs stay
+/// readable; durations are summed per aggregate.
+pub fn text_flamegraph(records: &[SpanRecord]) -> String {
+    use std::collections::{BTreeMap, HashMap, HashSet};
+    let ids: HashSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for r in records {
+        if r.parent != 0 && ids.contains(&r.parent) {
+            children.entry(r.parent).or_default().push(r);
+        } else {
+            roots.push(r);
+        }
+    }
+    let mut out = String::new();
+    // Aggregate a sibling set by name, preserving first-start order.
+    fn render(
+        out: &mut String,
+        depth: usize,
+        siblings: &[&SpanRecord],
+        children: &std::collections::HashMap<u64, Vec<&SpanRecord>>,
+    ) {
+        let mut by_name: BTreeMap<&'static str, (u64, u64, Vec<u64>)> = BTreeMap::new();
+        let mut order: Vec<&'static str> = Vec::new();
+        for r in siblings {
+            let e = by_name.entry(r.name).or_insert_with(|| {
+                order.push(r.name);
+                (0, 0, Vec::new())
+            });
+            e.0 += 1;
+            e.1 += r.dur_ns;
+            e.2.push(r.id);
+        }
+        for name in order {
+            let (count, total_ns, ids) = &by_name[name];
+            out.push_str(&"  ".repeat(depth));
+            if *count == 1 {
+                out.push_str(&format!("{name} {:.3}ms\n", *total_ns as f64 / 1e6));
+            } else {
+                out.push_str(&format!(
+                    "{name} x{count} {:.3}ms total\n",
+                    *total_ns as f64 / 1e6
+                ));
+            }
+            let mut grand: Vec<&SpanRecord> = Vec::new();
+            for id in ids {
+                if let Some(kids) = children.get(id) {
+                    grand.extend(kids.iter().copied());
+                }
+            }
+            if !grand.is_empty() {
+                grand.sort_by_key(|r| (r.start_ns, r.id));
+                render(out, depth + 1, &grand, children);
+            }
+        }
+    }
+    render(&mut out, 0, &roots, &children);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(false, 16);
+        {
+            let _a = t.span("query");
+            let _b = t.span("refine");
+        }
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn nesting_links_parents_within_a_thread() {
+        let t = Tracer::new(true, 64);
+        let (qid, rid);
+        {
+            let q = t.span("query");
+            qid = q.id();
+            {
+                let r = t.span("refine");
+                rid = r.id();
+                let _v = t.span("verify_center");
+            }
+            let _p = t.span("prune_road");
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 4);
+        let by_name = |n: &str| recs.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(by_name("query").parent, 0);
+        assert_eq!(by_name("refine").parent, qid);
+        assert_eq!(by_name("verify_center").parent, rid);
+        assert_eq!(by_name("prune_road").parent, qid);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let t = Tracer::new(true, 64);
+        let q = t.span("query");
+        let qid = q.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let v = t.span_with_parent("verify_center", qid);
+                assert_ne!(v.id(), 0);
+                let _b = t.span("ball"); // nests under verify_center
+            });
+        });
+        drop(q);
+        let recs = t.records();
+        let v = recs.iter().find(|r| r.name == "verify_center").unwrap();
+        let b = recs.iter().find(|r| r.name == "ball").unwrap();
+        assert_eq!(v.parent, qid);
+        assert_eq!(b.parent, v.id);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::new(true, SHARDS); // one slot per shard
+        for _ in 0..4 {
+            let _s = t.span("query");
+        }
+        // All spans land on this thread's shard: capacity 1 keeps only
+        // the newest and reports the rest dropped.
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn flamegraph_aggregates_siblings() {
+        let t = Tracer::new(true, 64);
+        {
+            let _q = t.span("query");
+            for _ in 0..3 {
+                let _v = t.span("verify_center");
+            }
+        }
+        let text = text_flamegraph(&t.records());
+        assert!(text.contains("query"), "{text}");
+        assert!(text.contains("verify_center x3"), "{text}");
+    }
+}

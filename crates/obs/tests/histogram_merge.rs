@@ -1,0 +1,60 @@
+//! Property test: merging per-thread histograms is lossless — the merge
+//! of histograms built from disjoint sample shards equals the histogram
+//! of the concatenated samples, bucket by bucket, for counts and sums.
+
+use gpssn_obs::{bucket_index, bucket_upper_bound, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_concatenation(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000_000, 0..40),
+            1..6,
+        )
+    ) {
+        // Per-shard histograms, merged left to right into the first.
+        let parts: Vec<Histogram> = shards
+            .iter()
+            .map(|samples| {
+                let h = Histogram::new();
+                for &v in samples {
+                    h.observe(v);
+                }
+                h
+            })
+            .collect();
+        let merged = Histogram::new();
+        for part in &parts {
+            merged.merge_from(part);
+        }
+
+        // Oracle: one histogram over all samples in one pass.
+        let whole = Histogram::new();
+        for samples in &shards {
+            for &v in samples {
+                whole.observe(v);
+            }
+        }
+
+        let merged = merged.snapshot();
+        let whole = whole.snapshot();
+        prop_assert_eq!(&merged.buckets, &whole.buckets);
+        prop_assert_eq!(merged.count, whole.count);
+        prop_assert_eq!(merged.sum, whole.sum);
+
+        // Internal consistency: bucket counts add up to the total count
+        // and every sample landed in a bucket covering it.
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        for samples in &shards {
+            for &v in samples {
+                let i = bucket_index(v);
+                prop_assert!(i < HIST_BUCKETS);
+                prop_assert!(v <= bucket_upper_bound(i));
+                prop_assert!(merged.buckets[i] > 0);
+            }
+        }
+    }
+}

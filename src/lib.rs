@@ -28,6 +28,7 @@
 pub use gpssn_core as core;
 pub use gpssn_graph as graph;
 pub use gpssn_index as index;
+pub use gpssn_obs as obs;
 pub use gpssn_road as road;
 pub use gpssn_social as social;
 pub use gpssn_spatial as spatial;
