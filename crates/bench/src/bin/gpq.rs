@@ -22,23 +22,33 @@
 //! Every error prints a single line on stderr and maps to a stable exit
 //! code so scripts can dispatch on the failure class:
 //!
-//! | code | class                      |
-//! |------|----------------------------|
-//! | 2    | usage / invalid query      |
-//! | 3    | unknown user               |
-//! | 4    | radius outside index range |
-//! | 5    | infeasible query           |
-//! | 6    | deadline exceeded          |
-//! | 7    | resource budget exhausted  |
-//! | 66   | dataset unreadable         |
-//! | 70   | internal error             |
+//! | code | class                          |
+//! |------|--------------------------------|
+//! | 2    | usage / invalid query          |
+//! | 3    | unknown user                   |
+//! | 4    | radius outside index range     |
+//! | 5    | infeasible query               |
+//! | 6    | deadline exceeded              |
+//! | 7    | resource budget exhausted      |
+//! | 8    | answer degraded (sampling)     |
+//! | 65   | persisted index corrupt        |
+//! | 66   | dataset unreadable             |
+//! | 70   | internal error                 |
 //!
 //! A *tripped budget with an answer in hand* is not an error: the answer
-//! is printed with its optimality-gap bound and the exit code is 0.
+//! is printed with its optimality-gap bound and the exit code is 0. An
+//! answer rescued by the sampling rung of the degradation ladder *is*
+//! flagged (exit 8 plus a stderr line): it is feasible but carries no
+//! optimality bound, and scripts must be able to tell.
+//!
+//! Chaos testing: when built with `--features failpoints`, `--chaos-seed N`
+//! installs a deterministic fault plan (every registered fail-point site
+//! fires pseudo-randomly, seeded by `N`) and enables the degradation
+//! ladder, so injected faults downgrade answers instead of failing them.
 
 use gpssn_core::{
-    suggest_parameters, Completion, EngineConfig, GpSsnEngine, GpSsnError, GpSsnQuery, QueryBudget,
-    QueryOutcome,
+    suggest_parameters, Completion, DegradationPolicy, EngineConfig, GpSsnEngine, GpSsnError,
+    GpSsnQuery, QueryBudget, QueryOptions, QueryOutcome,
 };
 use gpssn_obs::{Obs, ObsConfig};
 use gpssn_ssn::{load_ssn, DatasetStats};
@@ -48,7 +58,7 @@ use std::time::Duration;
 const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
      [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] \
      [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
-     [--trace-out FILE] [--metrics-out FILE] [--log jsonl]";
+     [--trace-out FILE] [--metrics-out FILE] [--log jsonl] [--chaos-seed N]";
 
 fn die_usage(msg: &str) -> ! {
     eprintln!("gpq: {msg}");
@@ -64,9 +74,14 @@ fn exit_code(e: &GpSsnError) -> i32 {
         GpSsnError::Infeasible { .. } => 5,
         GpSsnError::DeadlineExceeded => 6,
         GpSsnError::BudgetExhausted { .. } => 7,
+        GpSsnError::IndexCorrupt { .. } => 65,
         GpSsnError::Internal(_) => 70,
     }
 }
+
+/// Exit code for an answer that was degraded to the sampling baseline:
+/// the result is feasible but carries no optimality bound.
+const EXIT_DEGRADED: i32 = 8;
 
 fn fail(e: &GpSsnError) -> ! {
     eprintln!("gpq: {e}");
@@ -94,6 +109,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut log_jsonl = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -133,6 +149,7 @@ fn main() {
             "--metrics-out" => {
                 metrics_out = Some(take(&args, &mut i, "--metrics-out", "a file path"))
             }
+            "--chaos-seed" => chaos_seed = Some(take(&args, &mut i, "--chaos-seed", "a seed")),
             "--log" => {
                 let fmt: String = take(&args, &mut i, "--log", "a format (jsonl)");
                 match fmt.as_str() {
@@ -189,6 +206,27 @@ fn main() {
     );
     eprintln!("query: {q:?}");
 
+    // Chaos: arm the fault plan only now, for the serving phase, so
+    // injected faults exercise the degradation ladder rather than
+    // dataset loading or index construction. The ladder is enabled so
+    // faults downgrade answers instead of failing queries outright.
+    let mut opts = QueryOptions::default();
+    if chaos_seed.is_some() {
+        opts.degradation = DegradationPolicy::Ladder;
+    }
+    #[cfg(feature = "failpoints")]
+    let _chaos = chaos_seed.map(|seed| {
+        eprintln!("chaos: fault plan armed (seed {seed}, p=0.05 per fail-point hit)");
+        gpssn_failpoint::install(gpssn_failpoint::FaultPlan::uniform(seed, 0.05))
+    });
+    #[cfg(not(feature = "failpoints"))]
+    if let Some(seed) = chaos_seed {
+        eprintln!(
+            "gpq: --chaos-seed {seed} has no fault plan to install: this binary was built \
+             without the `failpoints` feature (rebuild with `--features failpoints`)"
+        );
+    }
+
     let sinks = TelemetrySinks {
         obs,
         trace_out,
@@ -201,14 +239,14 @@ fn main() {
             Err(e) => fail(&e),
         };
         emit_telemetry(&sinks, &engine, &q, "approximate", Some(&out));
-        report_completion(&out.completion);
+        let code = report_completion(&out.completion);
         report(
             "approximate",
             &out.answer,
             out.metrics.io_pages,
             out.metrics.cpu,
         );
-        return;
+        std::process::exit(code);
     }
     if top_k > 1 {
         let out = match engine.try_query_top_k(&q, top_k, &budget) {
@@ -216,7 +254,7 @@ fn main() {
             Err(e) => fail(&e),
         };
         emit_telemetry(&sinks, &engine, &q, "top_k", None);
-        report_completion(&out.completion);
+        let code = report_completion(&out.completion);
         if out.answers.is_empty() {
             println!("no feasible answers");
         }
@@ -229,20 +267,21 @@ fn main() {
                 ans.pois
             );
         }
-        return;
+        std::process::exit(code);
     }
-    let out = match engine.try_query(&q, &budget) {
+    let out = match engine.try_query_with_options(&q, &opts, &budget) {
         Ok(out) => out,
         Err(e) => fail(&e),
     };
     emit_telemetry(&sinks, &engine, &q, "exact", Some(&out));
-    report_completion(&out.completion);
-    let mode = if matches!(out.completion, Completion::Exact) {
-        "exact"
-    } else {
-        "anytime"
+    let code = report_completion(&out.completion);
+    let mode = match out.completion {
+        Completion::Exact => "exact",
+        Completion::DegradedSampling => "degraded",
+        _ => "anytime",
     };
     report(mode, &out.answer, out.metrics.io_pages, out.metrics.cpu);
+    std::process::exit(code);
 }
 
 /// Where this run's telemetry goes, if anywhere.
@@ -306,11 +345,7 @@ fn jsonl_line(
         q.user, q.tau, q.gamma, q.theta, q.radius
     );
     if let Some(out) = out {
-        let class = match &out.completion {
-            Completion::Exact => "exact",
-            Completion::TruncatedWithGap(_) => "truncated",
-            Completion::Failed(_) => "failed",
-        };
+        let class = out.completion.rung();
         line.push_str(&format!(
             ",\"completion\":\"{class}\",\"cpu_us\":{},\"io_pages\":{},\
              \"heap_pops\":{},\"dijkstra_settles\":{},\"ch_settles\":{},\
@@ -358,12 +393,23 @@ fn jsonl_line(
 
 /// A `Failed` completion is a hard error (the budget tripped before any
 /// answer was verified); a truncation with an answer is reported as a
-/// success carrying its optimality-gap bound.
-fn report_completion(c: &Completion) {
+/// success carrying its optimality-gap bound. A sampling-degraded answer
+/// is flagged on stderr and maps the whole run to [`EXIT_DEGRADED`] so
+/// scripts can distinguish it from a bounded result. Returns the exit
+/// code the run should finish with once the answer has been printed.
+fn report_completion(c: &Completion) -> i32 {
     match c {
-        Completion::Exact => {}
+        Completion::Exact => 0,
         Completion::TruncatedWithGap(gap) => {
-            println!("completion: truncated (optimum within {gap:.4} below reported maxdist)")
+            println!("completion: truncated (optimum within {gap:.4} below reported maxdist)");
+            0
+        }
+        Completion::DegradedSampling => {
+            eprintln!(
+                "gpq: degraded answer: exact refinement failed and the sampling baseline \
+                 rescued a feasible group (no optimality bound)"
+            );
+            EXIT_DEGRADED
         }
         Completion::Failed(e) => fail(e),
     }

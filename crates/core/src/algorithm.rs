@@ -28,6 +28,7 @@
 //! the engine stays exact (the property tests against brute force check
 //! this).
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::cache::{DistanceCache, DistanceCacheConfig};
 use crate::error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 use crate::pruning::{
@@ -36,7 +37,7 @@ use crate::pruning::{
     ub_match_score_signature, ub_maxdist_node, ub_maxdist_poi, PruningRegion,
 };
 use crate::query::{GpSsnAnswer, GpSsnQuery};
-use crate::refinement::{verify_center, ChBackend, VerifyContext};
+use crate::refinement::{verify_center, CenterVerification, ChBackend, VerifyContext};
 use crate::stats::BackendServed;
 use crate::stats::{binomial_f64, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 use gpssn_graph::DijkstraWorkspace;
@@ -129,6 +130,34 @@ pub enum DistanceBackend {
     Ch,
 }
 
+/// What to serve when the exact pipeline cannot produce an answer.
+///
+/// The engine degrades along a fixed ladder of rungs, each strictly
+/// weaker than the last (see [`Completion::rung`]):
+///
+/// 1. **exact** — the search completed; the answer is the optimum.
+/// 2. **truncated** — a budget trip (or an absorbed refinement fault)
+///    cut the search short; the best *verified* answer is served with a
+///    sound optimality-gap bound.
+/// 3. **sampling** — nothing was verified in time; a bounded sampling
+///    pass (the paper's §5 future-work estimator) produces an answer
+///    that satisfies every query constraint but carries no gap bound.
+/// 4. **failed** — even sampling found nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Stop at rung 2: a query with nothing verified reports
+    /// [`Completion::Failed`], and a panic inside center verification
+    /// propagates to the batch isolation layer (the legacy behavior,
+    /// and the default).
+    #[default]
+    FailFast,
+    /// Walk the whole ladder: panics inside center verification are
+    /// caught per-center (the center is treated as unresolved and
+    /// counted as a fault), and a query that would fail outright gets
+    /// the bounded sampling pass before giving up.
+    Ladder,
+}
+
 /// Per-query switches (ablations and stats collection).
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
@@ -163,6 +192,10 @@ pub struct QueryOptions {
     /// answers are bit-identical either way. The sampling-based
     /// approximate path always uses Dijkstra.
     pub distance_backend: DistanceBackend,
+    /// What to serve when the exact pipeline cannot produce an answer
+    /// (see [`DegradationPolicy`]). The default, `FailFast`, preserves
+    /// the legacy failure behavior exactly.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for QueryOptions {
@@ -176,6 +209,7 @@ impl Default for QueryOptions {
             use_tight_mbr_test: false,
             refine_threads: 1,
             distance_backend: DistanceBackend::Ch,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -194,6 +228,11 @@ pub struct GpSsnEngine<'a> {
     hop_labels: Option<gpssn_graph::HopLabels>,
     /// Cross-query ball / `dist_RN` cache (when configured).
     distance_cache: Option<DistanceCache>,
+    /// Circuit breaker guarding the CH oracle across every query this
+    /// engine serves: repeated CH faults open it, redirecting distance
+    /// batches to the bit-identical Dijkstra path until a half-open
+    /// probe succeeds (see [`crate::breaker`]).
+    ch_breaker: CircuitBreaker,
 }
 
 /// Work items of the road-side best-first traversal.
@@ -235,7 +274,13 @@ impl<'a> GpSsnEngine<'a> {
             page_cache,
             hop_labels,
             distance_cache,
+            ch_breaker: CircuitBreaker::new(BreakerConfig::default()),
         }
+    }
+
+    /// The circuit breaker guarding the CH distance backend.
+    pub fn ch_breaker(&self) -> &CircuitBreaker {
+        &self.ch_breaker
     }
 
     /// The engine's cross-query distance cache, if configured.
@@ -395,8 +440,23 @@ impl<'a> GpSsnEngine<'a> {
         let candidates = gpssn_obs::phase(obs, "prune_social", || {
             self.social_phase(q, opts, &io, &mut stats)
         });
-        let (answer, delta, completion) =
+        let (mut answer, delta, mut completion) =
             self.road_phase(q, opts, &candidates, &io, &mut stats, &meter, obs);
+
+        // Bottom rung of the degradation ladder: the exact pipeline
+        // failed outright, so spend a small fresh budget on the sampling
+        // estimator before reporting failure.
+        if opts.degradation == DegradationPolicy::Ladder
+            && answer.is_none()
+            && matches!(completion, Completion::Failed(_))
+        {
+            if let Some(ans) = gpssn_obs::phase(obs, "degrade_sampling", || {
+                self.sampling_rescue(q, opts, &candidates, &io)
+            }) {
+                answer = Some(ans);
+                completion = Completion::DegradedSampling;
+            }
+        }
 
         if opts.collect_stats {
             self.independent_rule_measurement(q, delta, &mut stats);
@@ -491,6 +551,24 @@ impl<'a> GpSsnEngine<'a> {
         threads: usize,
         budget: &QueryBudget,
     ) -> Vec<Result<QueryOutcome, GpSsnError>> {
+        self.try_query_batch_with_options(queries, threads, &QueryOptions::default(), budget)
+    }
+
+    /// [`GpSsnEngine::try_query_batch`] with explicit per-query options —
+    /// notably [`QueryOptions::degradation`]: under
+    /// [`DegradationPolicy::Ladder`] refinement faults degrade answers
+    /// down the ladder instead of surfacing as `Internal` errors in the
+    /// slot.
+    // Audited expect: the scoped workers fill every slot before the
+    // scope exits; an empty slot is unreachable.
+    #[allow(clippy::expect_used)]
+    pub fn try_query_batch_with_options(
+        &self,
+        queries: &[GpSsnQuery],
+        threads: usize,
+        opts: &QueryOptions,
+        budget: &QueryBudget,
+    ) -> Vec<Result<QueryOutcome, GpSsnError>> {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -502,8 +580,10 @@ impl<'a> GpSsnEngine<'a> {
         install_panic_capture();
         let run_one = |q: &GpSsnQuery| -> Result<QueryOutcome, GpSsnError> {
             LAST_PANIC_MSG.with(|m| m.borrow_mut().take()); // drop stale captures
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.try_query(q, budget)))
-                .unwrap_or_else(|payload| Err(GpSsnError::Internal(panic_message(&payload))))
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.try_query_with_options(q, opts, budget)
+            }))
+            .unwrap_or_else(|payload| Err(GpSsnError::Internal(panic_message(&payload))))
         };
         if threads == 1 || queries.len() <= 1 {
             return queries.iter().map(run_one).collect();
@@ -665,6 +745,9 @@ impl<'a> GpSsnEngine<'a> {
     /// returned answers are all verified; [`TopKOutcome::completion`]
     /// carries the optimality gap of the `k`-th slot
     /// (`f64::INFINITY` when fewer than `k` answers were verified).
+    // Audited expects: `best_k.last()` is only read behind explicit
+    // `best_k.len() >= k` (k >= 1) guards.
+    #[allow(clippy::expect_used)]
     pub fn try_query_top_k(
         &self,
         q: &GpSsnQuery,
@@ -709,6 +792,7 @@ impl<'a> GpSsnEngine<'a> {
                 search: &mut chws,
             }),
             cache: self.distance_cache.as_ref(),
+            breaker: Some(&self.ch_breaker),
             budget: &meter,
             obs,
             span_parent,
@@ -727,7 +811,7 @@ impl<'a> GpSsnEngine<'a> {
                 outstanding = outstanding.min(lb);
                 break;
             }
-            let v = verify_center(
+            let Some(v) = verify_center_guarded(
                 self.ssn,
                 q,
                 &candidates,
@@ -735,7 +819,11 @@ impl<'a> GpSsnEngine<'a> {
                 bound,
                 self.cfg.enumeration_cap,
                 &mut ctx,
-            );
+                opts.degradation,
+            ) else {
+                outstanding = outstanding.min(lb);
+                continue;
+            };
             if let Some(ans) = v.answer {
                 if !best_k
                     .iter()
@@ -766,17 +854,76 @@ impl<'a> GpSsnEngine<'a> {
         } else {
             f64::INFINITY
         };
-        let completion = match meter.trip() {
-            None => Completion::Exact,
-            Some(_) if outstanding >= kth_val => Completion::Exact,
-            Some(trip) if best_k.is_empty() => Completion::Failed(trip.into()),
-            Some(_) if best_k.len() < k => Completion::TruncatedWithGap(f64::INFINITY),
-            Some(_) => Completion::TruncatedWithGap(kth_val - outstanding),
+        // Absorbed refinement faults count as cuts too: the faulted
+        // centers' lower bounds are folded into `outstanding`, so the
+        // exactness claim stays honest without a budget trip.
+        let cut = meter.trip().is_some() || meter.faults() > 0;
+        let completion = if !cut || outstanding >= kth_val {
+            Completion::Exact
+        } else if best_k.is_empty() {
+            Completion::Failed(cut_error(&meter))
+        } else if best_k.len() < k {
+            Completion::TruncatedWithGap(f64::INFINITY)
+        } else {
+            Completion::TruncatedWithGap(kth_val - outstanding)
         };
         Ok(TopKOutcome {
             answers: best_k,
             completion,
         })
+    }
+
+    /// The ladder's sampling rung: re-collects candidate centers under a
+    /// small *fresh* work budget (the original meter is spent or
+    /// faulted) and draws random connected groups per center — the
+    /// paper's §5 future-work subset sampler. Any answer returned
+    /// satisfies Definition 5 exactly; only its optimality is unknown.
+    /// Deterministic: the RNG is seeded from the query user and the
+    /// budget is counted in work units, not wall-clock time. The
+    /// sampler runs on plain Dijkstra, touching none of the CH or
+    /// refinement machinery the faults came from.
+    fn sampling_rescue(
+        &self,
+        q: &GpSsnQuery,
+        opts: &QueryOptions,
+        candidates: &[UserId],
+        io: &IoCounter,
+    ) -> Option<GpSsnAnswer> {
+        const RESCUE_SAMPLES: usize = 32;
+        const RESCUE_CENTERS: usize = 64;
+        let budget = QueryBudget {
+            max_heap_pops: Some(100_000),
+            max_groups_enumerated: Some(20_000),
+            max_dijkstra_settles: Some(2_000_000),
+            deadline: None,
+        };
+        let meter = BudgetState::new(&budget);
+        let mut stats = PruningStats::default();
+        let (mut centers, _) = self.collect_centers(q, opts, candidates, io, &mut stats, &meter);
+        centers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED_0000 ^ u64::from(q.user));
+        let mut best: Option<GpSsnAnswer> = None;
+        let mut best_val = f64::INFINITY;
+        for &(lb, center) in centers.iter().take(RESCUE_CENTERS) {
+            if lb >= best_val || meter.is_tripped() {
+                break;
+            }
+            let filtered = self.filter_candidates_for_center(candidates, center, best_val);
+            if let Some(ans) = crate::sampling::verify_center_sampled(
+                self.ssn,
+                q,
+                &filtered,
+                center,
+                best_val,
+                RESCUE_SAMPLES,
+                &mut rng,
+                &meter,
+            ) {
+                best_val = ans.maxdist;
+                best = Some(ans);
+            }
+        }
+        best
     }
 
     /// Traversal-only road phase: collects candidate centers with their
@@ -1114,6 +1261,7 @@ impl<'a> GpSsnEngine<'a> {
                     search: &mut chws,
                 }),
                 cache: self.distance_cache.as_ref(),
+                breaker: Some(&self.ch_breaker),
                 budget: meter,
                 obs,
                 span_parent: fb_span.as_ref().map_or(0, |s| s.id()),
@@ -1157,7 +1305,7 @@ impl<'a> GpSsnEngine<'a> {
                     Item::Center(center) => {
                         let filtered =
                             self.filter_candidates_for_center(candidates, center, best_val);
-                        let v = verify_center(
+                        let Some(v) = verify_center_guarded(
                             self.ssn,
                             q,
                             &filtered,
@@ -1165,7 +1313,11 @@ impl<'a> GpSsnEngine<'a> {
                             best_val,
                             self.cfg.enumeration_cap,
                             &mut ctx,
-                        );
+                            opts.degradation,
+                        ) else {
+                            outstanding = outstanding.min(lb);
+                            continue;
+                        };
                         stats.pairs_refined += v.subsets_examined;
                         if let Some(ans) = v.answer {
                             best_val = ans.maxdist;
@@ -1309,8 +1461,18 @@ impl<'a> GpSsnEngine<'a> {
         }
         .min(centers.len().max(1));
         let ch = self.ch_for(opts);
+        let policy = opts.degradation;
         if threads <= 1 {
-            self.refine_centers_sequential(q, candidates, centers, ch, meter, obs, span_parent)
+            self.refine_centers_sequential(
+                q,
+                candidates,
+                centers,
+                ch,
+                meter,
+                obs,
+                span_parent,
+                policy,
+            )
         } else {
             self.refine_centers_parallel(
                 q,
@@ -1321,6 +1483,7 @@ impl<'a> GpSsnEngine<'a> {
                 meter,
                 obs,
                 span_parent,
+                policy,
             )
         }
     }
@@ -1337,6 +1500,7 @@ impl<'a> GpSsnEngine<'a> {
         meter: &BudgetState,
         obs: Option<&Obs>,
         span_parent: u64,
+        policy: DegradationPolicy,
     ) -> RefineOutcome {
         let mut out = RefineOutcome::empty();
         let mut ws = DijkstraWorkspace::new();
@@ -1348,6 +1512,7 @@ impl<'a> GpSsnEngine<'a> {
                 search: &mut chws,
             }),
             cache: self.distance_cache.as_ref(),
+            breaker: Some(&self.ch_breaker),
             budget: meter,
             obs,
             span_parent,
@@ -1361,7 +1526,7 @@ impl<'a> GpSsnEngine<'a> {
                 break;
             }
             let filtered = self.filter_candidates_for_center(candidates, center, out.best_val);
-            let v = verify_center(
+            let Some(v) = verify_center_guarded(
                 self.ssn,
                 q,
                 &filtered,
@@ -1369,7 +1534,11 @@ impl<'a> GpSsnEngine<'a> {
                 out.best_val,
                 self.cfg.enumeration_cap,
                 &mut ctx,
-            );
+                policy,
+            ) else {
+                out.unresolved = out.unresolved.min(lb);
+                continue;
+            };
             out.pairs_refined += v.subsets_examined;
             if let Some(ans) = v.answer {
                 out.best_val = ans.maxdist;
@@ -1422,6 +1591,7 @@ impl<'a> GpSsnEngine<'a> {
         meter: &BudgetState,
         obs: Option<&Obs>,
         span_parent: u64,
+        policy: DegradationPolicy,
     ) -> RefineOutcome {
         let next = AtomicUsize::new(0);
         let best_bits = AtomicU64::new(f64::INFINITY.to_bits());
@@ -1435,6 +1605,7 @@ impl<'a> GpSsnEngine<'a> {
                     search: &mut chws,
                 }),
                 cache: self.distance_cache.as_ref(),
+                breaker: Some(&self.ch_breaker),
                 budget: meter,
                 obs,
                 span_parent,
@@ -1457,7 +1628,7 @@ impl<'a> GpSsnEngine<'a> {
                     break; // sorted: every unclaimed center is at least this costly
                 }
                 let filtered = self.filter_candidates_for_center(candidates, center, bound);
-                let v = verify_center(
+                let Some(v) = verify_center_guarded(
                     self.ssn,
                     q,
                     &filtered,
@@ -1465,7 +1636,11 @@ impl<'a> GpSsnEngine<'a> {
                     bound,
                     self.cfg.enumeration_cap,
                     &mut ctx,
-                );
+                    policy,
+                ) else {
+                    unresolved = unresolved.min(lb);
+                    continue;
+                };
                 pairs += v.subsets_examined;
                 if let Some(ans) = v.answer {
                     atomic_min_f64(&best_bits, ans.maxdist);
@@ -1696,6 +1871,70 @@ fn record_phase_ns(obs: Option<&Obs>, name: &'static str, started: Option<Instan
     }
 }
 
+/// Runs [`verify_center`] under the query's fault policy. An `Err`
+/// (broken internal invariant) is always absorbed as a query fault;
+/// under [`DegradationPolicy::Ladder`] a *panic* inside verification is
+/// additionally caught per-center and absorbed the same way, while
+/// `FailFast` lets it propagate to the batch isolation layer (the
+/// legacy behavior). `None` means the center stays unresolved — the
+/// caller folds its lower bound into the anytime gap, and the nonzero
+/// fault count keeps the completion from claiming `Exact`.
+#[allow(clippy::too_many_arguments)]
+fn verify_center_guarded(
+    ssn: &SpatialSocialNetwork,
+    q: &GpSsnQuery,
+    candidates: &[UserId],
+    center: PoiId,
+    bound: f64,
+    enumeration_cap: usize,
+    ctx: &mut VerifyContext<'_>,
+    policy: DegradationPolicy,
+) -> Option<CenterVerification> {
+    let res = if policy == DegradationPolicy::Ladder {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            verify_center(ssn, q, candidates, center, bound, enumeration_cap, ctx)
+        }));
+        match attempt {
+            Ok(r) => r,
+            Err(_) => {
+                // The unwound verification may have left this worker's
+                // CH workspace mid-sweep; wipe it so later batches stay
+                // bit-identical.
+                if let Some(chb) = ctx.ch.as_mut() {
+                    chb.search.hard_reset();
+                }
+                Err(GpSsnError::Internal(format!(
+                    "refinement panicked verifying center {center}"
+                )))
+            }
+        }
+    } else {
+        verify_center(ssn, q, candidates, center, bound, enumeration_cap, ctx)
+    };
+    match res {
+        Ok(v) => Some(v),
+        Err(_) => {
+            ctx.budget.note_fault();
+            if let Some(o) = ctx.obs {
+                o.inc("gpssn_refine_faults_total", &[], 1);
+            }
+            None
+        }
+    }
+}
+
+/// The error reported when a cut query verified nothing: the tripped
+/// budget when one tripped, otherwise the absorbed refinement faults.
+fn cut_error(meter: &BudgetState) -> GpSsnError {
+    match meter.trip() {
+        Some(trip) => trip.into(),
+        None => GpSsnError::Internal(format!(
+            "{} refinement fault(s) absorbed with no verified answer",
+            meter.faults()
+        )),
+    }
+}
+
 /// Folds one finished query into the metrics registry — called once per
 /// query at outcome assembly, so the hot traversal and refinement paths
 /// never touch the registry. Under [`Obs::with_registry`] redirection
@@ -1709,12 +1948,11 @@ fn record_query(obs: Option<&Obs>, path: &'static str, out: &QueryOutcome, meter
     if out.answer.is_some() {
         o.inc("gpssn_answers_total", &[("path", path)], 1);
     }
-    let class = match &out.completion {
-        Completion::Exact => "exact",
-        Completion::TruncatedWithGap(_) => "truncated",
-        Completion::Failed(_) => "failed",
-    };
+    let class = out.completion.rung();
     o.inc("gpssn_query_completions_total", &[("class", class)], 1);
+    if !matches!(out.completion, Completion::Exact) {
+        o.inc("gpssn_degraded_rung_total", &[("rung", class)], 1);
+    }
     if let Some(trip) = meter.trip() {
         let resource = match trip {
             Trip::Deadline => "deadline",
@@ -1886,14 +2124,18 @@ fn atomic_min_f64(best: &AtomicU64, v: f64) {
 /// (the true optimum lies within it). A trip with nothing verified and
 /// work left unresolved is a failure — there is no anytime answer to
 /// degrade to.
+/// Absorbed refinement faults count as cuts alongside budget trips: the
+/// faulted centers' lower bounds were folded into `outstanding`, so an
+/// answer that beats every unresolved bound is still provably optimal,
+/// and anything else degrades honestly.
 fn completion_of(meter: &BudgetState, best_val: f64, outstanding: f64) -> Completion {
-    match meter.trip() {
-        None => Completion::Exact,
-        Some(_) if outstanding >= best_val => Completion::Exact,
-        Some(_) if best_val.is_finite() => {
-            Completion::TruncatedWithGap((best_val - outstanding).max(0.0))
-        }
-        Some(trip) => Completion::Failed(trip.into()),
+    let cut = meter.trip().is_some() || meter.faults() > 0;
+    if !cut || outstanding >= best_val {
+        Completion::Exact
+    } else if best_val.is_finite() {
+        Completion::TruncatedWithGap((best_val - outstanding).max(0.0))
+    } else {
+        Completion::Failed(cut_error(meter))
     }
 }
 
@@ -2110,6 +2352,7 @@ mod tests {
                 use_tight_mbr_test: false,
                 refine_threads: 1,
                 distance_backend: DistanceBackend::Dijkstra,
+                degradation: DegradationPolicy::FailFast,
             },
         );
         match (&full.answer, &no_prune.answer) {

@@ -174,6 +174,17 @@ fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Poisons `m` by panicking while holding its guard (the panic is
+/// caught here). Only reachable from the `cache::poison` fail-point;
+/// exercises the [`lock_shard`] recovery path under chaos schedules.
+fn poison_shard<T>(m: &Mutex<T>) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = lock_shard(m);
+        panic!("injected fault: cache::poison");
+    }));
+    debug_assert!(result.is_err());
+}
+
 fn shard_of<K: Hash>(key: &K, shards: usize) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
@@ -207,6 +218,12 @@ impl DistanceCache {
 
     /// The cached ball `⊙(center, radius)`, if present.
     pub fn get_ball(&self, center: PoiId, radius: f64) -> Option<Arc<Vec<(PoiId, f64)>>> {
+        if gpssn_failpoint::failpoint!("cache::spurious_miss") {
+            // A dropped entry is indistinguishable from a FIFO eviction:
+            // the caller recomputes bit-identically and re-inserts.
+            self.ball_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let key = (center, radius.to_bits());
         let hit = lock_shard(&self.balls[shard_of(&key, self.balls.len())]).get(&key);
         let tally = if hit.is_some() {
@@ -221,12 +238,20 @@ impl DistanceCache {
     /// Stores the ball `⊙(center, radius)`.
     pub fn put_ball(&self, center: PoiId, radius: f64, ball: Arc<Vec<(PoiId, f64)>>) {
         let key = (center, radius.to_bits());
-        lock_shard(&self.balls[shard_of(&key, self.balls.len())]).insert(key, ball);
+        let shard = &self.balls[shard_of(&key, self.balls.len())];
+        if gpssn_failpoint::failpoint!("cache::poison") {
+            poison_shard(shard);
+        }
+        lock_shard(shard).insert(key, ball);
     }
 
     /// The cached `dist_RN(user, poi)` computed in direction `dir`, if
     /// present.
     pub fn get_dist(&self, user: UserId, poi: PoiId, dir: DistDir) -> Option<f64> {
+        if gpssn_failpoint::failpoint!("cache::spurious_miss") {
+            self.dist_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let key = (user, poi, dir);
         let hit = lock_shard(&self.dists[shard_of(&key, self.dists.len())]).get(&key);
         let tally = if hit.is_some() {
@@ -241,7 +266,11 @@ impl DistanceCache {
     /// Stores `dist_RN(user, poi)` computed in direction `dir`.
     pub fn put_dist(&self, user: UserId, poi: PoiId, dir: DistDir, d: f64) {
         let key = (user, poi, dir);
-        lock_shard(&self.dists[shard_of(&key, self.dists.len())]).insert(key, d);
+        let shard = &self.dists[shard_of(&key, self.dists.len())];
+        if gpssn_failpoint::failpoint!("cache::poison") {
+            poison_shard(shard);
+        }
+        lock_shard(shard).insert(key, d);
     }
 
     /// Ball entries currently resident (across all shards).

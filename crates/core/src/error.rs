@@ -57,6 +57,15 @@ pub enum GpSsnError {
         /// `"dijkstra settles"`).
         resource: &'static str,
     },
+    /// A persisted index failed its per-section checksum (or parse) on
+    /// load. `section` names the corrupt section (`"cfg"`, `"pivots"`,
+    /// `"pois"`, `"ch"`); a corrupt `ch` section is recoverable by
+    /// rebuilding the oracle from the road graph (see
+    /// `gpssn_index::load_road_index_healing`).
+    IndexCorrupt {
+        /// Which serialized section failed verification.
+        section: String,
+    },
     /// A query panicked inside a batch; the payload message is preserved.
     /// Only produced by [`crate::GpSsnEngine::try_query_batch`], which
     /// isolates the panic to the offending slot.
@@ -88,6 +97,9 @@ impl std::fmt::Display for GpSsnError {
             GpSsnError::BudgetExhausted { resource } => {
                 write!(f, "resource budget exhausted: {resource}")
             }
+            GpSsnError::IndexCorrupt { section } => {
+                write!(f, "index corrupt: section {section:?} failed verification")
+            }
             GpSsnError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -106,6 +118,14 @@ pub enum Completion {
     /// `answer.maxdist - gap <= opt <= answer.maxdist`. For top-k queries
     /// with fewer than `k` answers found, the gap is `f64::INFINITY`.
     TruncatedWithGap(f64),
+    /// The exact pipeline could not produce an answer (fault or budget
+    /// trip with nothing verified) and the degradation ladder served
+    /// one from the sampling estimator instead (the paper's §6.3
+    /// baseline device). The answer satisfies every query constraint —
+    /// it passes `check_answer` — but its `maxdist` is only an upper
+    /// bound on the optimum, with no gap estimate. Only produced when
+    /// [`crate::DegradationPolicy::Ladder`] is selected.
+    DegradedSampling,
     /// A budget tripped before any answer was verified; the error names
     /// the tripped resource.
     Failed(GpSsnError),
@@ -115,6 +135,19 @@ impl Completion {
     /// Whether the result is the exact optimum.
     pub fn is_exact(&self) -> bool {
         matches!(self, Completion::Exact)
+    }
+
+    /// The degradation-ladder rung this completion was served from, as
+    /// a stable label: `"exact"`, `"truncated"`, `"sampling"`, or
+    /// `"failed"` (used for exit codes and the
+    /// `gpssn_degraded_rung_total` counter).
+    pub fn rung(&self) -> &'static str {
+        match self {
+            Completion::Exact => "exact",
+            Completion::TruncatedWithGap(_) => "truncated",
+            Completion::DegradedSampling => "sampling",
+            Completion::Failed(_) => "failed",
+        }
     }
 }
 
@@ -233,6 +266,15 @@ pub struct BudgetState {
     ws_resets: AtomicU64,
     heap_recycles: AtomicU64,
     ch_unpacks: AtomicU64,
+    /// Faults that cost the query verified work (a refinement worker
+    /// panic caught and absorbed): the center involved is unresolved,
+    /// so a nonzero count disqualifies the `Exact` completion even if
+    /// no budget tripped.
+    faults: AtomicU64,
+    /// CH batches that panicked and were re-served from the Dijkstra
+    /// path. Informational only — the fallback row is bit-identical,
+    /// so these do *not* degrade the completion.
+    ch_faults: AtomicU64,
 }
 
 const TRIP_NONE: u8 = 0;
@@ -278,6 +320,8 @@ impl BudgetState {
             ws_resets: AtomicU64::new(0),
             heap_recycles: AtomicU64::new(0),
             ch_unpacks: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            ch_faults: AtomicU64::new(0),
         }
     }
 
@@ -412,6 +456,31 @@ impl BudgetState {
             self.heap_recycles.load(Ordering::Relaxed),
             self.ch_unpacks.load(Ordering::Relaxed),
         )
+    }
+
+    /// Records a fault that cost this query verified work — a caught
+    /// refinement panic or an errored center. See the `faults` field:
+    /// any nonzero count keeps the completion from claiming `Exact`.
+    #[inline]
+    pub fn note_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exactness-affecting faults recorded so far.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Records a CH batch panic absorbed by the bit-identical Dijkstra
+    /// fallback (informational; does not affect the completion).
+    #[inline]
+    pub fn note_ch_fault(&self) {
+        self.ch_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Absorbed CH faults recorded so far.
+    pub fn ch_faults(&self) -> u64 {
+        self.ch_faults.load(Ordering::Relaxed)
     }
 
     /// Re-checks the sticky trip state and the deadline without charging
@@ -574,6 +643,9 @@ mod tests {
             Trip::HeapPops.into(),
             Trip::Groups.into(),
             Trip::DijkstraSettles.into(),
+            GpSsnError::IndexCorrupt {
+                section: "ch".into(),
+            },
             GpSsnError::Internal("boom".into()),
         ];
         for e in cases {

@@ -24,8 +24,12 @@
 //!   budgets with deadlines ([`QueryBudget`]), and the anytime-completion
 //!   taxonomy ([`Completion`]) behind the engine's `try_*` serving API.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod algorithm;
 pub mod baseline;
+pub mod breaker;
 pub mod cache;
 pub mod error;
 pub mod pruning;
@@ -35,11 +39,12 @@ pub mod sampling;
 pub mod stats;
 pub mod tuning;
 
-pub use algorithm::{DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions};
+pub use algorithm::{DegradationPolicy, DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions};
 pub use baseline::{
     estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
     try_exact_baseline_with_obs, BaselineEstimate,
 };
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{CacheLifetimeStats, DistDir, DistanceCache, DistanceCacheConfig, ShardOccupancy};
 pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};

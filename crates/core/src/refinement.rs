@@ -17,8 +17,9 @@
 //!    the optimal objective `c_k` exactly (any group with smaller maximum
 //!    cost would fit inside a shorter, infeasible prefix).
 
+use crate::breaker::CircuitBreaker;
 use crate::cache::{DistDir, DistanceCache};
-use crate::error::BudgetState;
+use crate::error::{BudgetState, GpSsnError};
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use gpssn_graph::{enumerate_connected_subsets, ChOracle, ChSearch, DijkstraWorkspace};
 use gpssn_road::{dist_rn_many_ch, dist_rn_many_counted_with, NetworkPoint, PoiId};
@@ -69,6 +70,12 @@ pub struct VerifyContext<'a> {
     pub ch: Option<ChBackend<'a>>,
     /// Cross-query ball / `dist_RN` cache, if the engine has one.
     pub cache: Option<&'a DistanceCache>,
+    /// The engine's CH circuit breaker, if one guards the oracle. A
+    /// panic out of a CH batch records a failure and the batch is
+    /// re-served from Dijkstra (bit-identical); enough consecutive
+    /// failures open the breaker and later batches skip the oracle
+    /// until a half-open probe succeeds (see [`crate::breaker`]).
+    pub breaker: Option<&'a CircuitBreaker>,
     /// The query's budget meter (shared across workers).
     pub budget: &'a BudgetState,
     /// Telemetry sink, if the engine has one attached.
@@ -102,20 +109,44 @@ fn dist_batch(
     // `filter(tracing_on)` keeps the disabled path to one relaxed load —
     // no inert guard, no `Instant::now`.
     let obs = ctx.obs.filter(|o| o.tracing_on());
-    let (row, settled) = match ctx.ch.as_mut() {
-        Some(chb) => {
-            let _span = obs.map(|o| o.tracer().span("ch_p2p"));
-            let (row, settled) =
-                dist_rn_many_ch(ssn.road(), chb.oracle, chb.search, source, targets);
-            ctx.budget.note_ch_batch(settled);
-            (row, settled)
+    if let Some(chb) = ctx.ch.as_mut() {
+        // A CH panic must not take the query down — the Dijkstra path
+        // below produces the identical row, so the oracle is strictly
+        // optional. Failures feed the breaker; an open breaker skips
+        // the oracle (and the panic machinery) entirely.
+        if ctx.breaker.is_none_or(|b| b.admit(ctx.obs)) {
+            let span = obs.map(|o| o.tracer().span("ch_p2p"));
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dist_rn_many_ch(ssn.road(), chb.oracle, chb.search, source, targets)
+            }));
+            drop(span);
+            match attempt {
+                Ok((row, settled)) => {
+                    if let Some(b) = ctx.breaker {
+                        b.record_success(ctx.obs);
+                    }
+                    ctx.budget.note_ch_batch(settled);
+                    ctx.budget.add_settles(settled);
+                    return row;
+                }
+                Err(_) => {
+                    // The unwound batch left the workspace mid-sweep;
+                    // wipe it so the next batch stays bit-identical.
+                    chb.search.hard_reset();
+                    ctx.budget.note_ch_fault();
+                    if let Some(b) = ctx.breaker {
+                        b.record_failure(ctx.obs);
+                    }
+                    if let Some(o) = ctx.obs {
+                        o.inc("gpssn_ch_faults_total", &[], 1);
+                    }
+                }
+            }
         }
-        None => {
-            let _span = obs.map(|o| o.tracer().span("dijkstra_batch"));
-            ctx.budget.note_dijkstra_batch();
-            dist_rn_many_counted_with(ssn.road(), ctx.ws, source, targets)
-        }
-    };
+    }
+    let _span = obs.map(|o| o.tracer().span("dijkstra_batch"));
+    ctx.budget.note_dijkstra_batch();
+    let (row, settled) = dist_rn_many_counted_with(ssn.road(), ctx.ws, source, targets);
     ctx.budget.add_settles(settled);
     row
 }
@@ -220,6 +251,12 @@ fn col_from_poi(
 /// optimal value yields the same group bit-for-bit, which is what lets
 /// parallel refinement (whose workers race the shared bound downward)
 /// reproduce the sequential answer exactly.
+///
+/// **Errors.** `Err` means an internal invariant was violated (a group
+/// member missing from the cost table) — never a budget trip, which is
+/// reported through [`CenterVerification::answer`] as before. Callers
+/// treat an `Err` center as unresolved: record the fault, keep the
+/// query alive, and let the degradation ladder decide what to serve.
 pub fn verify_center(
     ssn: &SpatialSocialNetwork,
     q: &GpSsnQuery,
@@ -228,9 +265,12 @@ pub fn verify_center(
     best_so_far: f64,
     enumeration_cap: usize,
     ctx: &mut VerifyContext<'_>,
-) -> CenterVerification {
+) -> Result<CenterVerification, GpSsnError> {
     if q.user == test_hooks::PANIC_ON_USER.load(std::sync::atomic::Ordering::Relaxed) {
         panic!("test hook: injected refinement fault for user {}", q.user);
+    }
+    if gpssn_failpoint::failpoint!("refine::verify_center") {
+        panic!("injected fault: refine::verify_center (center {center})");
     }
     // Opened with an explicit parent so worker threads chain under the
     // refinement phase; nested spans (ball, distance batches) pick this
@@ -274,24 +314,24 @@ pub fn verify_center(
     };
     drop(ball_span);
     if ball.is_empty() {
-        return out;
+        return Ok(out);
     }
     let r_ids: Vec<PoiId> = ball.iter().map(|&(o, _)| o).collect();
     let union = ssn.pois().keyword_union(&r_ids);
 
     // Matching eligibility (the query user must qualify).
     if match_score_keywords(ssn.social().interest(q.user), &union) < q.theta {
-        return out;
+        return Ok(out);
     }
 
     // Exact cost of the query user first — one Dijkstra, cheapest exit.
     let positions: Vec<NetworkPoint> = r_ids.iter().map(|&o| ssn.pois().get(o).position).collect();
     let Some(cq_dists) = row_from_user(ssn, ctx, q.user, &r_ids, &positions) else {
-        return out;
+        return Ok(out);
     };
     let cq = cq_dists.into_iter().fold(0.0f64, f64::max);
     if cq >= best_so_far || budget.is_tripped() {
-        return out; // any group containing u_q costs at least cq
+        return Ok(out); // any group containing u_q costs at least cq
     }
 
     let mut eligible: Vec<UserId> = candidates
@@ -303,7 +343,7 @@ pub fn verify_center(
         eligible.push(q.user);
     }
     if eligible.len() < q.tau {
-        return out;
+        return Ok(out);
     }
 
     // Exact user costs c(u) = max_{o ∈ R} dist_RN(u, o), computed with
@@ -314,7 +354,7 @@ pub fn verify_center(
     if positions.len() <= eligible.len() {
         for (&o, pos) in r_ids.iter().zip(&positions) {
             let Some(col) = col_from_poi(ssn, ctx, o, pos, &eligible, &homes) else {
-                return out;
+                return Ok(out);
             };
             for (c, d) in cost_vec.iter_mut().zip(col) {
                 *c = c.max(d);
@@ -323,7 +363,7 @@ pub fn verify_center(
     } else {
         for (c, &u) in cost_vec.iter_mut().zip(&eligible) {
             let Some(row) = row_from_user(ssn, ctx, u, &r_ids, &positions) else {
-                return out;
+                return Ok(out);
             };
             *c = row.into_iter().fold(0.0f64, f64::max);
         }
@@ -337,7 +377,7 @@ pub fn verify_center(
     let usable = costs.partition_point(|&(_, c)| c < best_so_far);
     let costs = &costs[..usable];
     if costs.len() < q.tau || !costs.iter().any(|&(u, _)| u == q.user) {
-        return out;
+        return Ok(out);
     }
 
     // Binary search the smallest feasible enabled prefix (feasibility is
@@ -377,10 +417,23 @@ pub fn verify_center(
     // stays a valid answer. So: keep the cheapest group seen, and on a
     // trip stop searching and report it — the caller folds this center's
     // lower bound into the anytime gap, which keeps the bound sound.
-    let group_maxdist = |g: &[UserId]| -> f64 {
-        g.iter()
-            .map(|&u| costs.iter().find(|&&(v, _)| v == u).unwrap().1)
-            .fold(0.0f64, f64::max)
+    let group_maxdist = |g: &[UserId]| -> Result<f64, GpSsnError> {
+        let mut md = 0.0f64;
+        for &u in g {
+            match costs.iter().find(|&&(v, _)| v == u) {
+                Some(&(_, c)) => md = md.max(c),
+                // Feasibility probes only enable users drawn from the
+                // cost prefix, so a missing member is a broken internal
+                // invariant — surface it as a typed error, not a panic.
+                None => {
+                    return Err(GpSsnError::Internal(format!(
+                        "refinement invariant violated: group member {u} missing from cost table \
+                         of center {center}"
+                    )))
+                }
+            }
+        }
+        Ok(md)
     };
     // Two trackers over the feasibility probes: `min_prefix_group` is
     // the group from the feasible probe at the *smallest* prefix
@@ -394,25 +447,28 @@ pub fn verify_center(
     // budget trip stops the search before it reaches `k*`.
     let mut best_verified: Option<(Vec<UserId>, f64)> = None;
     let mut min_prefix_group: Option<Vec<UserId>> = None;
-    let record =
-        |g: Vec<UserId>, best: &mut Option<(Vec<UserId>, f64)>, minp: &mut Option<Vec<UserId>>| {
-            let md = group_maxdist(&g);
-            if best.as_ref().is_none_or(|&(_, b)| md < b) {
-                *best = Some((g.clone(), md));
-            }
-            *minp = Some(g);
-        };
+    let record = |g: Vec<UserId>,
+                  best: &mut Option<(Vec<UserId>, f64)>,
+                  minp: &mut Option<Vec<UserId>>|
+     -> Result<(), GpSsnError> {
+        let md = group_maxdist(&g)?;
+        if best.as_ref().is_none_or(|&(_, b)| md < b) {
+            *best = Some((g.clone(), md));
+        }
+        *minp = Some(g);
+        Ok(())
+    };
     let mut lo = q.tau; // smallest prefix that could host a group
     let mut hi = costs.len();
     match feasible_at(hi, &mut out) {
-        Some(g) => record(g, &mut best_verified, &mut min_prefix_group),
-        None => return out, // infeasible (or truncated before any find)
+        Some(g) => record(g, &mut best_verified, &mut min_prefix_group)?,
+        None => return Ok(out), // infeasible (or truncated before any find)
     }
     while lo < hi && !budget.is_tripped() {
         let mid = (lo + hi) / 2;
         match feasible_at(mid, &mut out) {
             Some(g) => {
-                record(g, &mut best_verified, &mut min_prefix_group);
+                record(g, &mut best_verified, &mut min_prefix_group)?;
                 hi = mid;
             }
             None => {
@@ -431,10 +487,13 @@ pub fn verify_center(
     let chosen = if budget.is_tripped() {
         best_verified
     } else {
-        min_prefix_group.map(|g| {
-            let md = group_maxdist(&g);
-            (g, md)
-        })
+        match min_prefix_group {
+            Some(g) => {
+                let md = group_maxdist(&g)?;
+                Some((g, md))
+            }
+            None => None,
+        }
     };
     if let Some((group, maxdist)) = chosen {
         if maxdist < best_so_far {
@@ -449,7 +508,7 @@ pub fn verify_center(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -474,11 +533,13 @@ mod tests {
             ws: &mut ws,
             ch: None,
             cache: None,
+            breaker: None,
             budget: &budget,
             obs: None,
             span_parent: 0,
         };
         verify_center(ssn, q, candidates, center, best, usize::MAX, &mut ctx)
+            .expect("no invariant faults in tests")
     }
 
     /// Line road 0..4 (x = 0, 2, 4, 6, 8); POIs at x = 1, 3, 7.

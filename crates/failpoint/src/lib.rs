@@ -1,0 +1,442 @@
+//! `gpssn-failpoint`: zero-dependency deterministic fault injection.
+//!
+//! A *fail-point* is a named site in library code where a test harness
+//! may ask for a fault — an injected IO error, a spurious cache miss, a
+//! panic in a worker thread. Sites are written with the [`failpoint!`]
+//! macro:
+//!
+//! ```ignore
+//! if gpssn_failpoint::failpoint!("cache::spurious_miss") {
+//!     return None; // pretend the entry was never cached
+//! }
+//! ```
+//!
+//! Whether a site fires is decided by the globally installed
+//! [`FaultPlan`]: a seed plus a [`FireRule`] per site (with a default
+//! rule for sites not named explicitly). Every rule is a pure function
+//! of `(seed, site, hit-number)`, so a plan replays the *exact same*
+//! fault schedule on every run — chaos tests are reproducible from a
+//! single `u64`, and `gpq --chaos-seed N` replays a failing schedule at
+//! the CLI.
+//!
+//! ## Compile-time gating
+//!
+//! The macro checks `cfg(feature = "failpoints")` **in the crate that
+//! expands it**. Each consuming crate declares its own `failpoints`
+//! feature forwarding to `gpssn-failpoint/failpoints`; with the feature
+//! off (the default) every site folds to the constant `false` and the
+//! branch disappears — production builds carry zero overhead, not even
+//! an atomic load. The runtime below always compiles (it is tiny) so
+//! that mixed-feature builds link consistently.
+//!
+//! ## Globals and test isolation
+//!
+//! The installed plan is process-global. Tests that arm plans must
+//! serialize with each other (a shared mutex, or one looped `#[test]`);
+//! `tests/chaos.rs` in the workspace root is the canonical consumer.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+/// When a fail-point site fires, as a pure function of the site's
+/// 0-based hit number `n` (per-site, counted since plan install) and
+/// the plan seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FireRule {
+    /// Never fires (the default-plan default).
+    Never,
+    /// Fires on every hit.
+    Always,
+    /// Fires on every `k`-th hit: hits `k-1, 2k-1, 3k-1, …`.
+    /// `Nth(0)` never fires.
+    Nth(u64),
+    /// Fires exactly once, on hit number `n` (0-based).
+    Once(u64),
+    /// Fires with probability `p`, decided by a seeded hash of
+    /// `(seed, site, hit)` — deterministic per plan, uncorrelated
+    /// across sites and hits.
+    Prob(f64),
+}
+
+impl FireRule {
+    fn fires(&self, seed: u64, site: &str, hit: u64) -> bool {
+        match *self {
+            FireRule::Never => false,
+            FireRule::Always => true,
+            FireRule::Nth(k) => k != 0 && (hit + 1).is_multiple_of(k),
+            FireRule::Once(n) => hit == n,
+            FireRule::Prob(p) => {
+                if p <= 0.0 {
+                    return false;
+                }
+                if p >= 1.0 {
+                    return true;
+                }
+                let h = splitmix64(seed ^ fnv1a(site.as_bytes()) ^ splitmix64(hit));
+                // Top 53 bits → uniform fraction in [0, 1).
+                let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+                frac < p
+            }
+        }
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; good avalanche, no state.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D4_9BCB_8D5B_21E5);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name, mixing site identity into [`FireRule::Prob`].
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    hits: u64,
+    fires: u64,
+}
+
+/// A seeded, per-site fault schedule. Install with [`install`]; every
+/// [`failpoint!`] site then consults it.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    default_rule: FireRule,
+    overrides: HashMap<String, FireRule>,
+    state: Mutex<HashMap<String, SiteState>>,
+}
+
+impl FaultPlan {
+    /// A plan where no site fires unless given an explicit rule.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default_rule: FireRule::Never,
+            overrides: HashMap::new(),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A plan arming **every** site with `Prob(p)` — the chaos-suite
+    /// workhorse: one `(seed, p)` pair is a full fault schedule.
+    pub fn uniform(seed: u64, p: f64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        plan.default_rule = FireRule::Prob(p);
+        plan
+    }
+
+    /// Overrides the rule for one named site (builder-style).
+    #[must_use]
+    pub fn with_site(mut self, site: &str, rule: FireRule) -> Self {
+        self.overrides.insert(site.to_owned(), rule);
+        self
+    }
+
+    /// The rule a hit on `site` is evaluated against.
+    pub fn rule_for(&self, site: &str) -> FireRule {
+        self.overrides
+            .get(site)
+            .copied()
+            .unwrap_or(self.default_rule)
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, HashMap<String, SiteState>> {
+        // Counter state is plain data; a poisoned lock (panicking
+        // injected fault mid-update is impossible — we only increment)
+        // is still safe to reuse.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records a hit on `site` and decides whether it fires.
+    fn check(&self, site: &str) -> bool {
+        let rule = self.rule_for(site);
+        let mut state = self.lock_state();
+        let entry = state.entry(site.to_owned()).or_default();
+        let hit = entry.hits;
+        entry.hits += 1;
+        let fire = rule.fires(self.seed, site, hit);
+        if fire {
+            entry.fires += 1;
+        }
+        fire
+    }
+
+    /// How many times `site` has fired under this plan.
+    pub fn fire_count(&self, site: &str) -> u64 {
+        self.lock_state().get(site).map_or(0, |s| s.fires)
+    }
+
+    /// How many times `site` has been hit (fired or not).
+    pub fn hit_count(&self, site: &str) -> u64 {
+        self.lock_state().get(site).map_or(0, |s| s.hits)
+    }
+
+    /// Total fires across all sites.
+    pub fn total_fires(&self) -> u64 {
+        self.lock_state().values().map(|s| s.fires).sum()
+    }
+
+    /// `(site, hits, fires)` for every site hit so far, sorted by name.
+    pub fn site_report(&self) -> Vec<(String, u64, u64)> {
+        let state = self.lock_state();
+        let mut out: Vec<(String, u64, u64)> = state
+            .iter()
+            .map(|(k, v)| (k.clone(), v.hits, v.fires))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Fast-path gate: one relaxed load when no plan is installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `plan` process-wide and returns a guard that [`clear`]s it
+/// on drop. The returned `Arc` handle (via [`installed_plan`]) stays
+/// valid for fire-count assertions after the guard drops.
+pub fn install(plan: FaultPlan) -> FailpointsGuard {
+    let plan = Arc::new(plan);
+    {
+        let mut slot = match plan_slot().write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(Arc::clone(&plan));
+    }
+    ARMED.store(true, Ordering::Release);
+    FailpointsGuard { plan }
+}
+
+/// Disarms fault injection and drops the installed plan.
+pub fn clear() {
+    ARMED.store(false, Ordering::Release);
+    let mut slot = match plan_slot().write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *slot = None;
+}
+
+/// Whether a plan is currently installed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// The currently installed plan, if any — for fire-count inspection.
+pub fn installed_plan() -> Option<Arc<FaultPlan>> {
+    if !is_armed() {
+        return None;
+    }
+    let slot = match plan_slot().read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slot.clone()
+}
+
+/// Scoped arming: dropping the guard disarms injection, so a panicking
+/// test cannot leak its fault schedule into the next one.
+#[must_use = "dropping the guard immediately disarms the plan"]
+pub struct FailpointsGuard {
+    plan: Arc<FaultPlan>,
+}
+
+impl FailpointsGuard {
+    /// The installed plan — handy for fire-count assertions.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl Drop for FailpointsGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Runtime entry point the [`failpoint!`] macro expands to. Library
+/// code should use the macro (which compiles out); call this directly
+/// only from code that is itself feature-gated.
+#[inline]
+pub fn fired(site: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let slot = match plan_slot().read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match slot.as_ref() {
+        Some(plan) => plan.check(site),
+        None => false,
+    }
+}
+
+/// `failpoint!("site::name")` → `bool`: did the site fire?
+///
+/// Expands to a runtime check only when the **expanding** crate is
+/// built with its `failpoints` feature (which must forward to
+/// `gpssn-failpoint/failpoints`); otherwise it is the constant `false`
+/// and the guarded branch compiles away.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {{
+        #[cfg(feature = "failpoints")]
+        let __fp_fired = $crate::fired($site);
+        #[cfg(not(feature = "failpoints"))]
+        let __fp_fired = false;
+        __fp_fired
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Tests share the process-global plan slot; serialize them.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let _l = locked();
+        clear();
+        assert!(!fired("any::site"));
+        assert!(!is_armed());
+        assert!(installed_plan().is_none());
+    }
+
+    #[test]
+    fn always_and_never_rules() {
+        let _l = locked();
+        let guard = install(FaultPlan::new(1).with_site("a", FireRule::Always));
+        assert!(fired("a"));
+        assert!(fired("a"));
+        assert!(!fired("b")); // default Never
+        assert_eq!(guard.plan().fire_count("a"), 2);
+        assert_eq!(guard.plan().hit_count("b"), 1);
+        assert_eq!(guard.plan().fire_count("b"), 0);
+    }
+
+    #[test]
+    fn nth_fires_every_kth_hit() {
+        let _l = locked();
+        let guard = install(FaultPlan::new(2).with_site("s", FireRule::Nth(3)));
+        let pattern: Vec<bool> = (0..9).map(|_| fired("s")).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(guard.plan().fire_count("s"), 3);
+    }
+
+    #[test]
+    fn nth_zero_never_fires() {
+        let _l = locked();
+        let _guard = install(FaultPlan::new(2).with_site("s", FireRule::Nth(0)));
+        assert!((0..8).all(|_| !fired("s")));
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _l = locked();
+        let guard = install(FaultPlan::new(3).with_site("s", FireRule::Once(2)));
+        let pattern: Vec<bool> = (0..6).map(|_| fired("s")).collect();
+        assert_eq!(pattern, vec![false, false, true, false, false, false]);
+        assert_eq!(guard.plan().fire_count("s"), 1);
+    }
+
+    #[test]
+    fn prob_is_deterministic_and_roughly_calibrated() {
+        let _l = locked();
+        let run = |seed: u64| -> Vec<bool> {
+            let _guard = install(FaultPlan::uniform(seed, 0.25));
+            (0..400).map(|_| fired("p")).collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        let c = run(8);
+        assert_ne!(a, c, "different seeds should differ");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((0.15..0.35).contains(&rate), "p=0.25 fired at rate {rate}");
+    }
+
+    #[test]
+    fn prob_edge_cases() {
+        let _l = locked();
+        let _guard = install(
+            FaultPlan::new(4)
+                .with_site("zero", FireRule::Prob(0.0))
+                .with_site("one", FireRule::Prob(1.0)),
+        );
+        assert!((0..16).all(|_| !fired("zero")));
+        assert!((0..16).all(|_| fired("one")));
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        let _l = locked();
+        {
+            let _guard = install(FaultPlan::new(5).with_site("g", FireRule::Always));
+            assert!(fired("g"));
+        }
+        assert!(!is_armed());
+        assert!(!fired("g"));
+    }
+
+    #[test]
+    fn site_report_sorted_with_totals() {
+        let _l = locked();
+        let guard = install(
+            FaultPlan::new(6)
+                .with_site("b", FireRule::Always)
+                .with_site("a", FireRule::Never),
+        );
+        fired("b");
+        fired("a");
+        fired("b");
+        let report = guard.plan().site_report();
+        assert_eq!(report, vec![("a".into(), 1, 0), ("b".into(), 2, 2)]);
+        assert_eq!(guard.plan().total_fires(), 2);
+    }
+
+    #[test]
+    fn macro_returns_runtime_value_under_feature() {
+        let _l = locked();
+        let _guard = install(FaultPlan::new(9).with_site("m", FireRule::Always));
+        // This test crate is gpssn-failpoint itself; under
+        // `--features failpoints` the macro goes live, otherwise it is
+        // the constant false. Both are valid — assert consistency with
+        // the feature instead of a fixed value.
+        let hit = failpoint!("m");
+        assert_eq!(hit, cfg!(feature = "failpoints"));
+    }
+}

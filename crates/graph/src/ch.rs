@@ -149,6 +149,9 @@ impl ChOracle {
     /// [`ChOracle::build`] with an explicit thread count for the initial
     /// priority simulation (`0` and `1` both mean sequential). The result
     /// is identical for every thread count.
+    // Audited expect: `join` only fails when a priority worker panicked,
+    // and propagating that panic is exactly the intended behavior.
+    #[allow(clippy::expect_used)]
     pub fn build_with_threads(graph: &CsrGraph, threads: usize) -> ChOracle {
         let n = graph.num_nodes();
         // Live adjacency, mutated as contraction inserts shortcuts.
@@ -349,6 +352,9 @@ impl ChOracle {
         if self.n == 0 || sources.is_empty() || targets.is_empty() {
             return (out, 0);
         }
+        if gpssn_failpoint::failpoint!("ch::settle_exhaustion") {
+            panic!("injected fault: ch::settle_exhaustion");
+        }
         search.prepare(self.n);
         let mut settles: u64 = 0;
 
@@ -493,6 +499,9 @@ impl ChOracle {
     /// source-to-target starting from the seed's initial distance —
     /// Dijkstra's exact accumulation order.
     fn fold_candidate(&self, search: &mut ChSearch, m: NodeId, slot: u32) -> f64 {
+        if gpssn_failpoint::failpoint!("ch::unpack") {
+            panic!("injected fault: ch::unpack");
+        }
         search.unpacks += 1;
         // Forward chain: walk m -> seed root, then fold in reverse
         // (travel) order. The root's dist is its untouched seed d0.
@@ -745,6 +754,30 @@ impl ChSearch {
         self.touched.clear();
         self.settled.clear();
         self.heap.clear();
+    }
+
+    /// Restores the workspace to a clean state after a query aborted
+    /// mid-batch (a panic unwound out of [`ChOracle::batch_dists`]).
+    /// Unlike the incremental [`ChSearch::reset_sweep`], this wipes the
+    /// full sweep arrays — O(n), but only run on the fault path — so a
+    /// later batch on the same workspace stays bit-identical. Storage
+    /// capacity and lifetime counters are retained.
+    pub fn hard_reset(&mut self) {
+        for d in &mut self.dist {
+            *d = INFINITY;
+        }
+        self.touched.clear();
+        self.settled.clear();
+        self.heap.clear();
+        self.distinct.clear();
+        self.tcol.clear();
+        self.bspace.clear();
+        self.branges.clear();
+        self.bucket.clear();
+        self.best.clear();
+        self.folded.clear();
+        self.fchain.clear();
+        self.stack.clear();
     }
 }
 

@@ -20,6 +20,9 @@
 //!   containing a given root, used by the refinement step of GP-SSN query
 //!   answering.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod alt;
 pub mod bfs;
 pub mod ch;

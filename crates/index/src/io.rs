@@ -130,12 +130,11 @@ impl PageCache {
             // Evict the least recently used (linear scan: pool sizes in
             // this simulation are tens-to-thousands of entries, and
             // misses — the only path that scans — are what we count).
-            let (&lru, _) = self
-                .resident
-                .iter()
-                .min_by_key(|&(_, &stamp)| stamp)
-                .expect("non-empty pool");
-            self.resident.remove(&lru);
+            // `capacity > 0` is asserted at construction, so a full pool
+            // always yields a victim; `if let` keeps this panic-free.
+            if let Some((&lru, _)) = self.resident.iter().min_by_key(|&(_, &stamp)| stamp) {
+                self.resident.remove(&lru);
+            }
         }
         self.resident.insert(page, clock);
         false
@@ -183,14 +182,62 @@ use gpssn_spatial::KeywordSignature;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const INDEX_MAGIC: &str = "# gpssn-road-index v1";
+const INDEX_MAGIC_V1: &str = "# gpssn-road-index v1";
+const INDEX_MAGIC_V2: &str = "# gpssn-road-index v2";
+
+/// The serialized sections of a v2 index file, in file order. Each is
+/// independently CRC-32-checked on load, so corruption is reported (and,
+/// for the `ch` section, healed) at section granularity.
+const SECTION_NAMES: [&str; 4] = ["cfg", "pivots", "pois", "ch"];
 
 /// Upper bound for pre-allocation from untrusted counts (matches the
 /// `gpssn-ssn` reader): a corrupt header must not abort inside
 /// `with_capacity`; vectors still grow to the real size on demand.
 const MAX_PREALLOC: usize = 1 << 16;
 
-/// Serializes a [`RoadIndex`] as versioned plain text.
+/// Typed payload behind the `InvalidData` [`io::Error`] returned when a
+/// v2 section fails its checksum; recover it with [`corrupt_section`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptSection {
+    /// Which serialized section failed verification (`"cfg"`,
+    /// `"pivots"`, `"pois"`, or `"ch"`).
+    pub section: String,
+}
+
+impl std::fmt::Display for CorruptSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "road-index section {:?} failed its checksum",
+            self.section
+        )
+    }
+}
+
+impl std::error::Error for CorruptSection {}
+
+/// The corrupt section's name, when `e` is a checksum failure from the
+/// v2 index reader (`None` for every other I/O error). This is what
+/// callers use to map the error onto a typed `IndexCorrupt` and to
+/// decide whether a rebuild can heal it.
+pub fn corrupt_section(e: &io::Error) -> Option<&str> {
+    e.get_ref()?
+        .downcast_ref::<CorruptSection>()
+        .map(|c| c.section.as_str())
+}
+
+fn corrupt(section: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        CorruptSection {
+            section: section.to_string(),
+        },
+    )
+}
+
+/// Serializes a [`RoadIndex`] as versioned plain text (the v2 sectioned
+/// format: every section carries a line count and a CRC-32 of its body,
+/// so loads verify integrity per section).
 ///
 /// Only the expensive-to-recompute parts are written: the per-POI
 /// keyword balls with pivot distances, and the contraction-hierarchy
@@ -199,49 +246,250 @@ const MAX_PREALLOC: usize = 1 << 16;
 /// road network and are rebuilt on load.
 pub fn write_road_index<W: Write>(idx: &RoadIndex, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "{INDEX_MAGIC}")?;
+    writeln!(w, "{INDEX_MAGIC_V2}")?;
     let cfg = idx.config();
+    let mut body = Vec::new();
     writeln!(
-        w,
+        body,
         "cfg {} {:?} {:?} {}",
         cfg.node_capacity, cfg.r_min, cfg.r_max, cfg.samples_per_node
     )?;
+    write_section(&mut w, "cfg", &body)?;
+
+    body.clear();
     let pivots = idx.pivots();
-    writeln!(w, "pivots {}", pivots.len())?;
+    writeln!(body, "pivots {}", pivots.len())?;
     for &p in pivots.pivots() {
-        writeln!(w, "{p}")?;
+        writeln!(body, "{p}")?;
     }
-    writeln!(w, "pois {}", idx.num_pois())?;
+    write_section(&mut w, "pivots", &body)?;
+
+    body.clear();
+    writeln!(body, "pois {}", idx.num_pois())?;
     for id in 0..idx.num_pois() as u32 {
         let a = idx.poi(id);
-        writeln!(w, "{}", join_u32(&a.sup_keywords))?;
-        writeln!(w, "{}", join_u32(&a.sub_keywords))?;
+        writeln!(body, "{}", join_u32(&a.sup_keywords))?;
+        writeln!(body, "{}", join_u32(&a.sub_keywords))?;
         let ds: Vec<String> = a.pivot_dists.iter().map(|d| format!("{d:?}")).collect();
-        writeln!(w, "{}", ds.join(" "))?;
+        writeln!(body, "{}", ds.join(" "))?;
     }
+    write_section(&mut w, "pois", &body)?;
+
+    body.clear();
     match idx.ch() {
         Some(ch) => {
-            writeln!(w, "has-ch 1")?;
-            ch.write_text(&mut w)?;
+            writeln!(body, "has-ch 1")?;
+            ch.write_text(&mut body)?;
         }
-        None => writeln!(w, "has-ch 0")?,
+        None => writeln!(body, "has-ch 0")?,
     }
+    write_section(&mut w, "ch", &body)?;
     w.flush()
 }
 
-/// Deserializes a [`RoadIndex`] written by [`write_road_index`].
+/// Writes one section: a `section <name> <lines> <crc32>` header, then
+/// the body verbatim. The CRC covers the body bytes exactly as written.
+fn write_section<W: Write>(w: &mut W, name: &str, body: &[u8]) -> io::Result<()> {
+    let nlines = body.iter().filter(|&&b| b == b'\n').count();
+    let crc = crate::crc32::crc32(body);
+    writeln!(w, "section {name} {nlines} {crc:08x}")?;
+    w.write_all(body)
+}
+
+/// Deserializes a [`RoadIndex`] written by [`write_road_index`]. Reads
+/// both the current v2 sectioned format (verifying every section's
+/// CRC-32 — a mismatch is an `InvalidData` error carrying
+/// [`CorruptSection`]) and the legacy v1 format (no checksums).
 ///
 /// `road` and `pois` must be the network and POI set the index was built
 /// over (counts are validated). An index saved without a CH oracle loads
 /// fine — the engine then answers `dist_RN` probes via the Dijkstra
-/// fallback.
+/// fallback. To *recover* from a corrupt `ch` section instead of
+/// failing, use [`read_road_index_healing`].
 pub fn read_road_index<R: Read>(road: &RoadNetwork, pois: &PoiSet, r: R) -> io::Result<RoadIndex> {
-    let mut lines = BufReader::new(r).lines();
-    if next_line(&mut lines)?.trim() != INDEX_MAGIC {
-        return Err(bad_data("bad road-index magic"));
+    if gpssn_failpoint::failpoint!("index::read_road_index") {
+        return Err(io::Error::other("injected fault: index::read_road_index"));
     }
+    let mut lines = BufReader::new(r).lines();
+    match next_line(&mut lines)?.trim() {
+        INDEX_MAGIC_V2 => {
+            let sections = read_sections(&mut lines)?;
+            assemble_v2(road, pois, &sections, false).map(|h| h.index)
+        }
+        INDEX_MAGIC_V1 => read_v1_body(road, pois, &mut lines),
+        _ => Err(bad_data("bad road-index magic")),
+    }
+}
 
-    let header = next_line(&mut lines)?;
+/// Outcome of a healing index load (see [`read_road_index_healing`]).
+#[derive(Debug)]
+pub struct HealedLoad {
+    /// The loaded (possibly partially rebuilt) index.
+    pub index: RoadIndex,
+    /// Whether the CH section was corrupt and the oracle was rebuilt
+    /// from the road graph. The rebuild is bit-identical in effect: CH
+    /// distance answers match plain Dijkstra exactly either way.
+    pub rebuilt_ch: bool,
+}
+
+/// Self-healing variant of [`read_road_index`]: a v2 file whose `ch`
+/// section fails its checksum is *healed* by rebuilding the
+/// contraction-hierarchy oracle from the road graph (deterministic, and
+/// answer-equivalent — the oracle is a pure accelerator). Corruption in
+/// any other section (`cfg`, `pivots`, `pois`) is not recoverable from
+/// the inputs at hand and stays a [`CorruptSection`] error; so does any
+/// corruption in a legacy v1 file, which carries no checksums to
+/// localize the damage.
+pub fn read_road_index_healing<R: Read>(
+    road: &RoadNetwork,
+    pois: &PoiSet,
+    r: R,
+) -> io::Result<HealedLoad> {
+    if gpssn_failpoint::failpoint!("index::read_road_index") {
+        return Err(io::Error::other("injected fault: index::read_road_index"));
+    }
+    let mut lines = BufReader::new(r).lines();
+    match next_line(&mut lines)?.trim() {
+        INDEX_MAGIC_V2 => {
+            let sections = read_sections(&mut lines)?;
+            assemble_v2(road, pois, &sections, true)
+        }
+        INDEX_MAGIC_V1 => read_v1_body(road, pois, &mut lines).map(|index| HealedLoad {
+            index,
+            rebuilt_ch: false,
+        }),
+        _ => Err(bad_data("bad road-index magic")),
+    }
+}
+
+/// One v2 section, read off the file: its name, whether its body matched
+/// the stored CRC, and the body text itself.
+struct Section {
+    name: String,
+    ok: bool,
+    body: String,
+}
+
+/// Reads every `section <name> <lines> <crc32>` block to end of input.
+fn read_sections<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<Vec<Section>> {
+    let mut out = Vec::new();
+    while let Some(header) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let mut it = header.split_whitespace();
+        expect_tag(it.next(), "section")?;
+        let name: String = parse(it.next())?;
+        let nlines: usize = parse(it.next())?;
+        let want: String = parse(it.next())?;
+        let mut body = String::new();
+        for _ in 0..nlines {
+            match lines.next() {
+                Some(l) => {
+                    body.push_str(&l?);
+                    body.push('\n');
+                }
+                None => return Err(bad_data("unexpected end of road-index file")),
+            }
+        }
+        let got = format!("{:08x}", crate::crc32::crc32(body.as_bytes()));
+        out.push(Section {
+            name,
+            ok: got == want,
+            body,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses the four verified v2 sections into a [`RoadIndex`]. With
+/// `heal` set, a corrupt `ch` section is replaced by a fresh
+/// [`ChOracle::build`] over the road graph; otherwise (and for every
+/// other corrupt section) the load fails with [`CorruptSection`].
+fn assemble_v2(
+    road: &RoadNetwork,
+    pois: &PoiSet,
+    sections: &[Section],
+    heal: bool,
+) -> io::Result<HealedLoad> {
+    if sections.len() != SECTION_NAMES.len()
+        || sections
+            .iter()
+            .zip(SECTION_NAMES)
+            .any(|(s, want)| s.name != want)
+    {
+        return Err(bad_data("road-index sections missing or out of order"));
+    }
+    let ch_corruptible = gpssn_failpoint::failpoint!("index::ch_corrupt");
+    for s in sections {
+        let ch_faulted = s.name == "ch" && ch_corruptible;
+        if !s.ok || ch_faulted {
+            if heal && s.name == "ch" {
+                continue; // rebuilt below
+            }
+            return Err(corrupt(&s.name));
+        }
+    }
+    let section = |name: &str| -> &Section {
+        // Position is validated against SECTION_NAMES above.
+        &sections[SECTION_NAMES.iter().position(|&n| n == name).unwrap_or(0)]
+    };
+    let mut lines = section("cfg").body.as_bytes().lines();
+    let (node_capacity, r_min, r_max, samples_per_node) = parse_cfg(&mut lines)?;
+    let mut lines = section("pivots").body.as_bytes().lines();
+    let pivot_ids = parse_pivots(&mut lines, road)?;
+    let mut lines = section("pois").body.as_bytes().lines();
+    let poi_aug = parse_pois(&mut lines, pois, pivot_ids.len())?;
+    let ch_section = section("ch");
+    let (ch, rebuilt_ch) = if ch_section.ok && !ch_corruptible {
+        let mut lines = ch_section.body.as_bytes().lines();
+        (parse_ch(&mut lines, road)?, false)
+    } else {
+        // Healing: the oracle is a deterministic function of the road
+        // graph, so a corrupt section costs a rebuild, not the load.
+        (Some(ChOracle::build(road.graph())), true)
+    };
+    let cfg = RoadIndexConfig {
+        node_capacity,
+        r_min,
+        r_max,
+        samples_per_node,
+        build_ch: ch.is_some(),
+    };
+    // The pivot table is h exact Dijkstra columns — deterministic, so it
+    // is rebuilt rather than stored.
+    let pivots = RoadPivots::new(road, pivot_ids);
+    Ok(HealedLoad {
+        index: RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch),
+        rebuilt_ch,
+    })
+}
+
+/// Parses a legacy v1 body (the magic line already consumed): the same
+/// sections as v2, concatenated with no headers and no checksums.
+fn read_v1_body<B: BufRead>(
+    road: &RoadNetwork,
+    pois: &PoiSet,
+    lines: &mut io::Lines<B>,
+) -> io::Result<RoadIndex> {
+    let (node_capacity, r_min, r_max, samples_per_node) = parse_cfg(lines)?;
+    let pivot_ids = parse_pivots(lines, road)?;
+    let poi_aug = parse_pois(lines, pois, pivot_ids.len())?;
+    let ch = parse_ch(lines, road)?;
+    let cfg = RoadIndexConfig {
+        node_capacity,
+        r_min,
+        r_max,
+        samples_per_node,
+        build_ch: ch.is_some(),
+    };
+    let pivots = RoadPivots::new(road, pivot_ids);
+    Ok(RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch))
+}
+
+fn parse_cfg<B: BufRead>(lines: &mut io::Lines<B>) -> io::Result<(usize, f64, f64, usize)> {
+    let header = next_line(lines)?;
     let mut it = header.split_whitespace();
     expect_tag(it.next(), "cfg")?;
     let node_capacity: usize = parse(it.next())?;
@@ -251,21 +499,31 @@ pub fn read_road_index<R: Read>(road: &RoadNetwork, pois: &PoiSet, r: R) -> io::
     if !(r_min > 0.0 && r_max >= r_min) {
         return Err(bad_data("invalid radius range"));
     }
+    Ok((node_capacity, r_min, r_max, samples_per_node))
+}
 
-    let header = next_line(&mut lines)?;
+fn parse_pivots<B: BufRead>(lines: &mut io::Lines<B>, road: &RoadNetwork) -> io::Result<Vec<u32>> {
+    let header = next_line(lines)?;
     let mut it = header.split_whitespace();
     expect_tag(it.next(), "pivots")?;
     let h: usize = parse(it.next())?;
     let mut pivot_ids = Vec::with_capacity(h.min(MAX_PREALLOC));
     for _ in 0..h {
-        let p: u32 = parse(Some(next_line(&mut lines)?.trim()))?;
+        let p: u32 = parse(Some(next_line(lines)?.trim()))?;
         if (p as usize) >= road.num_vertices() {
             return Err(bad_data("pivot vertex out of range"));
         }
         pivot_ids.push(p);
     }
+    Ok(pivot_ids)
+}
 
-    let header = next_line(&mut lines)?;
+fn parse_pois<B: BufRead>(
+    lines: &mut io::Lines<B>,
+    pois: &PoiSet,
+    h: usize,
+) -> io::Result<Vec<PoiAugment>> {
+    let header = next_line(lines)?;
     let mut it = header.split_whitespace();
     expect_tag(it.next(), "pois")?;
     let n: usize = parse(it.next())?;
@@ -274,9 +532,9 @@ pub fn read_road_index<R: Read>(road: &RoadNetwork, pois: &PoiSet, r: R) -> io::
     }
     let mut poi_aug = Vec::with_capacity(n.min(MAX_PREALLOC));
     for _ in 0..n {
-        let sup_keywords = parse_u32_list(&next_line(&mut lines)?)?;
-        let sub_keywords = parse_u32_list(&next_line(&mut lines)?)?;
-        let dist_line = next_line(&mut lines)?;
+        let sup_keywords = parse_u32_list(&next_line(lines)?)?;
+        let sub_keywords = parse_u32_list(&next_line(lines)?)?;
+        let dist_line = next_line(lines)?;
         let mut pivot_dists = Vec::with_capacity(h.min(MAX_PREALLOC));
         for tok in dist_line.split_whitespace() {
             pivot_dists.push(parse::<f64>(Some(tok))?);
@@ -294,34 +552,28 @@ pub fn read_road_index<R: Read>(road: &RoadNetwork, pois: &PoiSet, r: R) -> io::
             pivot_dists,
         });
     }
+    Ok(poi_aug)
+}
 
-    let header = next_line(&mut lines)?;
+fn parse_ch<B: BufRead>(
+    lines: &mut io::Lines<B>,
+    road: &RoadNetwork,
+) -> io::Result<Option<ChOracle>> {
+    let header = next_line(lines)?;
     let mut it = header.split_whitespace();
     expect_tag(it.next(), "has-ch")?;
     let has_ch: u8 = parse(it.next())?;
-    let ch = match has_ch {
-        0 => None,
+    match has_ch {
+        0 => Ok(None),
         1 => {
-            let ch = ChOracle::read_text(&mut lines)?;
+            let ch = ChOracle::read_text(lines)?;
             if ch.num_nodes() != road.num_vertices() {
                 return Err(bad_data("ch oracle size does not match the road network"));
             }
-            Some(ch)
+            Ok(Some(ch))
         }
-        _ => return Err(bad_data("has-ch must be 0 or 1")),
-    };
-
-    let cfg = RoadIndexConfig {
-        node_capacity,
-        r_min,
-        r_max,
-        samples_per_node,
-        build_ch: ch.is_some(),
-    };
-    // The pivot table is h exact Dijkstra columns — deterministic, so it
-    // is rebuilt rather than stored.
-    let pivots = RoadPivots::new(road, pivot_ids);
-    Ok(RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch))
+        _ => Err(bad_data("has-ch must be 0 or 1")),
+    }
 }
 
 /// [`write_road_index`] to a file path.
@@ -336,6 +588,15 @@ pub fn load_road_index(
     path: impl AsRef<Path>,
 ) -> io::Result<RoadIndex> {
     read_road_index(road, pois, std::fs::File::open(path)?)
+}
+
+/// [`read_road_index_healing`] from a file path.
+pub fn load_road_index_healing(
+    road: &RoadNetwork,
+    pois: &PoiSet,
+    path: impl AsRef<Path>,
+) -> io::Result<HealedLoad> {
+    read_road_index_healing(road, pois, std::fs::File::open(path)?)
 }
 
 fn join_u32(xs: &[u32]) -> String {
@@ -581,5 +842,120 @@ mod tests {
         for text in ["", "# wrong magic\n", "# gpssn-road-index v1\ncfg nope\n"] {
             assert!(read_road_index(&road, &pois, text.as_bytes()).is_err());
         }
+    }
+
+    /// Strips the v2 framing (magic + `section` headers) down to the
+    /// legacy v1 layout: the same bodies, concatenated.
+    fn downgrade_to_v1(v2: &str) -> String {
+        let mut out = String::from("# gpssn-road-index v1\n");
+        for line in v2.lines().skip(1) {
+            if !line.starts_with("section ") {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Flips one character inside the body of the named section (leaving
+    /// every header line intact), simulating bit rot.
+    fn corrupt_body(v2: &str, name: &str) -> String {
+        let mut out = Vec::new();
+        let mut in_target = false;
+        let mut done = false;
+        for line in v2.lines() {
+            if line.starts_with("section ") {
+                in_target = line.split_whitespace().nth(1) == Some(name);
+                out.push(line.to_string());
+                continue;
+            }
+            if in_target && !done && !line.is_empty() {
+                let mut chars: Vec<char> = line.chars().collect();
+                chars[0] = if chars[0] == '0' { '1' } else { '0' };
+                out.push(chars.into_iter().collect());
+                done = true;
+            } else {
+                out.push(line.to_string());
+            }
+        }
+        assert!(done, "section {name} had no body to corrupt");
+        out.join("\n") + "\n"
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, true);
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let v1 = downgrade_to_v1(std::str::from_utf8(&buf).unwrap());
+        let back = read_road_index(&road, &pois, v1.as_bytes()).unwrap();
+        assert_same_index(&idx, &back);
+        // The healing reader also accepts v1 (without healing anything).
+        let healed = read_road_index_healing(&road, &pois, v1.as_bytes()).unwrap();
+        assert!(!healed.rebuilt_ch);
+        assert_same_index(&idx, &healed.index);
+    }
+
+    #[test]
+    fn corrupt_sections_yield_targeted_errors() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, true);
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        for name in ["cfg", "pivots", "pois", "ch"] {
+            let bad = corrupt_body(text, name);
+            let err = read_road_index(&road, &pois, bad.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{name}");
+            assert_eq!(corrupt_section(&err), Some(name));
+        }
+        // Ordinary parse errors carry no CorruptSection payload.
+        let err = read_road_index(&road, &pois, b"garbage".as_slice()).unwrap_err();
+        assert_eq!(corrupt_section(&err), None);
+    }
+
+    #[test]
+    fn healing_rebuilds_only_the_ch_section() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, true);
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+
+        let bad_ch = corrupt_body(text, "ch");
+        let healed = read_road_index_healing(&road, &pois, bad_ch.as_bytes()).unwrap();
+        assert!(healed.rebuilt_ch);
+        assert_same_index(&idx, &healed.index);
+        // The rebuilt oracle answers bit-identically to the original.
+        let (orig, rebuilt) = (idx.ch().unwrap(), healed.index.ch().unwrap());
+        let mut s = gpssn_graph::ChSearch::new();
+        let targets: Vec<u32> = (0..road.num_vertices() as u32).step_by(7).collect();
+        for src in [0u32, 11, 63] {
+            let (x, _) = orig.dists(&mut s, &[(src, 0.0)], &targets);
+            let (y, _) = rebuilt.dists(&mut s, &[(src, 0.0)], &targets);
+            for (a, b) in x.iter().zip(y.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Corruption anywhere else is not healable.
+        for name in ["cfg", "pivots", "pois"] {
+            let bad = corrupt_body(text, name);
+            let err = read_road_index_healing(&road, &pois, bad.as_bytes()).unwrap_err();
+            assert_eq!(corrupt_section(&err), Some(name), "{name} must stay fatal");
+        }
+    }
+
+    #[test]
+    fn intact_v2_files_do_not_trigger_healing() {
+        let (road, pois) = small_instance();
+        let idx = build_index(&road, &pois, false);
+        let mut buf = Vec::new();
+        write_road_index(&idx, &mut buf).unwrap();
+        let healed = read_road_index_healing(&road, &pois, &buf[..]).unwrap();
+        assert!(!healed.rebuilt_ch);
+        assert!(healed.index.ch().is_none());
+        assert_same_index(&idx, &healed.index);
     }
 }

@@ -17,14 +17,25 @@
 //!   search maximizing a bound-tightness cost model (Appendices L/M are
 //!   re-derived; see DESIGN.md).
 //! * [`io`] — page-access accounting, reproducing the paper's I/O-cost
-//!   metric over a simulated paged index file (one node = one page).
+//!   metric over a simulated paged index file (one node = one page), plus
+//!   the checksummed persistence format with per-section corruption
+//!   detection and self-healing loads.
+//! * [`crc32`] — the hand-rolled CRC-32 behind those section checksums.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod crc32;
 pub mod io;
 pub mod pivot_select;
 pub mod road_index;
 pub mod social_index;
 
-pub use io::{load_road_index, read_road_index, save_road_index, write_road_index, IoCounter};
+pub use io::{
+    corrupt_section, load_road_index, load_road_index_healing, read_road_index,
+    read_road_index_healing, save_road_index, write_road_index, CorruptSection, HealedLoad,
+    IoCounter,
+};
 pub use pivot_select::{select_road_pivots, select_social_pivots, PivotSelectConfig};
 pub use road_index::{PoiAugment, RoadIndex, RoadIndexConfig, RoadNodeAugment};
 pub use social_index::{SocialIndex, SocialIndexConfig, SocialNode};

@@ -160,6 +160,9 @@ where
 /// Computes the distance columns of `missing` concurrently (one scoped
 /// thread per column — there are at most `cfg.count` of them per
 /// evaluation), returning them in input order.
+// Audited expect: `join` only fails when a column worker panicked, and
+// propagating that panic is exactly the intended behavior.
+#[allow(clippy::expect_used)]
 fn columns_parallel<F>(missing: &[NodeId], column: &F) -> Vec<Vec<f64>>
 where
     F: Fn(NodeId) -> Vec<f64> + Sync,

@@ -12,6 +12,9 @@
 //! The `obs_overhead` bench (crate `gpssn-bench`) keeps the "disabled"
 //! configuration honest.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod json;
 pub mod metrics;
 pub mod trace;

@@ -44,6 +44,9 @@ impl Default for RoadGenConfig {
 }
 
 /// Generates a random planar-ish connected road network.
+// Audited unwrap: `partial_cmp` over Euclidean distances of generated
+// coordinates, which are always finite.
+#[allow(clippy::unwrap_used)]
 pub fn generate_road_network<R: Rng + ?Sized>(cfg: &RoadGenConfig, rng: &mut R) -> RoadNetwork {
     assert!(cfg.num_vertices >= 2, "need at least two intersections");
     let n = cfg.num_vertices;
@@ -195,6 +198,9 @@ impl Default for PoiGenConfig {
 /// Generates POIs on random edges of `net` following the paper's
 /// pipeline, with spatially clustered keyword districts (see
 /// [`PoiGenConfig::keyword_locality`]).
+// Audited unwrap: `partial_cmp` over squared distances to district
+// centers, which are always finite.
+#[allow(clippy::unwrap_used)]
 pub fn generate_pois<R: Rng + ?Sized>(
     net: &RoadNetwork,
     cfg: &PoiGenConfig,

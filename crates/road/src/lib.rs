@@ -17,6 +17,9 @@
 //! * [`generator`] — synthetic planar-ish road network and POI generators
 //!   (Section 6.1's synthetic data pipeline).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod distance;
 pub mod generator;
 pub mod network;

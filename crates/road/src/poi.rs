@@ -30,6 +30,9 @@ impl NetworkPoint {
 
     /// A network point sitting exactly on a vertex: uses any incident
     /// edge. Panics if the vertex is isolated.
+    // Audited expect: the panic on isolated vertices is part of the
+    // documented contract above.
+    #[allow(clippy::expect_used)]
     pub fn at_vertex(net: &RoadNetwork, v: NodeId) -> Self {
         let nb = net
             .graph()

@@ -135,6 +135,9 @@ fn sample_partner<R: Rng + ?Sized>(
 
 /// Generates a heavy-tailed (Chung–Lu) friendship graph targeting
 /// `avg_degree`, used by the Brightkite/Gowalla surrogates.
+// Audited unwrap: `partial_cmp` over a CDF of finite, normalized
+// weights — never NaN.
+#[allow(clippy::unwrap_used)]
 pub fn generate_power_law_network<R: Rng + ?Sized>(
     num_users: usize,
     num_topics: usize,

@@ -16,6 +16,9 @@
 //!   Section 6.1) and heavy-tailed "Brightkite/Gowalla-like" graphs for
 //!   the surrogate real datasets.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod generator;
 pub mod hops;
 pub mod interest;

@@ -11,6 +11,9 @@
 //! * [`bitvec`] — hashed keyword signatures (`sup_K` / `sub_K` bit vectors
 //!   of paper Section 4.1) with bit-OR aggregation up the tree.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bitvec;
 pub mod geom;
 pub mod rstar;

@@ -258,6 +258,9 @@ impl RStarTree {
     /// The `k` nearest items to `center` (ties broken arbitrarily),
     /// sorted by ascending distance. Classic best-first search over
     /// `mindist`.
+    // Audited unwraps: `partial_cmp` over mindist/point distances,
+    // which are finite for finite input coordinates.
+    #[allow(clippy::unwrap_used)]
     pub fn nearest_k(&self, center: &Point, k: usize) -> Vec<(ItemId, Point, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
@@ -397,6 +400,8 @@ impl RStarTree {
     /// nodes bottom-up. Much faster to build than repeated insertion and
     /// produces near-perfectly filled nodes; remainders are redistributed
     /// so every non-root node meets the minimum fill.
+    // Audited unwraps: `partial_cmp` over finite input coordinates.
+    #[allow(clippy::unwrap_used)]
     pub fn str_bulk_load(
         max_entries: usize,
         items: impl IntoIterator<Item = (ItemId, Point)>,
@@ -478,6 +483,9 @@ impl RStarTree {
 
     /// Descends from the root to a node at `target_level` following the R\*
     /// ChooseSubtree criteria.
+    // Audited expect: internal nodes always hold at least one entry
+    // (the tree never stores empty internal nodes).
+    #[allow(clippy::expect_used)]
     fn choose_subtree(&self, mbr: &Rect, target_level: u32) -> NodeId {
         let mut current = self.root;
         while self.nodes[current as usize].level > target_level {
@@ -549,6 +557,9 @@ impl RStarTree {
 
     /// Removes the `REINSERT_FRACTION` entries farthest from the node
     /// center and reinserts them at the same level.
+    // Audited unwrap: `partial_cmp` over squared center distances,
+    // finite for finite coordinates.
+    #[allow(clippy::unwrap_used)]
     fn forced_reinsert(&mut self, node: NodeId, reinserted: &mut Vec<bool>) {
         let level = self.nodes[node as usize].level;
         let center = self.node_mbr(node).center();
@@ -649,6 +660,9 @@ impl RStarTree {
 
     /// R\* split: choose axis by minimum margin sum, then distribution by
     /// minimum overlap (ties by area). Returns `(keep, moved)`.
+    // Audited unwrap/expects: sort keys are finite, and an overflowing
+    // node always yields at least one candidate distribution per axis.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn rstar_distribution(&mut self, node: NodeId) -> (Vec<Entry>, Vec<Entry>) {
         let entries = std::mem::take(&mut self.nodes[node as usize].entries);
         let m = self.min_entries;

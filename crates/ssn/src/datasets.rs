@@ -277,6 +277,9 @@ pub fn build_surrogate(cfg: &SurrogateConfig, seed: u64) -> SpatialSocialNetwork
 }
 
 /// Nearest indexed point to `p` by expanding-radius search.
+// Audited unwrap: `partial_cmp` over squared distances of generated
+// points, which are always finite.
+#[allow(clippy::unwrap_used)]
 fn nearest_vertex(tree: &RStarTree, p: &Point, space: f64) -> u32 {
     let mut radius = space / 64.0;
     loop {

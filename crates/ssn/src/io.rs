@@ -84,6 +84,9 @@ const MAX_PREALLOC: usize = 1 << 16;
 /// function panics: all referential and numeric invariants the in-memory
 /// constructors assert are validated here first.
 pub fn read_ssn<R: Read>(r: R) -> io::Result<SpatialSocialNetwork> {
+    if gpssn_failpoint::failpoint!("ssn::read") {
+        return Err(io::Error::other("injected fault: ssn::read"));
+    }
     let mut lines = BufReader::new(r).lines();
     let mut next = |what: &str| -> io::Result<String> {
         lines

@@ -13,6 +13,9 @@
 //!   substitution argument).
 //! * [`stats`] — Table-2 style dataset statistics.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod datasets;
 pub mod io;
 pub mod network;

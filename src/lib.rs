@@ -26,6 +26,7 @@
 //! ```
 
 pub use gpssn_core as core;
+pub use gpssn_failpoint as failpoint;
 pub use gpssn_graph as graph;
 pub use gpssn_index as index;
 pub use gpssn_obs as obs;

@@ -310,6 +310,9 @@ fn budget_trip_degrades_to_anytime_answer() {
                     GpSsnError::BudgetExhausted { .. } | GpSsnError::DeadlineExceeded
                 ));
             }
+            Completion::DegradedSampling => {
+                panic!("sampling rescue requires the Ladder policy, not the default")
+            }
         }
     }
     assert!(saw_failed, "a 1-group budget should fail");
@@ -368,6 +371,9 @@ fn zero_deadline_trips_without_panicking() {
             assert!(matches!(err, GpSsnError::DeadlineExceeded));
             assert!(out.answer.is_none());
         }
+        Completion::DegradedSampling => {
+            panic!("sampling rescue requires the Ladder policy, not the default")
+        }
     }
 }
 
@@ -420,6 +426,9 @@ fn top_k_under_budget_reports_completion() {
     match starved.completion {
         Completion::Exact => panic!("one pop cannot complete a top-k traversal"),
         Completion::TruncatedWithGap(_) | Completion::Failed(_) => {}
+        Completion::DegradedSampling => {
+            panic!("top-k has no sampling rung")
+        }
     }
     assert!(matches!(
         engine.try_query_top_k(&q, 0, &QueryBudget::unlimited()),
