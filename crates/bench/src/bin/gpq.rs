@@ -31,8 +31,10 @@
 //! | 6    | deadline exceeded              |
 //! | 7    | resource budget exhausted      |
 //! | 8    | answer degraded (sampling)     |
+//! | 9    | deadline expired before start  |
 //! | 65   | persisted index corrupt        |
 //! | 66   | dataset unreadable             |
+//! | 69   | service overloaded (shed)      |
 //! | 70   | internal error                 |
 //!
 //! A *tripped budget with an answer in hand* is not an error: the answer
@@ -45,20 +47,45 @@
 //! installs a deterministic fault plan (every registered fail-point site
 //! fires pseudo-randomly, seeded by `N`) and enables the degradation
 //! ladder, so injected faults downgrade answers instead of failing them.
+//!
+//! ## Serving mode
+//!
+//! `gpq serve --data FILE [--queries FILE]` builds the indexes once and
+//! answers a stream of JSONL requests — from `--queries FILE` or stdin —
+//! writing one JSONL response line per request to stdout, in request
+//! order, flushed as each completes. File and stdin mode share one
+//! incremental line reader: input is never slurped, and a malformed line
+//! yields an in-order `"status":"error"` record instead of aborting the
+//! stream. Request lines look like:
+//!
+//! ```json
+//! {"id":7,"user":11,"tau":4,"gamma":0.3,"theta":0.4,"r":2.0,"timeout_ms":250}
+//! ```
+//!
+//! Only `user` is required. `--threads N` sizes the worker pool,
+//! `--queue-cap N` bounds the submission queue, and `--shed` rejects on a
+//! full queue (`"code":"overloaded"`) instead of applying backpressure.
+//! Budget flags set the default budget for requests that carry none.
+//! Exit is 0 once the stream drains, regardless of per-request failures;
+//! 74 signals an I/O error on the stream itself.
 
 use gpssn_core::{
-    suggest_parameters, Completion, DegradationPolicy, EngineConfig, GpSsnEngine, GpSsnError,
-    GpSsnQuery, QueryBudget, QueryOptions, QueryOutcome,
+    serve_jsonl, suggest_parameters, Completion, DegradationPolicy, EngineConfig, GpSsnEngine,
+    GpSsnError, GpSsnQuery, OverloadPolicy, QueryBudget, QueryOptions, QueryOutcome, ServeConfig,
 };
 use gpssn_obs::{Obs, ObsConfig};
-use gpssn_ssn::{load_ssn, DatasetStats};
+use gpssn_ssn::{load_ssn, DatasetStats, SpatialSocialNetwork};
+use std::io::BufRead;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
      [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] \
      [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
-     [--trace-out FILE] [--metrics-out FILE] [--log jsonl] [--chaos-seed N]";
+     [--trace-out FILE] [--metrics-out FILE] [--log jsonl] [--chaos-seed N]\n\
+       gpq serve --data FILE [--queries FILE] [--threads N] [--queue-cap N] [--shed] \
+     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
+     [--metrics-out FILE] [--chaos-seed N]";
 
 fn die_usage(msg: &str) -> ! {
     eprintln!("gpq: {msg}");
@@ -74,7 +101,9 @@ fn exit_code(e: &GpSsnError) -> i32 {
         GpSsnError::Infeasible { .. } => 5,
         GpSsnError::DeadlineExceeded => 6,
         GpSsnError::BudgetExhausted { .. } => 7,
+        GpSsnError::DeadlineExpired => 9,
         GpSsnError::IndexCorrupt { .. } => 65,
+        GpSsnError::Overloaded { .. } => 69,
         GpSsnError::Internal(_) => 70,
     }
 }
@@ -98,8 +127,23 @@ fn take<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str, what: 
         .unwrap_or_else(|_| die_usage(&format!("{name} takes {what}, got {raw:?}")))
 }
 
+/// Loads the dataset (exit 66 on failure), narrating progress on
+/// stderr — shared by single-query and serve mode.
+fn load_dataset(data: &str) -> SpatialSocialNetwork {
+    eprintln!("loading {data}...");
+    let ssn = load_ssn(data).unwrap_or_else(|e| {
+        eprintln!("gpq: cannot load {data}: {e}");
+        std::process::exit(66);
+    });
+    eprintln!("  {}", DatasetStats::of(&ssn));
+    ssn
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
     let mut data = String::from("dataset.ssn");
     let mut q = GpSsnQuery::with_defaults(0);
     let mut top_k = 1usize;
@@ -166,12 +210,7 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("loading {data}...");
-    let ssn = load_ssn(&data).unwrap_or_else(|e| {
-        eprintln!("gpq: cannot load {data}: {e}");
-        std::process::exit(66);
-    });
-    eprintln!("  {}", DatasetStats::of(&ssn));
+    let ssn = load_dataset(&data);
 
     if let Some(pctl) = tune {
         let tuned = suggest_parameters(&ssn, &[], pctl, 512, 7);
@@ -413,6 +452,151 @@ fn report_completion(c: &Completion) -> i32 {
         }
         Completion::Failed(e) => fail(e),
     }
+}
+
+/// `gpq serve`: build once, answer a JSONL request stream. Never
+/// returns.
+fn serve_main(args: &[String]) -> ! {
+    let mut data = String::from("dataset.ssn");
+    let mut queries: Option<String> = None;
+    let mut threads = 0usize;
+    let mut queue_cap = 256usize;
+    let mut shed = false;
+    let mut budget = QueryBudget::unlimited();
+    let mut metrics_out: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => data = v.clone(),
+                    None => die_usage("--data takes a file path"),
+                }
+            }
+            "--queries" => queries = Some(take(args, &mut i, "--queries", "a file path")),
+            "--threads" => threads = take(args, &mut i, "--threads", "a count (0 = all cores)"),
+            "--queue-cap" => queue_cap = take(args, &mut i, "--queue-cap", "a count"),
+            "--shed" => shed = true,
+            "--timeout-ms" => {
+                budget.deadline = Some(Duration::from_millis(take(
+                    args,
+                    &mut i,
+                    "--timeout-ms",
+                    "milliseconds",
+                )))
+            }
+            "--max-pops" => {
+                budget.max_heap_pops = Some(take(args, &mut i, "--max-pops", "a count"))
+            }
+            "--max-groups" => {
+                budget.max_groups_enumerated = Some(take(args, &mut i, "--max-groups", "a count"))
+            }
+            "--max-settles" => {
+                budget.max_dijkstra_settles = Some(take(args, &mut i, "--max-settles", "a count"))
+            }
+            "--metrics-out" => {
+                metrics_out = Some(take(args, &mut i, "--metrics-out", "a file path"))
+            }
+            "--chaos-seed" => chaos_seed = Some(take(args, &mut i, "--chaos-seed", "a seed")),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die_usage(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    let ssn = load_dataset(&data);
+    let obs = metrics_out.is_some().then(|| {
+        Arc::new(Obs::new(ObsConfig {
+            metrics: true,
+            tracing: false,
+            trace_capacity: 0,
+        }))
+    });
+    eprintln!("building indexes...");
+    let engine = GpSsnEngine::build(
+        &ssn,
+        EngineConfig {
+            obs: obs.clone(),
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "  I_R {} pages, I_S {} pages",
+        engine.road_index().num_pages(),
+        engine.social_index().num_pages()
+    );
+
+    let mut options = QueryOptions::default();
+    if chaos_seed.is_some() {
+        // Same posture as single-query chaos: the ladder downgrades
+        // fault-hit requests instead of failing them.
+        options.degradation = DegradationPolicy::Ladder;
+    }
+    #[cfg(feature = "failpoints")]
+    let _chaos = chaos_seed.map(|seed| {
+        eprintln!("chaos: fault plan armed (seed {seed}, p=0.05 per fail-point hit)");
+        gpssn_failpoint::install(gpssn_failpoint::FaultPlan::uniform(seed, 0.05))
+    });
+    #[cfg(not(feature = "failpoints"))]
+    if let Some(seed) = chaos_seed {
+        eprintln!(
+            "gpq: --chaos-seed {seed} has no fault plan to install: this binary was built \
+             without the `failpoints` feature (rebuild with `--features failpoints`)"
+        );
+    }
+
+    let cfg = ServeConfig {
+        threads,
+        queue_capacity: queue_cap,
+        default_budget: budget,
+        options,
+        overload: if shed {
+            OverloadPolicy::Shed
+        } else {
+            OverloadPolicy::Block
+        },
+    };
+    // One incremental line reader serves both modes: a request file and
+    // stdin are the same stream to `serve_jsonl`.
+    let reader: Box<dyn BufRead> = match &queries {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("gpq: cannot open {path}: {e}");
+                std::process::exit(66);
+            });
+            Box::new(std::io::BufReader::new(f))
+        }
+        None => {
+            eprintln!("serving: reading JSONL requests from stdin (one object per line)");
+            Box::new(std::io::stdin().lock())
+        }
+    };
+    let stats = match serve_jsonl(&engine, &cfg, reader, std::io::stdout()) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("gpq: serve stream I/O error: {e}");
+            std::process::exit(74);
+        }
+    };
+    eprintln!(
+        "served: {} submitted, {} ran, {} shed expired, {} shed overloaded, {} malformed",
+        stats.submitted, stats.served, stats.shed_expired, stats.shed_overloaded, stats.rejected
+    );
+    if let (Some(p), Some(obs)) = (&metrics_out, &obs) {
+        engine.publish_cache_metrics();
+        let snap = obs.base_registry().snapshot();
+        if let Err(e) = std::fs::write(p, snap.to_prometheus()) {
+            eprintln!("gpq: cannot write {p}: {e}");
+        } else {
+            eprintln!("metrics written to {p}");
+        }
+    }
+    std::process::exit(0);
 }
 
 fn report(mode: &str, answer: &Option<gpssn_core::GpSsnAnswer>, io: u64, cpu: std::time::Duration) {

@@ -130,6 +130,25 @@ pub enum DistanceBackend {
     Ch,
 }
 
+/// How a batch of queries is distributed over worker threads.
+///
+/// Both schedules answer every query by the same single-query path, so
+/// per-slot results are bit-identical to each other and to the
+/// sequential sweep; only wall-clock and worker utilization differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSchedule {
+    /// Workers claim one query at a time off a shared atomic cursor.
+    /// Skewed per-query costs (exactly what the paper's pruning lemmas
+    /// induce: one large-radius query can cost orders of magnitude more
+    /// than its neighbors) no longer strand cheap queries behind an
+    /// overloaded worker. The default.
+    #[default]
+    WorkStealing,
+    /// The legacy schedule: `ceil(n/threads)` contiguous chunks, one per
+    /// worker. Kept for A/B comparison in tests and `serve_report`.
+    StaticChunk,
+}
+
 /// What to serve when the exact pipeline cannot produce an answer.
 ///
 /// The engine degrades along a fixed ladder of rungs, each strictly
@@ -558,10 +577,9 @@ impl<'a> GpSsnEngine<'a> {
     /// notably [`QueryOptions::degradation`]: under
     /// [`DegradationPolicy::Ladder`] refinement faults degrade answers
     /// down the ladder instead of surfacing as `Internal` errors in the
-    /// slot.
-    // Audited expect: the scoped workers fill every slot before the
-    // scope exits; an empty slot is unreachable.
-    #[allow(clippy::expect_used)]
+    /// slot. Queries are scheduled by work stealing (see
+    /// [`BatchSchedule::WorkStealing`]); answers are bit-identical to
+    /// the sequential path either way.
     pub fn try_query_batch_with_options(
         &self,
         queries: &[GpSsnQuery],
@@ -569,65 +587,114 @@ impl<'a> GpSsnEngine<'a> {
         opts: &QueryOptions,
         budget: &QueryBudget,
     ) -> Vec<Result<QueryOutcome, GpSsnError>> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        }
-        .min(queries.len().max(1));
-        install_panic_capture();
+        self.try_query_batch_scheduled(queries, threads, opts, budget, BatchSchedule::WorkStealing)
+    }
+
+    /// [`GpSsnEngine::try_query_batch_with_options`] with an explicit
+    /// [`BatchSchedule`]. The static-chunk schedule exists for A/B
+    /// comparison (equivalence tests, the `serve_report` bench); serving
+    /// paths should let the default work stealing balance skewed
+    /// per-query costs.
+    // Audited expect: the workers fill every slot exactly once before
+    // the scope exits (each index is claimed by exactly one worker); an
+    // empty slot is unreachable.
+    #[allow(clippy::expect_used)]
+    pub fn try_query_batch_scheduled(
+        &self,
+        queries: &[GpSsnQuery],
+        threads: usize,
+        opts: &QueryOptions,
+        budget: &QueryBudget,
+        schedule: BatchSchedule,
+    ) -> Vec<Result<QueryOutcome, GpSsnError>> {
+        let threads = resolve_threads(threads, queries.len());
+        let _capture = crate::panic_capture::capture_scope();
         let run_one = |q: &GpSsnQuery| -> Result<QueryOutcome, GpSsnError> {
-            LAST_PANIC_MSG.with(|m| m.borrow_mut().take()); // drop stale captures
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.try_query_with_options(q, opts, budget)
-            }))
-            .unwrap_or_else(|payload| Err(GpSsnError::Internal(panic_message(&payload))))
+            run_isolated(self, q, opts, budget)
         };
         if threads == 1 || queries.len() <= 1 {
             return queries.iter().map(run_one).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
         // Each worker accumulates metrics into a private registry; the
-        // merge below folds them into the base registry in chunk order,
-        // so batch counter totals are reproducible under any thread
-        // interleaving (see `Obs::with_registry`).
+        // merge below folds them into the base registry in worker order.
+        // Counter and histogram merges are element-wise additions, so
+        // batch totals are reproducible under any thread interleaving
+        // and any schedule (see `Obs::with_registry`).
         let obs = self.obs().filter(|o| o.metrics_on());
-        let chunk_regs: Vec<Arc<gpssn_obs::Registry>> = (0..queries.len().div_ceil(chunk))
+        let worker_regs: Vec<Arc<gpssn_obs::Registry>> = (0..threads)
             .map(|_| Arc::new(gpssn_obs::Registry::new()))
             .collect();
-        let mut results: Vec<Option<Result<QueryOutcome, GpSsnError>>> =
+        let mut slots: Vec<Option<Result<QueryOutcome, GpSsnError>>> =
             (0..queries.len()).map(|_| None).collect();
         let run_one = &run_one;
         let redirect = obs.is_some();
-        std::thread::scope(|scope| {
-            for ((qs, rs), reg) in queries
-                .chunks(chunk)
-                .zip(results.chunks_mut(chunk))
-                .zip(&chunk_regs)
-            {
-                let reg = Arc::clone(reg);
-                scope.spawn(move || {
-                    let mut run = move || {
-                        for (q, r) in qs.iter().zip(rs.iter_mut()) {
-                            *r = Some(run_one(q));
+        // Work stealing: a shared cursor hands out one query at a time,
+        // so a worker stuck on a skewed query (large radius, dense
+        // social neighborhood) never strands a tail of cheap queries
+        // behind it — the other workers drain them. Static chunking
+        // precomputes contiguous ranges instead.
+        let cursor = AtomicUsize::new(0);
+        let chunk = queries.len().div_ceil(threads);
+        let spawned = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let reg = Arc::clone(&worker_regs[t]);
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut claimed: Vec<(usize, Result<QueryOutcome, GpSsnError>)> =
+                            Vec::new();
+                        let mut run = || match schedule {
+                            BatchSchedule::WorkStealing => loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= queries.len() {
+                                    break;
+                                }
+                                claimed.push((i, run_one(&queries[i])));
+                            },
+                            BatchSchedule::StaticChunk => {
+                                let lo = (t * chunk).min(queries.len());
+                                let hi = ((t + 1) * chunk).min(queries.len());
+                                for (i, q) in queries.iter().enumerate().take(hi).skip(lo) {
+                                    claimed.push((i, run_one(q)));
+                                }
+                            }
+                        };
+                        if redirect {
+                            Obs::with_registry(reg, &mut run);
+                        } else {
+                            run();
                         }
-                    };
-                    if redirect {
-                        Obs::with_registry(reg, run);
-                    } else {
-                        run();
-                    }
-                });
+                        claimed
+                    })
+                })
+                .collect();
+            let spawned = handles.len();
+            for h in handles {
+                let claimed = h
+                    .join()
+                    .expect("batch workers never panic: every query is panic-isolated");
+                for (i, r) in claimed {
+                    debug_assert!(slots[i].is_none(), "query {i} claimed twice");
+                    slots[i] = Some(r);
+                }
             }
+            spawned
         });
+        // One registry per spawned worker, no more, no less — the old
+        // static-chunk path derived the two counts independently (both
+        // from `div_ceil`), which left ghost registries when trailing
+        // chunks were empty.
+        assert_eq!(
+            worker_regs.len(),
+            spawned,
+            "metrics registry per spawned worker"
+        );
         if let Some(o) = obs {
-            for reg in &chunk_regs {
+            for reg in &worker_regs {
                 o.base_registry().merge_from(reg);
             }
         }
-        results
+        slots
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
@@ -1453,13 +1520,7 @@ impl<'a> GpSsnEngine<'a> {
         obs: Option<&Obs>,
         span_parent: u64,
     ) -> RefineOutcome {
-        let threads = match opts.refine_threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
-        .min(centers.len().max(1));
+        let threads = resolve_threads(opts.refine_threads, centers.len());
         let ch = self.ch_for(opts);
         let policy = opts.degradation;
         if threads <= 1 {
@@ -2164,45 +2225,42 @@ fn panic_like_legacy(e: GpSsnError) -> ! {
     }
 }
 
-std::thread_local! {
-    /// Message of the most recent panic on this thread, captured by the
-    /// process-wide hook installed in [`install_panic_capture`].
-    static LAST_PANIC_MSG: std::cell::RefCell<Option<String>> =
-        const { std::cell::RefCell::new(None) };
+/// Resolves a requested thread count against the number of work items:
+/// `0` means the machine's available parallelism, and counts beyond the
+/// item count are clamped (one item still gets one thread). Every
+/// multi-threaded entry point — the batch paths, the serving layer, and
+/// intra-query [`QueryOptions::refine_threads`] — resolves through this
+/// one helper so `threads == 0` cannot drift between them.
+pub(crate) fn resolve_threads(requested: usize, items: usize) -> usize {
+    let t = match requested {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    t.min(items.max(1))
 }
 
-/// Installs (once, process-wide) a panic hook that records the panic
-/// message into a thread-local before delegating to the previous hook.
-/// Formatted panics no longer hand `catch_unwind` a `String` payload —
-/// the rendered message only exists inside the hook — so this is the
-/// only reliable way for the batch isolation layer to report *what*
-/// panicked in its [`GpSsnError::Internal`] slots.
-fn install_panic_capture() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let msg = match info.payload_as_str() {
-                Some(s) => s.to_string(),
-                None => info.to_string().replace('\n', "; "),
-            };
-            LAST_PANIC_MSG.with(|m| *m.borrow_mut() = Some(msg));
-            prev(info);
-        }));
-    });
-}
-
-/// Best-effort extraction of a caught panic payload into a string.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = LAST_PANIC_MSG.with(|m| m.borrow_mut().take()) {
-        s
-    } else {
-        "panic with non-string payload".to_string()
-    }
+/// Answers one query with the panic isolation the batch and serving
+/// layers rely on: a panic anywhere inside the query is caught at this
+/// boundary and surfaced as [`GpSsnError::Internal`] carrying the panic
+/// message. Callers must hold a [`crate::panic_capture::capture_scope`]
+/// guard so formatted panic messages survive the unwind.
+pub(crate) fn run_isolated(
+    engine: &GpSsnEngine<'_>,
+    q: &GpSsnQuery,
+    opts: &QueryOptions,
+    budget: &QueryBudget,
+) -> Result<QueryOutcome, GpSsnError> {
+    crate::panic_capture::clear_last_message(); // drop stale captures
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.try_query_with_options(q, opts, budget)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(GpSsnError::Internal(crate::panic_capture::panic_message(
+            &payload,
+        )))
+    })
 }
 
 /// A minimal binary min-heap keyed by `f64` (NaN-free by construction).

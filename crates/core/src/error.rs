@@ -57,6 +57,21 @@ pub enum GpSsnError {
         /// `"dijkstra settles"`).
         resource: &'static str,
     },
+    /// The serving layer's bounded submission queue was full and the
+    /// overload policy sheds instead of blocking; the request never
+    /// reached the engine. Only produced by [`crate::serve`].
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The request's deadline had already expired before any engine work
+    /// was spent on it (at submission, or after waiting in the serving
+    /// queue), so admission control shed it. Distinct from
+    /// [`GpSsnError::DeadlineExceeded`], which reports a deadline that
+    /// tripped *mid-query*. Only produced by [`crate::serve`].
+    DeadlineExpired,
     /// A persisted index failed its per-section checksum (or parse) on
     /// load. `section` names the corrupt section (`"cfg"`, `"pivots"`,
     /// `"pois"`, `"ch"`); a corrupt `ch` section is recoverable by
@@ -96,6 +111,15 @@ impl std::fmt::Display for GpSsnError {
             GpSsnError::DeadlineExceeded => write!(f, "deadline exceeded"),
             GpSsnError::BudgetExhausted { resource } => {
                 write!(f, "resource budget exhausted: {resource}")
+            }
+            GpSsnError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "service overloaded: submission queue at depth {depth} of capacity {capacity}"
+                )
+            }
+            GpSsnError::DeadlineExpired => {
+                write!(f, "deadline expired before the query started")
             }
             GpSsnError::IndexCorrupt { section } => {
                 write!(f, "index corrupt: section {section:?} failed verification")
@@ -640,6 +664,11 @@ mod tests {
                 reason: "tau exceeds population".into(),
             },
             GpSsnError::DeadlineExceeded,
+            GpSsnError::Overloaded {
+                depth: 128,
+                capacity: 128,
+            },
+            GpSsnError::DeadlineExpired,
             Trip::HeapPops.into(),
             Trip::Groups.into(),
             Trip::DijkstraSettles.into(),

@@ -32,14 +32,19 @@ pub mod baseline;
 pub mod breaker;
 pub mod cache;
 pub mod error;
+#[doc(hidden)]
+pub mod panic_capture;
 pub mod pruning;
 pub mod query;
 pub mod refinement;
 pub mod sampling;
+pub mod serve;
 pub mod stats;
 pub mod tuning;
 
-pub use algorithm::{DegradationPolicy, DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions};
+pub use algorithm::{
+    BatchSchedule, DegradationPolicy, DistanceBackend, EngineConfig, GpSsnEngine, QueryOptions,
+};
 pub use baseline::{
     estimate_baseline_cost, exact_baseline, exact_baseline_top_k, try_exact_baseline,
     try_exact_baseline_with_obs, BaselineEstimate,
@@ -50,5 +55,9 @@ pub use error::{BudgetState, Completion, GpSsnError, QueryBudget, Trip};
 pub use query::{GpSsnAnswer, GpSsnQuery};
 pub use refinement::{verify_center, CenterVerification, ChBackend, VerifyContext};
 pub use sampling::{sample_connected_group, verify_center_sampled};
+pub use serve::{
+    serve, serve_jsonl, OverloadPolicy, ServeConfig, ServeRequest, ServeResponse, ServeStats,
+    Submission,
+};
 pub use stats::{BackendServed, CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

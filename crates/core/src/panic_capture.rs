@@ -1,0 +1,129 @@
+//! Scoped, refcounted capture of panic messages for the batch and
+//! serving isolation layers.
+//!
+//! `std::panic::catch_unwind` hands the caller the panic *payload*,
+//! which for formatted panics (`panic!("center {id} broke")`) is an
+//! opaque `Box<dyn Any>` — the rendered message only ever exists inside
+//! the panic hook. The isolation layers therefore need a hook that
+//! records the message somewhere they can read it back.
+//!
+//! The first version of this machinery installed a process-global hook
+//! once and never removed it — harmless in a short-lived benchmark
+//! binary, but wrong in a long-running service: the engine's hook
+//! outlives every batch, interposes on panics from completely unrelated
+//! threads for the life of the process, and silently pins whatever hook
+//! happened to be installed at first-batch time (a hook the host
+//! application may well want to replace or remove).
+//!
+//! [`capture_scope`] fixes this with a refcount: the first live guard
+//! takes the current hook, installs a capture hook that *chains to it*,
+//! and stashes it; dropping the last guard restores the previous hook.
+//! Nested scopes (overlapping batches, a batch inside a serve session)
+//! share the one installed hook. Panics occurring while no guard is
+//! live behave exactly as if this module did not exist.
+
+use std::sync::{Arc, Mutex};
+
+type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+std::thread_local! {
+    /// Message of the most recent panic on this thread, captured by the
+    /// hook while a [`capture_scope`] guard is live.
+    static LAST_PANIC_MSG: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Refcount plus the hook that was installed before ours. The previous
+/// hook is kept behind an `Arc` so the capture hook can keep chaining to
+/// it while uninstall re-wraps the same closure into a fresh `Box` for
+/// `set_hook`.
+struct CaptureState {
+    depth: usize,
+    prev: Option<Arc<Hook>>,
+}
+
+static STATE: Mutex<CaptureState> = Mutex::new(CaptureState {
+    depth: 0,
+    prev: None,
+});
+
+/// RAII guard holding the capture hook installed. See [`capture_scope`].
+#[derive(Debug)]
+pub struct CaptureGuard {
+    _private: (),
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        let mut st = STATE.lock().unwrap_or_else(|p| p.into_inner());
+        st.depth -= 1;
+        if st.depth == 0 {
+            // Restore the pre-capture hook (re-boxed around the same
+            // closure — behaviorally identical to the original).
+            match st.prev.take() {
+                Some(prev) => std::panic::set_hook(Box::new(move |info| prev(info))),
+                None => {
+                    let _ = std::panic::take_hook();
+                }
+            }
+        }
+    }
+}
+
+/// Starts (or joins) a panic-capture scope: while at least one guard is
+/// live, every panic's rendered message is recorded into a thread-local
+/// readable via [`take_last_message`], and the previously installed hook
+/// still runs (backtraces keep printing). When the last guard drops the
+/// previous hook is restored.
+#[doc(hidden)] // public for the own-process regression test
+pub fn capture_scope() -> CaptureGuard {
+    let mut st = STATE.lock().unwrap_or_else(|p| p.into_inner());
+    if st.depth == 0 {
+        let prev: Arc<Hook> = Arc::new(std::panic::take_hook());
+        st.prev = Some(Arc::clone(&prev));
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = match info.payload_as_str() {
+                Some(s) => s.to_string(),
+                None => info.to_string().replace('\n', "; "),
+            };
+            LAST_PANIC_MSG.with(|m| *m.borrow_mut() = Some(msg));
+            prev(info);
+        }));
+    }
+    st.depth += 1;
+    CaptureGuard { _private: () }
+}
+
+/// Number of live [`CaptureGuard`]s (0 means the pre-capture hook is
+/// installed). Exposed for the regression test only.
+#[doc(hidden)]
+pub fn capture_depth() -> usize {
+    STATE.lock().unwrap_or_else(|p| p.into_inner()).depth
+}
+
+/// Takes (and clears) the message of the most recent panic captured on
+/// this thread. Call right after a `catch_unwind` whose payload was not
+/// a string.
+pub(crate) fn take_last_message() -> Option<String> {
+    LAST_PANIC_MSG.with(|m| m.borrow_mut().take())
+}
+
+/// Clears any stale captured message on this thread; call before a
+/// `catch_unwind` so an old capture is never misattributed.
+pub(crate) fn clear_last_message() {
+    LAST_PANIC_MSG.with(|m| m.borrow_mut().take());
+}
+
+/// Best-effort extraction of a caught panic payload into a string,
+/// falling back to the hook-captured message for formatted panics.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = take_last_message() {
+        s
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

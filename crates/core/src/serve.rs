@@ -1,0 +1,808 @@
+//! Long-running query service: work-balanced scheduling, admission
+//! control, and a streaming JSONL front-end.
+//!
+//! Geo-social group queries are bursty and interactive (impromptu
+//! activity planning), and per-query cost is wildly skewed — exactly the
+//! variance the paper's pruning lemmas induce: one large-radius query
+//! with a dense social neighborhood can cost orders of magnitude more
+//! than its neighbors. This module turns the one-shot engine into a
+//! service:
+//!
+//! * **Scheduling** — worker threads pull requests off a shared bounded
+//!   queue one at a time (the same work-stealing discipline as
+//!   [`crate::BatchSchedule::WorkStealing`]), so a skewed request never
+//!   strands cheap ones behind it. Responses are delivered strictly in
+//!   submission order through a reorder buffer, and each response is
+//!   released as soon as it *and everything before it* is done —
+//!   streaming, not batch-at-the-end.
+//! * **Admission control** — the submission queue is bounded
+//!   ([`ServeConfig::queue_capacity`]). A full queue either blocks the
+//!   submitter (backpressure, the default) or sheds the request with
+//!   [`GpSsnError::Overloaded`] ([`OverloadPolicy::Shed`]). Requests
+//!   whose deadline has already expired — at submission, or after
+//!   waiting in the queue — are shed with [`GpSsnError::DeadlineExpired`]
+//!   *before any engine work is spent on them*; a request that is
+//!   dispatched late runs under its remaining deadline only.
+//! * **Isolation** — every request runs panic-isolated (the batch
+//!   contract): a panic inside one query surfaces as
+//!   [`GpSsnError::Internal`] in that request's response and the service
+//!   keeps draining. The scoped panic-capture hook is held for the
+//!   serve call only (see [`crate::panic_capture`]).
+//! * **Telemetry** — when the engine carries a live metrics sink:
+//!   `gpssn_serve_queue_depth` (gauge), `gpssn_serve_submitted_total`,
+//!   `gpssn_serve_served_total`, `gpssn_serve_shed_total{reason}`
+//!   (counters), and the per-request `gpssn_serve_queue_wait_ns`
+//!   histogram.
+//!
+//! [`serve`] is the programmatic entry point (an iterator of
+//! [`Submission`]s in, an in-order response callback out); [`serve_jsonl`]
+//! wraps it with a line-by-line JSONL protocol shared by `gpq serve` and
+//! `gpq`'s file mode — input is never slurped into memory, and a
+//! malformed line produces a per-line error record instead of aborting
+//! the stream. Draining is graceful: on end of input the queue closes,
+//! every admitted request still completes, and the callback sees every
+//! submission exactly once.
+//!
+//! Chaos: the `serve::queue_full` fail-point (armed with `--features
+//! failpoints`) simulates a full submission queue at admission time; the
+//! affected request is shed with [`GpSsnError::Overloaded`] under either
+//! overload policy, exercising the shedding path without real pressure.
+
+use crate::algorithm::{resolve_threads, run_isolated, GpSsnEngine, QueryOptions};
+use crate::error::{GpSsnError, QueryBudget};
+use crate::query::{GpSsnAnswer, GpSsnQuery};
+use crate::stats::QueryOutcome;
+use gpssn_obs::{json, Obs};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// What to do when a request arrives and the submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the submitter until a worker frees a slot (backpressure).
+    /// The right choice when the submitter reads from a stream it can
+    /// simply stop consuming, like `gpq serve` on stdin.
+    #[default]
+    Block,
+    /// Reject the request immediately with [`GpSsnError::Overloaded`].
+    /// The right choice when blocking the submitter would block the
+    /// caller's event loop.
+    Shed,
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` uses the machine's available parallelism
+    /// (resolved by the same rule as every other thread knob).
+    pub threads: usize,
+    /// Bound on queued-but-not-dispatched requests. With
+    /// [`OverloadPolicy::Block`] a zero capacity is clamped to 1 (a
+    /// zero-capacity blocking queue could never admit anything).
+    pub queue_capacity: usize,
+    /// Budget applied to requests that carry none of their own.
+    pub default_budget: QueryBudget,
+    /// Engine options shared by every request this service answers.
+    pub options: QueryOptions,
+    /// Full-queue behavior.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            queue_capacity: 256,
+            default_budget: QueryBudget::unlimited(),
+            options: QueryOptions::default(),
+            overload: OverloadPolicy::Block,
+        }
+    }
+}
+
+/// One query request submitted to the service.
+///
+/// `budget.deadline` is interpreted as measured **from submission**: the
+/// time a request spends waiting in the queue counts against it, an
+/// expired request is shed without engine work, and a late-dispatched
+/// request runs under its remaining deadline only. The work-unit caps
+/// are passed to the engine unchanged.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The query.
+    pub query: GpSsnQuery,
+    /// Per-request budget (see the deadline note above).
+    pub budget: QueryBudget,
+}
+
+/// One unit of input to [`serve`].
+#[derive(Debug, Clone)]
+pub enum Submission {
+    /// A request to admit and run.
+    Request(ServeRequest),
+    /// A slot that already failed upstream (e.g. a malformed JSONL
+    /// line). It flows through the ordered response stream as an error
+    /// record without touching the queue or the engine.
+    Rejected {
+        /// Correlation id echoed in the response.
+        id: u64,
+        /// Why the slot never became a request.
+        error: GpSsnError,
+    },
+}
+
+/// One response, delivered in submission order.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The outcome: `Ok` iff the engine ran the query to an outcome
+    /// (which may itself report a degraded completion); shed and
+    /// pre-rejected submissions carry the typed error.
+    pub result: Result<QueryOutcome, GpSsnError>,
+    /// Time the request waited in the submission queue
+    /// (`Duration::ZERO` for requests that never reached it).
+    pub queue_wait: Duration,
+}
+
+/// What one [`serve`] call did, in submission counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Submissions consumed from the input (requests + rejected slots).
+    pub submitted: u64,
+    /// Requests that reached the engine.
+    pub served: u64,
+    /// Requests shed because their deadline expired before dispatch.
+    pub shed_expired: u64,
+    /// Requests shed because the queue was full (only under
+    /// [`OverloadPolicy::Shed`] or the `serve::queue_full` fail-point).
+    pub shed_overloaded: u64,
+    /// Pre-rejected slots passed through (malformed JSONL lines).
+    pub rejected: u64,
+}
+
+/// A queued, admitted request.
+struct Queued {
+    seq: u64,
+    req: ServeRequest,
+    enqueued: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// The bounded submission queue. `closed` flips on end of input; workers
+/// drain what remains and exit.
+struct QueueState {
+    queue: VecDeque<Queued>,
+    closed: bool,
+}
+
+/// Reorder buffer releasing responses in submission order.
+struct Emitter<F> {
+    next_seq: u64,
+    pending: BTreeMap<u64, ServeResponse>,
+    on_response: F,
+}
+
+impl<F: FnMut(ServeResponse)> Emitter<F> {
+    fn emit(&mut self, seq: u64, resp: ServeResponse) {
+        self.pending.insert(seq, resp);
+        while let Some(r) = self.pending.remove(&self.next_seq) {
+            (self.on_response)(r);
+            self.next_seq += 1;
+        }
+    }
+}
+
+/// The engine's metrics sink, when live.
+fn metrics_of<'e>(engine: &'e GpSsnEngine<'_>) -> Option<&'e Obs> {
+    engine
+        .obs_handle()
+        .map(|o| o.as_ref())
+        .filter(|o| o.metrics_on())
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs the service over a stream of submissions, invoking
+/// `on_response` for every submission **in submission order**, as soon
+/// as each response (and everything before it) is ready. Returns once
+/// the input is exhausted and every admitted request has completed.
+///
+/// The input iterator is pulled lazily on the calling thread, so under
+/// [`OverloadPolicy::Block`] a full queue stops consumption — natural
+/// backpressure for streaming inputs.
+pub fn serve<I, F>(
+    engine: &GpSsnEngine<'_>,
+    cfg: &ServeConfig,
+    requests: I,
+    on_response: F,
+) -> ServeStats
+where
+    I: IntoIterator<Item = Submission>,
+    F: FnMut(ServeResponse) + Send,
+{
+    let threads = resolve_threads(cfg.threads, usize::MAX);
+    let capacity = match cfg.overload {
+        OverloadPolicy::Block => cfg.queue_capacity.max(1),
+        OverloadPolicy::Shed => cfg.queue_capacity,
+    };
+    let _capture = crate::panic_capture::capture_scope();
+    let obs = metrics_of(engine);
+
+    let state = Mutex::new(QueueState {
+        queue: VecDeque::new(),
+        closed: false,
+    });
+    let not_empty = Condvar::new();
+    let not_full = Condvar::new();
+    let emitter = Mutex::new(Emitter {
+        next_seq: 0,
+        pending: BTreeMap::new(),
+        on_response,
+    });
+    let served = AtomicU64::new(0);
+    let shed_expired = AtomicU64::new(0);
+
+    let mut stats = ServeStats::default();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                worker_loop(
+                    engine,
+                    cfg,
+                    &state,
+                    &not_empty,
+                    &not_full,
+                    &emitter,
+                    obs,
+                    &served,
+                    &shed_expired,
+                );
+            });
+        }
+
+        // Submitter: the calling thread. Each submission gets the next
+        // seq so responses come back in input order.
+        let mut seq = 0u64;
+        for sub in requests {
+            stats.submitted += 1;
+            if let Some(o) = obs {
+                o.inc("gpssn_serve_submitted_total", &[], 1);
+            }
+            let req = match sub {
+                Submission::Rejected { id, error } => {
+                    stats.rejected += 1;
+                    lock(&emitter).emit(
+                        seq,
+                        ServeResponse {
+                            id,
+                            result: Err(error),
+                            queue_wait: Duration::ZERO,
+                        },
+                    );
+                    seq += 1;
+                    continue;
+                }
+                Submission::Request(req) => req,
+            };
+            let now = Instant::now();
+            // Submission-time shed: a deadline of zero was dead on
+            // arrival; don't even queue it.
+            if req.budget.deadline.is_some_and(|d| d.is_zero()) {
+                stats.shed_expired += 1;
+                shed(obs, "expired");
+                lock(&emitter).emit(
+                    seq,
+                    ServeResponse {
+                        id: req.id,
+                        result: Err(GpSsnError::DeadlineExpired),
+                        queue_wait: Duration::ZERO,
+                    },
+                );
+                seq += 1;
+                continue;
+            }
+            let deadline_at = req.budget.deadline.map(|d| now + d);
+            // Fault site: pretend the queue is full at admission. Shed
+            // under either policy — blocking on a fault that nothing
+            // will ever clear would wedge the submitter.
+            let forced_full = gpssn_failpoint::failpoint!("serve::queue_full");
+            let mut st = lock(&state);
+            let admitted = if forced_full {
+                false
+            } else {
+                loop {
+                    if st.queue.len() < capacity {
+                        break true;
+                    }
+                    match cfg.overload {
+                        OverloadPolicy::Shed => break false,
+                        OverloadPolicy::Block => {
+                            st = not_full.wait(st).unwrap_or_else(|p| p.into_inner());
+                        }
+                    }
+                }
+            };
+            if !admitted {
+                let depth = st.queue.len();
+                drop(st);
+                stats.shed_overloaded += 1;
+                shed(obs, "overloaded");
+                lock(&emitter).emit(
+                    seq,
+                    ServeResponse {
+                        id: req.id,
+                        result: Err(GpSsnError::Overloaded { depth, capacity }),
+                        queue_wait: Duration::ZERO,
+                    },
+                );
+                seq += 1;
+                continue;
+            }
+            st.queue.push_back(Queued {
+                seq,
+                req,
+                enqueued: now,
+                deadline_at,
+            });
+            note_depth(obs, st.queue.len());
+            drop(st);
+            not_empty.notify_one();
+            seq += 1;
+        }
+
+        // Graceful drain: close the queue; workers finish what is
+        // admitted and exit.
+        lock(&state).closed = true;
+        not_empty.notify_all();
+    });
+
+    stats.served = served.load(Ordering::Relaxed);
+    stats.shed_expired += shed_expired.load(Ordering::Relaxed);
+    stats
+}
+
+/// One worker: pop, shed-if-expired, run panic-isolated, emit.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<F: FnMut(ServeResponse)>(
+    engine: &GpSsnEngine<'_>,
+    cfg: &ServeConfig,
+    state: &Mutex<QueueState>,
+    not_empty: &Condvar,
+    not_full: &Condvar,
+    emitter: &Mutex<Emitter<F>>,
+    obs: Option<&Obs>,
+    served: &AtomicU64,
+    shed_expired: &AtomicU64,
+) {
+    loop {
+        let mut st = lock(state);
+        let item = loop {
+            if let Some(it) = st.queue.pop_front() {
+                break Some(it);
+            }
+            if st.closed {
+                break None;
+            }
+            st = not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
+        };
+        if item.is_some() {
+            note_depth(obs, st.queue.len());
+        }
+        drop(st);
+        let Some(it) = item else {
+            return;
+        };
+        not_full.notify_one();
+
+        let wait = it.enqueued.elapsed();
+        if let Some(o) = obs {
+            o.observe(
+                "gpssn_serve_queue_wait_ns",
+                &[],
+                wait.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        let now = Instant::now();
+        let result = match it.deadline_at {
+            // Dispatch-time shed: the request aged out in the queue.
+            // The engine never sees it.
+            Some(at) if now >= at => {
+                shed_expired.fetch_add(1, Ordering::Relaxed);
+                shed(obs, "expired");
+                Err(GpSsnError::DeadlineExpired)
+            }
+            _ => {
+                let mut budget = it.req.budget.clone();
+                if let Some(at) = it.deadline_at {
+                    // The queue wait already spent part of the deadline.
+                    budget.deadline = Some(at.saturating_duration_since(now));
+                }
+                served.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.inc("gpssn_serve_served_total", &[], 1);
+                }
+                run_isolated(engine, &it.req.query, &cfg.options, &budget)
+            }
+        };
+        lock(emitter).emit(
+            it.seq,
+            ServeResponse {
+                id: it.req.id,
+                result,
+                queue_wait: wait,
+            },
+        );
+    }
+}
+
+fn shed(obs: Option<&Obs>, reason: &'static str) {
+    if let Some(o) = obs {
+        o.inc("gpssn_serve_shed_total", &[("reason", reason)], 1);
+    }
+}
+
+fn note_depth(obs: Option<&Obs>, depth: usize) {
+    if let Some(o) = obs {
+        o.registry()
+            .set_gauge("gpssn_serve_queue_depth", &[], depth as f64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL protocol
+// ---------------------------------------------------------------------
+
+/// Stable machine-readable code for each error class (the string twin
+/// of `gpq`'s numeric exit codes).
+pub fn error_code(e: &GpSsnError) -> &'static str {
+    match e {
+        GpSsnError::InvalidQuery(_) => "invalid_query",
+        GpSsnError::UnknownUser { .. } => "unknown_user",
+        GpSsnError::RadiusOutOfIndexRange { .. } => "radius_out_of_range",
+        GpSsnError::Infeasible { .. } => "infeasible",
+        GpSsnError::DeadlineExceeded => "deadline_exceeded",
+        GpSsnError::BudgetExhausted { .. } => "budget_exhausted",
+        GpSsnError::Overloaded { .. } => "overloaded",
+        GpSsnError::DeadlineExpired => "deadline_expired",
+        GpSsnError::IndexCorrupt { .. } => "index_corrupt",
+        GpSsnError::Internal(_) => "internal",
+    }
+}
+
+/// Parses one JSONL request line. Field reference:
+///
+/// ```json
+/// {"id":7,"user":11,"tau":4,"gamma":0.3,"theta":0.4,"r":2.0,
+///  "timeout_ms":250,"max_pops":100000,"max_groups":50000,"max_settles":2000000}
+/// ```
+///
+/// Only `user` is required; `tau`/`gamma`/`theta`/`r` default to
+/// [`GpSsnQuery::with_defaults`], `id` defaults to the 1-based line
+/// number, and absent budget fields inherit `default_budget`.
+fn parse_request(
+    line: &str,
+    lineno: u64,
+    default_budget: &QueryBudget,
+) -> Result<ServeRequest, String> {
+    let v = json::parse(line)?;
+    if !matches!(v, json::Value::Object(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let uint = |key: &str| -> Result<Option<u64>, String> {
+        match v.get(key) {
+            None | Some(json::Value::Null) => Ok(None),
+            Some(w) => {
+                let n = w
+                    .as_f64()
+                    .ok_or_else(|| format!("field {key:?} must be a number"))?;
+                if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                    return Err(format!("field {key:?} must be a non-negative integer"));
+                }
+                Ok(Some(n as u64))
+            }
+        }
+    };
+    let float = |key: &str| -> Result<Option<f64>, String> {
+        match v.get(key) {
+            None | Some(json::Value::Null) => Ok(None),
+            Some(w) => {
+                Ok(Some(w.as_f64().ok_or_else(|| {
+                    format!("field {key:?} must be a number")
+                })?))
+            }
+        }
+    };
+    let user = uint("user")?.ok_or_else(|| "missing required field \"user\"".to_string())?;
+    let user = u32::try_from(user).map_err(|_| "field \"user\" out of range".to_string())?;
+    let mut query = GpSsnQuery::with_defaults(user);
+    if let Some(tau) = uint("tau")? {
+        query.tau = tau as usize;
+    }
+    if let Some(g) = float("gamma")? {
+        query.gamma = g;
+    }
+    if let Some(t) = float("theta")? {
+        query.theta = t;
+    }
+    if let Some(r) = float("r")? {
+        query.radius = r;
+    }
+    let mut budget = default_budget.clone();
+    if let Some(ms) = uint("timeout_ms")? {
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = uint("max_pops")? {
+        budget.max_heap_pops = Some(n);
+    }
+    if let Some(n) = uint("max_groups")? {
+        budget.max_groups_enumerated = Some(n);
+    }
+    if let Some(n) = uint("max_settles")? {
+        budget.max_dijkstra_settles = Some(n);
+    }
+    Ok(ServeRequest {
+        id: uint("id")?.unwrap_or(lineno),
+        query,
+        budget,
+    })
+}
+
+fn push_ids(line: &mut String, key: &str, ids: &[u32]) {
+    line.push_str(&format!(",\"{key}\":["));
+    for (i, u) in ids.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&u.to_string());
+    }
+    line.push(']');
+}
+
+fn push_answer(line: &mut String, answer: Option<&GpSsnAnswer>) {
+    match answer {
+        Some(ans) => {
+            line.push_str(&format!(",\"maxdist\":{}", ans.maxdist));
+            push_ids(line, "users", &ans.users);
+            push_ids(line, "pois", &ans.pois);
+        }
+        None => line.push_str(",\"maxdist\":null"),
+    }
+}
+
+/// Renders one response as a JSONL line (no trailing newline).
+///
+/// `status` is `"ok"` for any outcome the engine produced — including
+/// truncated and sampling-degraded completions, which scripts can tell
+/// apart by `completion` (and `gap`) — and `"error"` for validation
+/// failures, shed requests, and `Failed` completions.
+pub(crate) fn response_line(resp: &ServeResponse) -> String {
+    let mut line = format!("{{\"id\":{}", resp.id);
+    match &resp.result {
+        Ok(out) if !matches!(out.completion, crate::Completion::Failed(_)) => {
+            line.push_str(&format!(
+                ",\"status\":\"ok\",\"completion\":\"{}\"",
+                out.completion.rung()
+            ));
+            if let crate::Completion::TruncatedWithGap(gap) = out.completion {
+                line.push_str(&format!(",\"gap\":{gap}"));
+            }
+            push_answer(&mut line, out.answer.as_ref());
+            line.push_str(&format!(
+                ",\"cpu_us\":{},\"io_pages\":{}",
+                out.metrics.cpu.as_micros(),
+                out.metrics.io_pages
+            ));
+        }
+        Ok(out) => {
+            let crate::Completion::Failed(e) = &out.completion else {
+                unreachable!("guarded by the match arm above");
+            };
+            push_error(&mut line, e);
+        }
+        Err(e) => push_error(&mut line, e),
+    }
+    line.push_str(&format!(
+        ",\"queue_wait_us\":{}}}",
+        resp.queue_wait.as_micros()
+    ));
+    line
+}
+
+fn push_error(line: &mut String, e: &GpSsnError) {
+    line.push_str(&format!(
+        ",\"status\":\"error\",\"code\":\"{}\",\"error\":\"{}\"",
+        error_code(e),
+        json::escape(&e.to_string())
+    ));
+}
+
+/// Streams JSONL requests from `input` through the service and writes
+/// one JSONL response line per input line to `output`, in input order,
+/// flushing after every line so downstream consumers see answers as
+/// they complete. Input is read incrementally — one line at a time,
+/// never slurped — so `gpq serve` on stdin and file mode share this one
+/// reader. A malformed line yields an in-order error record
+/// (`"code":"invalid_query"`) and the stream continues.
+///
+/// The returned `Err` only reports I/O failures on `input`/`output`;
+/// query-level failures are response records.
+pub fn serve_jsonl<R: BufRead, W: Write + Send>(
+    engine: &GpSsnEngine<'_>,
+    cfg: &ServeConfig,
+    input: R,
+    output: W,
+) -> std::io::Result<ServeStats> {
+    let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let out = Mutex::new(output);
+    let submissions = input.lines().enumerate().map(|(i, line)| {
+        let lineno = i as u64 + 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                // Surface the read error as this line's record and
+                // remember it for the caller; later lines may still
+                // parse (BufRead keeps yielding after e.g. invalid
+                // UTF-8 errors on some readers, and stopping here
+                // would silently drop them).
+                let mut slot = lock(&io_err);
+                let msg = e.to_string();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                return Submission::Rejected {
+                    id: lineno,
+                    error: GpSsnError::InvalidQuery(format!("line {lineno}: read error: {msg}")),
+                };
+            }
+        };
+        if line.trim().is_empty() {
+            return Submission::Rejected {
+                id: lineno,
+                error: GpSsnError::InvalidQuery(format!("line {lineno}: empty line")),
+            };
+        }
+        match parse_request(&line, lineno, &cfg.default_budget) {
+            Ok(req) => Submission::Request(req),
+            Err(msg) => Submission::Rejected {
+                id: lineno,
+                error: GpSsnError::InvalidQuery(format!("line {lineno}: {msg}")),
+            },
+        }
+    });
+    let stats = serve(engine, cfg, submissions, |resp| {
+        let mut w = lock(&out);
+        let line = response_line(&resp);
+        let res = writeln!(w, "{line}").and_then(|()| w.flush());
+        if let Err(e) = res {
+            let mut slot = lock(&io_err);
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    });
+    let first_err = lock(&io_err).take();
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_request_defaults_and_overrides() {
+        let b = QueryBudget::unlimited();
+        let req = parse_request(r#"{"user":3}"#, 7, &b).expect("minimal request parses");
+        assert_eq!(req.id, 7); // line number fallback
+        assert_eq!(req.query.user, 3);
+        assert_eq!(req.query, GpSsnQuery::with_defaults(3));
+        assert!(req.budget.is_unlimited());
+
+        let req = parse_request(
+            r#"{"id":42,"user":1,"tau":2,"gamma":0.25,"theta":0.5,"r":1.5,"timeout_ms":30,"max_pops":1000}"#,
+            1,
+            &b,
+        )
+        .expect("full request parses");
+        assert_eq!(req.id, 42);
+        assert_eq!(req.query.tau, 2);
+        assert_eq!(req.query.gamma, 0.25);
+        assert_eq!(req.query.radius, 1.5);
+        assert_eq!(req.budget.deadline, Some(Duration::from_millis(30)));
+        assert_eq!(req.budget.max_heap_pops, Some(1000));
+        assert_eq!(req.budget.max_groups_enumerated, None);
+    }
+
+    #[test]
+    fn parse_request_rejects_malformed() {
+        let b = QueryBudget::unlimited();
+        assert!(parse_request("not json", 1, &b).is_err());
+        assert!(parse_request("[1,2]", 1, &b).is_err(), "non-object");
+        assert!(parse_request("{}", 1, &b).is_err(), "missing user");
+        assert!(
+            parse_request(r#"{"user":-1}"#, 1, &b).is_err(),
+            "negative user"
+        );
+        assert!(
+            parse_request(r#"{"user":1,"tau":2.5}"#, 1, &b).is_err(),
+            "fractional tau"
+        );
+        assert!(
+            parse_request(r#"{"user":"alice"}"#, 1, &b).is_err(),
+            "non-numeric user"
+        );
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let shed = ServeResponse {
+            id: 9,
+            result: Err(GpSsnError::Overloaded {
+                depth: 4,
+                capacity: 4,
+            }),
+            queue_wait: Duration::from_micros(12),
+        };
+        let line = response_line(&shed);
+        let v = json::parse(&line).expect("error record is valid JSON");
+        assert_eq!(v.get("id").and_then(|x| x.as_f64()), Some(9.0));
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("error"));
+        assert_eq!(
+            v.get("code").and_then(|x| x.as_str()),
+            Some("overloaded"),
+            "{line}"
+        );
+
+        let ok = ServeResponse {
+            id: 1,
+            result: Ok(QueryOutcome {
+                answer: Some(GpSsnAnswer {
+                    users: vec![0, 2],
+                    pois: vec![5],
+                    maxdist: 1.25,
+                }),
+                completion: crate::Completion::Exact,
+                metrics: Default::default(),
+            }),
+            queue_wait: Duration::ZERO,
+        };
+        let line = response_line(&ok);
+        let v = json::parse(&line).expect("ok record is valid JSON");
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("ok"));
+        assert_eq!(v.get("completion").and_then(|x| x.as_str()), Some("exact"));
+        assert_eq!(v.get("maxdist").and_then(|x| x.as_f64()), Some(1.25));
+        assert_eq!(
+            v.get("users").and_then(|x| x.as_array()).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn error_codes_are_distinct_and_stable() {
+        let cases = [
+            error_code(&GpSsnError::DeadlineExpired),
+            error_code(&GpSsnError::Overloaded {
+                depth: 1,
+                capacity: 1,
+            }),
+            error_code(&GpSsnError::DeadlineExceeded),
+            error_code(&GpSsnError::InvalidQuery(String::new())),
+        ];
+        let mut uniq = cases.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), cases.len(), "codes must be distinct: {cases:?}");
+        assert_eq!(cases[0], "deadline_expired");
+        assert_eq!(cases[1], "overloaded");
+    }
+}

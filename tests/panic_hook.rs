@@ -1,0 +1,80 @@
+//! Regression test for the scoped panic-capture hook.
+//!
+//! The original `install_panic_capture` installed a process-global hook
+//! once and never removed it: the engine's hook outlived every batch
+//! and silently pinned whatever hook the host application had installed
+//! at first-batch time. `capture_scope` must instead (a) chain to the
+//! previously installed hook while live, (b) support nesting via a
+//! refcount, and (c) restore the previous hook when the last guard
+//! drops.
+//!
+//! The panic hook is process-global state, so this whole scenario lives
+//! in ONE test function in its OWN integration-test file (each
+//! `tests/*.rs` is a separate process) — it can never race another
+//! test's hook manipulation.
+
+use gpssn::core::panic_capture::{capture_depth, capture_scope};
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CUSTOM_HOOK_HITS: AtomicUsize = AtomicUsize::new(0);
+
+fn boom(i: usize) {
+    // Swallow stderr-free: the custom hook below replaces the default
+    // printer for the whole test.
+    let _ = panic::catch_unwind(|| panic!("scoped-hook test panic {i}"));
+}
+
+#[test]
+fn capture_scope_chains_nests_and_restores() {
+    assert_eq!(capture_depth(), 0, "no guard live at test start");
+
+    // The "host application's" hook, installed before any capture.
+    panic::set_hook(Box::new(|_| {
+        CUSTOM_HOOK_HITS.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    let outer = capture_scope();
+    assert_eq!(capture_depth(), 1);
+    {
+        // Nested scope (a batch inside a serve session): shares the
+        // installed hook, bumps the refcount only.
+        let inner = capture_scope();
+        assert_eq!(capture_depth(), 2);
+        boom(1);
+        assert_eq!(
+            CUSTOM_HOOK_HITS.load(Ordering::SeqCst),
+            1,
+            "capture hook must chain to the previously installed hook"
+        );
+        drop(inner);
+        assert_eq!(capture_depth(), 1, "inner drop must not uninstall");
+    }
+    boom(2);
+    assert_eq!(
+        CUSTOM_HOOK_HITS.load(Ordering::SeqCst),
+        2,
+        "chaining must survive an inner guard's drop"
+    );
+    drop(outer);
+    assert_eq!(capture_depth(), 0, "last drop restores the previous hook");
+
+    // After restoration the custom hook still works — the capture
+    // machinery is gone, not the host's hook.
+    boom(3);
+    assert_eq!(
+        CUSTOM_HOOK_HITS.load(Ordering::SeqCst),
+        3,
+        "previous hook must be restored (not dropped) after the last guard"
+    );
+
+    // Re-entry after full teardown installs cleanly again.
+    let again = capture_scope();
+    assert_eq!(capture_depth(), 1);
+    boom(4);
+    assert_eq!(CUSTOM_HOOK_HITS.load(Ordering::SeqCst), 4);
+    drop(again);
+    assert_eq!(capture_depth(), 0);
+
+    let _ = panic::take_hook();
+}
