@@ -62,6 +62,10 @@
 //! {"id":7,"user":11,"tau":4,"gamma":0.3,"theta":0.4,"r":2.0,"timeout_ms":250}
 //! ```
 //!
+//! In both modes `--build-threads N` sizes the index-build worker pool
+//! (`0` = all cores, the default); the built indexes are bit-identical
+//! for every value, so the knob trades build wall clock only.
+//!
 //! Only `user` is required. `--threads N` sizes the worker pool,
 //! `--queue-cap N` bounds the submission queue, and `--shed` rejects on a
 //! full queue (`"code":"overloaded"`) instead of applying backpressure.
@@ -80,11 +84,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--theta F] \
-     [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] \
+     [--r F] [--top-k N] [--approx SAMPLES] [--tune PCTL] [--build-threads N] \
      [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
      [--trace-out FILE] [--metrics-out FILE] [--log jsonl] [--chaos-seed N]\n\
        gpq serve --data FILE [--queries FILE] [--threads N] [--queue-cap N] [--shed] \
-     [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
+     [--build-threads N] [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
      [--metrics-out FILE] [--chaos-seed N]";
 
 fn die_usage(msg: &str) -> ! {
@@ -154,6 +158,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut log_jsonl = false;
     let mut chaos_seed: Option<u64> = None;
+    let mut build_threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -172,6 +177,9 @@ fn main() {
             "--top-k" => top_k = take(&args, &mut i, "--top-k", "an integer"),
             "--approx" => approx = Some(take(&args, &mut i, "--approx", "a sample count")),
             "--tune" => tune = Some(take(&args, &mut i, "--tune", "a percentile in [0,1]")),
+            "--build-threads" => {
+                build_threads = take(&args, &mut i, "--build-threads", "a count (0 = all cores)")
+            }
             "--timeout-ms" => {
                 budget.deadline = Some(Duration::from_millis(take(
                     &args,
@@ -236,7 +244,8 @@ fn main() {
         EngineConfig {
             obs: obs.clone(),
             ..Default::default()
-        },
+        }
+        .with_build_threads(build_threads),
     );
     eprintln!(
         "  I_R {} pages, I_S {} pages",
@@ -465,6 +474,7 @@ fn serve_main(args: &[String]) -> ! {
     let mut budget = QueryBudget::unlimited();
     let mut metrics_out: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
+    let mut build_threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -477,6 +487,9 @@ fn serve_main(args: &[String]) -> ! {
             }
             "--queries" => queries = Some(take(args, &mut i, "--queries", "a file path")),
             "--threads" => threads = take(args, &mut i, "--threads", "a count (0 = all cores)"),
+            "--build-threads" => {
+                build_threads = take(args, &mut i, "--build-threads", "a count (0 = all cores)")
+            }
             "--queue-cap" => queue_cap = take(args, &mut i, "--queue-cap", "a count"),
             "--shed" => shed = true,
             "--timeout-ms" => {
@@ -523,7 +536,8 @@ fn serve_main(args: &[String]) -> ! {
         EngineConfig {
             obs: obs.clone(),
             ..Default::default()
-        },
+        }
+        .with_build_threads(build_threads),
     );
     eprintln!(
         "  I_R {} pages, I_S {} pages",

@@ -113,6 +113,18 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Sets the index-build worker count (`0` = all cores) on both the
+    /// `I_R` and `I_S` builders — the `gpq --build-threads` knob. The
+    /// built indexes are bit-identical for every thread count; only the
+    /// build wall clock changes.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.road_index.build.threads = threads;
+        self.social_index.build.threads = threads;
+        self
+    }
+}
+
 /// Which oracle serves refinement-time `dist_RN` computations.
 ///
 /// Both backends return bit-identical distances (the CH oracle unpacks
@@ -263,21 +275,71 @@ enum Item {
 
 impl<'a> GpSsnEngine<'a> {
     /// Builds the engine: pivot selection (Algorithm 1), `I_R`, `I_S`.
+    ///
+    /// Index construction honours the build-thread knobs on
+    /// `cfg.road_index.build` / `cfg.social_index.build` (see
+    /// [`EngineConfig::with_build_threads`]); the built indexes are
+    /// bit-identical for every thread count. With a metrics-enabled
+    /// telemetry sink attached, each build stage's wall clock lands in
+    /// the `gpssn_build_stage_ns{stage}` histogram and the CH
+    /// contraction's witness-workspace reuse counters in
+    /// `gpssn_build_witness_{resets,recycles}_total`.
     pub fn build(ssn: &'a SpatialSocialNetwork, cfg: EngineConfig) -> Self {
+        let mut stages: Vec<(&'static str, std::time::Duration)> = Vec::new();
+        let t0 = Instant::now();
         let mut ps_road = cfg.pivot_select.clone();
         ps_road.count = cfg.num_road_pivots;
         let road_pivot_ids = select_road_pivots(ssn.road(), &ps_road);
-        let road_pivots = RoadPivots::new(ssn.road(), road_pivot_ids);
+        let road_pivots =
+            RoadPivots::new_with_threads(ssn.road(), road_pivot_ids, cfg.road_index.build.threads);
+        stages.push(("road_pivots", t0.elapsed()));
 
+        let t0 = Instant::now();
         let mut ps_soc = cfg.pivot_select.clone();
         ps_soc.count = cfg.num_social_pivots;
         let social_pivot_ids = select_social_pivots(ssn.social(), &ps_soc);
-        let social_pivots = SocialPivots::new(ssn.social(), social_pivot_ids);
+        let social_pivots = SocialPivots::new_with_threads(
+            ssn.social(),
+            social_pivot_ids,
+            cfg.social_index.build.threads,
+        );
+        stages.push(("social_pivots", t0.elapsed()));
 
-        let road_index =
-            RoadIndex::build(ssn.road(), ssn.pois(), road_pivots, cfg.road_index.clone());
-        let social_index =
-            SocialIndex::build(ssn, social_pivots, road_index.pivots(), &cfg.social_index);
+        let (road_index, road_stages) = RoadIndex::build_with_stages(
+            ssn.road(),
+            ssn.pois(),
+            road_pivots,
+            cfg.road_index.clone(),
+        );
+        let (social_index, social_stages) = SocialIndex::build_with_stages(
+            ssn,
+            social_pivots,
+            road_index.pivots(),
+            &cfg.social_index,
+        );
+        if let Some(o) = cfg.obs.as_deref().filter(|o| o.metrics_on()) {
+            for (name, d) in stages
+                .iter()
+                .chain(road_stages.stages.iter())
+                .chain(social_stages.stages.iter())
+            {
+                o.observe(
+                    "gpssn_build_stage_ns",
+                    &[("stage", name)],
+                    d.as_nanos().min(u64::MAX as u128) as u64,
+                );
+            }
+            if let Some(ch) = road_stages.ch {
+                o.inc("gpssn_build_witness_resets_total", &[], ch.witness_resets);
+                o.inc(
+                    "gpssn_build_witness_recycles_total",
+                    &[],
+                    ch.witness_recycles,
+                );
+                o.inc("gpssn_build_ch_shortcuts_total", &[], ch.shortcuts as u64);
+                o.inc("gpssn_build_ch_rounds_total", &[], u64::from(ch.rounds));
+            }
+        }
         let page_cache = cfg
             .page_cache_capacity
             .map(|cap| std::sync::Mutex::new(gpssn_index::io::PageCache::new(cap)));

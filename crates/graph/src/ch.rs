@@ -49,7 +49,6 @@
 use crate::csr::{CsrGraph, NodeId};
 use crate::dijkstra::INFINITY;
 use crate::heap::IndexedMinHeap;
-use std::collections::BinaryHeap;
 use std::io::{self, BufRead, Write};
 
 /// Reversal flag on a packed arc reference (high bit of the arena index).
@@ -71,6 +70,12 @@ const KEY_TOL: f64 = 1e-10;
 /// are *sound under truncation*: giving up early only fails to find a
 /// witness, which adds a redundant shortcut — never drops a needed one.
 const WITNESS_SETTLE_CAP: usize = 64;
+
+/// Minimum items before a build phase fans out over worker threads —
+/// below this the spawn overhead dominates. Thread-count invariance does
+/// not depend on it (results are always merged in input order), so it is
+/// a pure tuning knob.
+const PAR_BUILD_FLOOR: usize = 256;
 
 /// One arc of the contraction arena: every original edge and every
 /// shortcut, in creation order. Stored in a canonical `tail -> head`
@@ -133,26 +138,43 @@ impl ChOracle {
         self.arena.len() - self.num_original
     }
 
-    /// Builds the hierarchy. Node order comes from edge-difference +
-    /// contracted-neighbour priorities with lazy updates; the initial
-    /// priority simulation fans out over scoped threads (results merged
-    /// in vertex order, so the hierarchy is deterministic regardless of
-    /// thread count).
+    /// Builds the hierarchy using all available cores (equivalent to
+    /// [`ChOracle::build_with_threads`] with `threads = 0`; the result is
+    /// identical for every thread count).
     pub fn build(graph: &CsrGraph) -> ChOracle {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
-        Self::build_with_threads(graph, threads)
+        Self::build_with_threads(graph, 0)
     }
 
-    /// [`ChOracle::build`] with an explicit thread count for the initial
-    /// priority simulation (`0` and `1` both mean sequential). The result
-    /// is identical for every thread count.
-    // Audited expect: `join` only fails when a priority worker panicked,
-    // and propagating that panic is exactly the intended behavior.
-    #[allow(clippy::expect_used)]
+    /// [`ChOracle::build`] with an explicit thread count (`0` = all
+    /// available cores). The hierarchy is **bit-identical for every
+    /// thread count**; see [`ChOracle::build_with_stats`].
     pub fn build_with_threads(graph: &CsrGraph, threads: usize) -> ChOracle {
+        Self::build_with_stats(graph, threads).0
+    }
+
+    /// Parallel deterministic contraction, also returning build counters.
+    ///
+    /// Vertices are contracted in *independent-set rounds*: each round
+    /// selects every unranked vertex whose `(priority, id)` key is a
+    /// strict local minimum among its unranked neighbours — an
+    /// independent set, since two adjacent vertices cannot both be local
+    /// minima — simulates all their contractions concurrently against
+    /// the immutable pre-round adjacency (scoped threads, one reused
+    /// [`WitnessSearch`] workspace per worker), and then merges
+    /// shortcuts and assigns ranks sequentially in ascending key order.
+    /// Selection, the per-candidate witness searches, and the merge are
+    /// all functions of the pre-round state alone, so the rank
+    /// permutation and the arena (and with them the upward CSR and every
+    /// serialized byte) are identical for every `threads` value.
+    ///
+    /// Witness paths may route through other same-round vertices; each
+    /// of those contributes its own shortcut (or a strictly shorter
+    /// witness, recursively), so distances among the surviving vertices
+    /// are preserved collectively — the standard independent-set CH
+    /// argument. Priorities are kept neighbourhood-exact: after a merge,
+    /// every live neighbour of a contracted vertex is re-simulated
+    /// (fanned out and merged in vertex order).
+    pub fn build_with_stats(graph: &CsrGraph, threads: usize) -> (ChOracle, ChBuildStats) {
         let n = graph.num_nodes();
         // Live adjacency, mutated as contraction inserts shortcuts.
         // Entries are oriented self -> neighbour.
@@ -184,115 +206,95 @@ impl ChOracle {
         let mut rank: Vec<u32> = vec![UNRANKED; n];
         let mut deleted_neighbors: Vec<u32> = vec![0; n];
 
-        // Initial priorities: one contraction simulation per vertex,
-        // independent given the (immutable) initial adjacency — fan out
-        // over scoped threads and merge by vertex index.
-        let mut priority: Vec<f64> = vec![0.0; n];
-        let workers = threads.max(1).min(n.max(1));
-        if workers <= 1 || n < 1024 {
-            let mut witness = WitnessSearch::new(n);
-            for (v, p) in priority.iter_mut().enumerate() {
-                *p = simulate_priority(&adj, &rank, &deleted_neighbors, &mut witness, v as NodeId);
-            }
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
         } else {
-            let chunk = n.div_ceil(workers);
-            let adj_ref = &adj;
-            let rank_ref = &rank;
-            let deleted_ref = &deleted_neighbors;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for w in 0..workers {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    if lo >= hi {
-                        break;
-                    }
-                    handles.push(scope.spawn(move || {
-                        let mut witness = WitnessSearch::new(n);
-                        let mut out = Vec::with_capacity(hi - lo);
-                        for v in lo..hi {
-                            out.push(simulate_priority(
-                                adj_ref,
-                                rank_ref,
-                                deleted_ref,
-                                &mut witness,
-                                v as NodeId,
-                            ));
-                        }
-                        (lo, out)
-                    }));
-                }
-                for h in handles {
-                    let (lo, out) = h.join().expect("priority worker panicked");
-                    priority[lo..lo + out.len()].copy_from_slice(&out);
-                }
-            });
+            threads
         }
+        .min(n.max(1));
+        let mut pool: Vec<BuildWorkspace> = (0..workers).map(|_| BuildWorkspace::new(n)).collect();
+        let mut stats = ChBuildStats {
+            workspaces: workers as u32,
+            ..ChBuildStats::default()
+        };
 
-        // Lazy-update contraction: pop the candidate with the smallest
-        // priority, recompute it, and contract only if it still beats the
-        // queue's next-best; otherwise requeue. `queue_key` invalidates
-        // stale duplicate entries. `key_bits` gives a total order on f64
-        // priorities with vertex id as the tiebreak, so the order (and
-        // hence the hierarchy) is deterministic.
-        let mut queue: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::with_capacity(n);
-        let mut queue_key: Vec<u64> = vec![u64::MAX; n];
-        for v in 0..n {
-            let kb = key_bits(priority[v]);
-            queue_key[v] = kb;
-            queue.push(std::cmp::Reverse((kb, v as u32)));
+        // Initial priorities: one contraction simulation per vertex,
+        // independent given the (immutable) initial adjacency.
+        let all: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut key: Vec<u64> = vec![0; n];
+        {
+            let adj = &adj;
+            let rank = &rank;
+            let deleted = &deleted_neighbors;
+            let t0 = std::time::Instant::now();
+            let keys = fan_out(&mut pool, &all, |ws, v| {
+                key_bits(simulate_priority(adj, rank, deleted, ws, v))
+            });
+            stats.par_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            key.copy_from_slice(&keys);
         }
-        let mut witness = WitnessSearch::new(n);
+        drop(all);
+
         let mut next_rank: u32 = 0;
-        let mut pair_neighbors: Vec<AdjArc> = Vec::new();
-        while let Some(std::cmp::Reverse((kb, v))) = queue.pop() {
-            if rank[v as usize] != UNRANKED || queue_key[v as usize] != kb {
-                continue; // stale entry
-            }
-            let p = key_bits(simulate_priority(
-                &adj,
-                &rank,
-                &deleted_neighbors,
-                &mut witness,
-                v,
-            ));
-            if let Some(&std::cmp::Reverse((next_kb, _))) = queue.peek() {
-                if p > next_kb {
-                    queue_key[v as usize] = p;
-                    queue.push(std::cmp::Reverse((p, v)));
+        let mut selected: Vec<NodeId> = Vec::new();
+        let mut affected: Vec<NodeId> = Vec::new();
+        while (next_rank as usize) < n {
+            stats.rounds += 1;
+            // Select the round's independent set: unranked local minima
+            // of (key, id) over unranked neighbours, then order them by
+            // ascending key for rank assignment and shortcut merging.
+            selected.clear();
+            for v in 0..n {
+                if rank[v] != UNRANKED {
                     continue;
                 }
-            }
-            // Contract v.
-            rank[v as usize] = next_rank;
-            next_rank += 1;
-            live_neighbors(&adj, &rank, v, &mut pair_neighbors);
-            for x in &pair_neighbors {
-                deleted_neighbors[x.to as usize] += 1;
-            }
-            for i in 0..pair_neighbors.len() {
-                if i + 1 == pair_neighbors.len() {
-                    break; // no partners left
+                let kv = (key[v], v as u32);
+                let local_min = adj[v].iter().all(|arc| {
+                    rank[arc.to as usize] != UNRANKED || (key[arc.to as usize], arc.to) >= kv
+                });
+                if local_min {
+                    selected.push(v as NodeId);
                 }
-                let ui = pair_neighbors[i];
-                // One witness search from u_i covers every partner u_j.
-                let limit = pair_neighbors[i + 1..]
-                    .iter()
-                    .map(|uj| ui.weight + uj.weight)
-                    .fold(0.0f64, f64::max);
-                witness.run(&adj, &rank, ui.to, v, limit);
-                for &uj in &pair_neighbors[i + 1..] {
+            }
+            selected.sort_unstable_by_key(|&v| (key[v as usize], v));
+
+            // Simulate every candidate's contraction against the
+            // pre-round adjacency (ranks of this round's vertices are
+            // still unset, so the candidates cannot see each other as
+            // contracted — the computation is order-free).
+            let outputs: Vec<CandidateOutput> = {
+                let adj = &adj;
+                let rank = &rank;
+                let t0 = std::time::Instant::now();
+                let outputs = fan_out(&mut pool, &selected, |ws, v| {
+                    contract_candidate(adj, rank, ws, v)
+                });
+                stats.par_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                outputs
+            };
+
+            // Merge in selection order: assign ranks, bump contracted-
+            // neighbour counts, and append shortcuts to the arena and the
+            // live adjacency.
+            affected.clear();
+            for out in outputs {
+                rank[out.v as usize] = next_rank;
+                next_rank += 1;
+                for x in &out.neighbors {
+                    deleted_neighbors[x.to as usize] += 1;
+                    affected.push(x.to);
+                }
+                for &(ui, uj) in &out.shortcuts {
                     let sum = ui.weight + uj.weight;
-                    if witness.dist(uj.to) * (1.0 + KEY_TOL) < sum {
-                        continue; // strictly shorter witness beyond rounding
-                    }
                     let idx = arena.len() as u32;
                     assert!(idx < REV, "contraction arena overflow");
                     arena.push(ArenaArc {
                         tail: ui.to,
                         head: uj.to,
                         weight: sum,
-                        mid: v,
+                        mid: out.v,
                         a: ui.packed ^ REV, // u_i -> v
                         b: uj.packed,       // v -> u_j
                     });
@@ -308,17 +310,44 @@ impl ChOracle {
                     });
                 }
             }
+
+            // Refresh the priorities whose neighbourhoods changed.
+            affected.sort_unstable();
+            affected.dedup();
+            affected.retain(|&x| rank[x as usize] == UNRANKED);
+            {
+                let adj = &adj;
+                let rank = &rank;
+                let deleted = &deleted_neighbors;
+                let t0 = std::time::Instant::now();
+                let keys = fan_out(&mut pool, &affected, |ws, v| {
+                    key_bits(simulate_priority(adj, rank, deleted, ws, v))
+                });
+                stats.par_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                for (&v, &kb) in affected.iter().zip(keys.iter()) {
+                    key[v as usize] = kb;
+                }
+            }
+        }
+
+        stats.shortcuts = arena.len() - num_original;
+        for ws in &pool {
+            stats.witness_resets += ws.witness.resets;
+            stats.witness_recycles += ws.witness.recycles;
         }
 
         let (up_offsets, up_arcs) = build_up_csr(n, &rank, &arena);
-        ChOracle {
-            n,
-            rank,
-            up_offsets,
-            up_arcs,
-            arena,
-            num_original,
-        }
+        (
+            ChOracle {
+                n,
+                rank,
+                up_offsets,
+                up_arcs,
+                arena,
+                num_original,
+            },
+            stats,
+        )
     }
 
     /// Exact distances from `seeds` to every entry of `targets`,
@@ -657,6 +686,127 @@ struct AdjArc {
     packed: u32,
 }
 
+/// Counters from one [`ChOracle::build_with_stats`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChBuildStats {
+    /// Independent-set contraction rounds executed.
+    pub rounds: u32,
+    /// Shortcut arcs inserted.
+    pub shortcuts: usize,
+    /// Witness searches run (each resets its workspace's touched set).
+    pub witness_resets: u64,
+    /// Witness searches that recycled a warm workspace from a previous
+    /// search instead of starting from fresh storage.
+    pub witness_recycles: u64,
+    /// Worker workspaces allocated (one per build thread).
+    pub workspaces: u32,
+    /// Wall-clock nanoseconds spent inside the data-parallel fan-out
+    /// sections (priority simulation and candidate contraction), measured
+    /// on the coordinating thread. At `threads = 1` this is the portion
+    /// of the build that divides across workers; the remainder
+    /// (selection, merge, CSR assembly) is inherently sequential.
+    pub par_ns: u64,
+}
+
+/// Per-worker contraction state: a witness search plus neighbour scratch,
+/// reused across every candidate (and round) the worker handles — no
+/// per-candidate allocation churn.
+#[derive(Debug)]
+struct BuildWorkspace {
+    witness: WitnessSearch,
+    neighbors: Vec<AdjArc>,
+}
+
+impl BuildWorkspace {
+    fn new(n: usize) -> Self {
+        BuildWorkspace {
+            witness: WitnessSearch::new(n),
+            neighbors: Vec::new(),
+        }
+    }
+}
+
+/// One candidate's simulated contraction, computed against the pre-round
+/// adjacency and applied later in deterministic merge order.
+struct CandidateOutput {
+    v: NodeId,
+    /// Live (unranked) neighbours at simulation time.
+    neighbors: Vec<AdjArc>,
+    /// Shortcut pairs to insert: `(u_i arc, u_j arc)` out of `v`.
+    shortcuts: Vec<(AdjArc, AdjArc)>,
+}
+
+/// Fans `items` out over the worker pool in contiguous chunks and returns
+/// the per-item outputs **in input order** — the merge order (and hence
+/// the hierarchy) is independent of the number of workers. Small batches
+/// run inline on the first workspace.
+// Audited expect: `join` only fails when a worker panicked, and
+// propagating that panic is exactly the intended behavior.
+#[allow(clippy::expect_used)]
+fn fan_out<T, F>(pool: &mut [BuildWorkspace], items: &[NodeId], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut BuildWorkspace, NodeId) -> T + Sync,
+{
+    if pool.len() <= 1 || items.len() < PAR_BUILD_FLOOR {
+        let ws = &mut pool[0];
+        return items.iter().map(|&v| f(ws, v)).collect();
+    }
+    let chunk = items.len().div_ceil(pool.len());
+    let f = &f;
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(pool.len());
+        for (ws, chunk_items) in pool.iter_mut().zip(items.chunks(chunk)) {
+            handles.push(
+                scope.spawn(move || chunk_items.iter().map(|&v| f(ws, v)).collect::<Vec<T>>()),
+            );
+        }
+        for h in handles {
+            out.extend(h.join().expect("contraction worker panicked"));
+        }
+    });
+    out
+}
+
+/// Simulates contracting `v` against the current adjacency: collects its
+/// live neighbours and the shortcut pairs no witness search can refute.
+/// Read-only on the shared state, so candidates of one round can run
+/// concurrently.
+fn contract_candidate(
+    adj: &[Vec<AdjArc>],
+    rank: &[u32],
+    ws: &mut BuildWorkspace,
+    v: NodeId,
+) -> CandidateOutput {
+    live_neighbors(adj, rank, v, &mut ws.neighbors);
+    let mut shortcuts = Vec::new();
+    for i in 0..ws.neighbors.len() {
+        if i + 1 == ws.neighbors.len() {
+            break; // no partners left
+        }
+        let ui = ws.neighbors[i];
+        // One witness search from u_i covers every partner u_j.
+        let limit = ws.neighbors[i + 1..]
+            .iter()
+            .map(|uj| ui.weight + uj.weight)
+            .fold(0.0f64, f64::max);
+        ws.witness.run(adj, rank, ui.to, v, limit);
+        for &uj in &ws.neighbors[i + 1..] {
+            let sum = ui.weight + uj.weight;
+            if ws.witness.dist(uj.to) * (1.0 + KEY_TOL) < sum {
+                continue; // strictly shorter witness beyond rounding
+            }
+            shortcuts.push((ui, uj));
+        }
+    }
+    CandidateOutput {
+        v,
+        neighbors: ws.neighbors.clone(),
+        shortcuts,
+    }
+}
+
 /// One persisted vertex of a backward search space.
 #[derive(Debug, Clone, Copy)]
 struct BNode {
@@ -815,16 +965,18 @@ fn live_neighbors(adj: &[Vec<AdjArc>], rank: &[u32], v: NodeId, out: &mut Vec<Ad
 
 /// Simulates contracting `v`: counts the shortcuts the contraction would
 /// insert and returns the standard priority
-/// `2·(shortcuts − degree) + contracted neighbours`.
+/// `2·(shortcuts − degree) + contracted neighbours`. Uses the worker's
+/// neighbour scratch and witness search — no per-call allocation.
 fn simulate_priority(
     adj: &[Vec<AdjArc>],
     rank: &[u32],
     deleted_neighbors: &[u32],
-    witness: &mut WitnessSearch,
+    ws: &mut BuildWorkspace,
     v: NodeId,
 ) -> f64 {
-    let mut neighbors = Vec::new();
-    live_neighbors(adj, rank, v, &mut neighbors);
+    live_neighbors(adj, rank, v, &mut ws.neighbors);
+    let neighbors = &ws.neighbors;
+    let witness = &mut ws.witness;
     let mut shortcuts: i64 = 0;
     for i in 0..neighbors.len() {
         let ui = neighbors[i];
@@ -857,6 +1009,11 @@ struct WitnessSearch {
     dist: Vec<f64>,
     touched: Vec<NodeId>,
     heap: IndexedMinHeap,
+    /// Lifetime count of searches run (each resets the touched set).
+    resets: u64,
+    /// Searches that recycled a warm workspace (a previous search had
+    /// left touched state to clear) instead of fresh storage.
+    recycles: u64,
 }
 
 impl WitnessSearch {
@@ -865,6 +1022,8 @@ impl WitnessSearch {
             dist: vec![INFINITY; n],
             touched: Vec::new(),
             heap: IndexedMinHeap::new(n),
+            resets: 0,
+            recycles: 0,
         }
     }
 
@@ -884,6 +1043,10 @@ impl WitnessSearch {
         excluded: NodeId,
         limit: f64,
     ) {
+        self.resets += 1;
+        if !self.touched.is_empty() {
+            self.recycles += 1;
+        }
         for &v in &self.touched {
             self.dist[v as usize] = INFINITY;
         }
@@ -1098,14 +1261,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = random_graph(&mut rng, 400, 500, 0.05);
         let seq = ChOracle::build_with_threads(&g, 1);
-        let par = ChOracle::build_with_threads(&g, 4);
-        assert_eq!(seq.rank, par.rank);
-        assert_eq!(seq.arena.len(), par.arena.len());
-        for (a, b) in seq.arena.iter().zip(par.arena.iter()) {
-            assert_eq!(a.tail, b.tail);
-            assert_eq!(a.head, b.head);
-            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        let mut seq_bytes = Vec::new();
+        seq.write_text(&mut seq_bytes).unwrap();
+        for threads in [2usize, 4, 8, 0] {
+            let par = ChOracle::build_with_threads(&g, threads);
+            assert_eq!(seq.rank, par.rank, "rank differs at {threads} threads");
+            assert_eq!(seq.arena.len(), par.arena.len());
+            for (a, b) in seq.arena.iter().zip(par.arena.iter()) {
+                assert_eq!(a.tail, b.tail);
+                assert_eq!(a.head, b.head);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                assert_eq!(a.mid, b.mid);
+                assert_eq!((a.a, a.b), (b.a, b.b));
+            }
+            // The full serialized text (rank + arena) must match too.
+            let mut par_bytes = Vec::new();
+            par.write_text(&mut par_bytes).unwrap();
+            assert_eq!(
+                seq_bytes, par_bytes,
+                "serialized ch differs at {threads} threads"
+            );
         }
+    }
+
+    #[test]
+    fn build_stats_count_rounds_and_witness_reuse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_graph(&mut rng, 200, 260, 0.05);
+        let (ch, stats) = ChOracle::build_with_stats(&g, 2);
+        assert!(stats.rounds >= 1, "at least one contraction round");
+        assert_eq!(stats.shortcuts, ch.num_shortcuts());
+        assert_eq!(stats.workspaces, 2);
+        assert!(stats.witness_resets > 0);
+        // Workspaces are reused across candidates: all but the first
+        // search per workspace recycles warm storage.
+        assert!(stats.witness_recycles >= stats.witness_resets - u64::from(stats.workspaces));
     }
 
     #[test]

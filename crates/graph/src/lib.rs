@@ -38,7 +38,7 @@ pub mod workspace;
 
 pub use alt::AltOracle;
 pub use bfs::{bounded_hops, hop_distances};
-pub use ch::{ChOracle, ChSearch};
+pub use ch::{ChBuildStats, ChOracle, ChSearch};
 pub use components::{connected_components, is_connected_subset};
 pub use csr::{CsrGraph, EdgeId, NodeId};
 pub use dijkstra::{

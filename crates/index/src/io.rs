@@ -448,6 +448,9 @@ fn assemble_v2(
     } else {
         // Healing: the oracle is a deterministic function of the road
         // graph, so a corrupt section costs a rebuild, not the load.
+        // `build` is the parallel contraction (all cores) — its output
+        // is bit-identical for every thread count, so the healed index
+        // byte-matches one rebuilt sequentially.
         (Some(ChOracle::build(road.graph())), true)
     };
     let cfg = RoadIndexConfig {
@@ -456,10 +459,12 @@ fn assemble_v2(
         r_max,
         samples_per_node,
         build_ch: ch.is_some(),
+        build: crate::build::BuildOptions::default(),
     };
-    // The pivot table is h exact Dijkstra columns — deterministic, so it
-    // is rebuilt rather than stored.
-    let pivots = RoadPivots::new(road, pivot_ids);
+    // The pivot table is h exact Dijkstra columns — deterministic (and
+    // thread-count invariant), so it is rebuilt in parallel rather than
+    // stored.
+    let pivots = RoadPivots::new_with_threads(road, pivot_ids, cfg.build.threads);
     Ok(HealedLoad {
         index: RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch),
         rebuilt_ch,
@@ -483,8 +488,9 @@ fn read_v1_body<B: BufRead>(
         r_max,
         samples_per_node,
         build_ch: ch.is_some(),
+        build: crate::build::BuildOptions::default(),
     };
-    let pivots = RoadPivots::new(road, pivot_ids);
+    let pivots = RoadPivots::new_with_threads(road, pivot_ids, cfg.build.threads);
     Ok(RoadIndex::from_loaded_parts(pois, pivots, cfg, poi_aug, ch))
 }
 

@@ -16,6 +16,9 @@
 //! * [`pivot_select`] — the paper's Algorithm 1: random-restart local
 //!   search maximizing a bound-tightness cost model (Appendices L/M are
 //!   re-derived; see DESIGN.md).
+//! * [`build`] — the shared build-parallelism knob ([`BuildOptions`])
+//!   and per-stage wall-clock accounting ([`BuildStages`]) behind the
+//!   deterministic parallel builders of both indexes.
 //! * [`io`] — page-access accounting, reproducing the paper's I/O-cost
 //!   metric over a simulated paged index file (one node = one page), plus
 //!   the checksummed persistence format with per-section corruption
@@ -25,12 +28,14 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod build;
 pub mod crc32;
 pub mod io;
 pub mod pivot_select;
 pub mod road_index;
 pub mod social_index;
 
+pub use build::{BuildOptions, BuildStages};
 pub use io::{
     corrupt_section, load_road_index, load_road_index_healing, read_road_index,
     read_road_index_healing, save_road_index, write_road_index, CorruptSection, HealedLoad,

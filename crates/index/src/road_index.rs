@@ -11,6 +11,7 @@
 //!   and lower/upper pivot-distance bounds over all descendant POIs
 //!   (Eqs. 7–8).
 
+use crate::build::{par_map, BuildOptions, BuildStages};
 use gpssn_road::{PoiId, PoiSet, RoadNetwork, RoadPivots};
 use gpssn_spatial::{Entry, KeywordSignature, NodeId, RStarTree};
 
@@ -32,6 +33,10 @@ pub struct RoadIndexConfig {
     /// query speed for build time — the engine then falls back to plain
     /// Dijkstra.
     pub build_ch: bool,
+    /// Build parallelism (`0` = auto). A runtime-only knob: the built
+    /// index is bit-identical for every thread count, and it is not
+    /// serialized with the index.
+    pub build: BuildOptions,
 }
 
 impl Default for RoadIndexConfig {
@@ -42,6 +47,7 @@ impl Default for RoadIndexConfig {
             r_max: 4.0,
             samples_per_node: 3,
             build_ch: true,
+            build: BuildOptions::default(),
         }
     }
 }
@@ -95,71 +101,107 @@ impl RoadIndex {
     ///
     /// Cost: one bounded Dijkstra per POI per radius (`r_min`, `2·r_max`)
     /// plus one Dijkstra per pivot (inside [`RoadPivots::new`], already
-    /// done by the caller).
+    /// done by the caller). Parallelized over `cfg.build.threads`
+    /// workers; the result is bit-identical for every thread count.
     pub fn build(
         road: &RoadNetwork,
         pois: &PoiSet,
         pivots: RoadPivots,
         cfg: RoadIndexConfig,
     ) -> Self {
+        Self::build_with_stages(road, pois, pivots, cfg).0
+    }
+
+    /// [`RoadIndex::build`], also returning per-stage wall-clock timings
+    /// and the CH contraction counters (for the
+    /// `gpssn_build_stage_ns{stage}` telemetry and `build_report`).
+    pub fn build_with_stages(
+        road: &RoadNetwork,
+        pois: &PoiSet,
+        pivots: RoadPivots,
+        cfg: RoadIndexConfig,
+    ) -> (Self, BuildStages) {
         assert!(
             cfg.r_min > 0.0 && cfg.r_max >= cfg.r_min,
             "invalid radius range"
         );
+        let mut stages = BuildStages::default();
         let n = pois.len();
-        let mut poi_aug = Vec::with_capacity(n);
-        // One reusable workspace serves all 2n ball Dijkstras of the
-        // build (two radius-bounded runs per POI), keeping the build
-        // allocation-free in its hottest loop.
-        let mut ws = gpssn_graph::DijkstraWorkspace::new();
-        for id in 0..n as PoiId {
-            let center = pois.get(id).position;
-            let sup_ball: Vec<PoiId> = pois
-                .network_ball_with(road, &mut ws, &center, 2.0 * cfg.r_max)
-                .into_iter()
-                .map(|(o, _)| o)
-                .collect();
-            let sub_ball: Vec<PoiId> = pois
-                .network_ball_with(road, &mut ws, &center, cfg.r_min)
-                .into_iter()
-                .map(|(o, _)| o)
-                .collect();
-            let sup_keywords = pois.keyword_union(&sup_ball);
-            let sub_keywords = pois.keyword_union(&sub_ball);
-            let sup_sig = KeywordSignature::from_keywords(sup_keywords.iter().copied());
-            let sub_sig = KeywordSignature::from_keywords(sub_keywords.iter().copied());
-            let pivot_dists = pivots.point_dists(road, &center);
-            poi_aug.push(PoiAugment {
-                sup_keywords,
-                sub_keywords,
-                sup_sig,
-                sub_sig,
-                pivot_dists,
-            });
-        }
+        let threads = cfg.build.threads;
+        // The hottest loop of the build: two radius-bounded ball
+        // Dijkstras per POI. Each POI's augment is a pure function of
+        // the POI id, so the loop fans out over contiguous id chunks —
+        // one reusable Dijkstra workspace per worker — and the merged
+        // result is the sequential one, in id order, for every thread
+        // count.
+        let poi_aug: Vec<PoiAugment> = stages.time("poi_augment", || {
+            par_map(threads, n, gpssn_graph::DijkstraWorkspace::new, |ws, i| {
+                let id = i as PoiId;
+                let center = pois.get(id).position;
+                let sup_ball: Vec<PoiId> = pois
+                    .network_ball_with(road, ws, &center, 2.0 * cfg.r_max)
+                    .into_iter()
+                    .map(|(o, _)| o)
+                    .collect();
+                let sub_ball: Vec<PoiId> = pois
+                    .network_ball_with(road, ws, &center, cfg.r_min)
+                    .into_iter()
+                    .map(|(o, _)| o)
+                    .collect();
+                let sup_keywords = pois.keyword_union(&sup_ball);
+                let sub_keywords = pois.keyword_union(&sub_ball);
+                let sup_sig = KeywordSignature::from_keywords(sup_keywords.iter().copied());
+                let sub_sig = KeywordSignature::from_keywords(sub_keywords.iter().copied());
+                let pivot_dists = pivots.point_dists(road, &center);
+                PoiAugment {
+                    sup_keywords,
+                    sub_keywords,
+                    sup_sig,
+                    sub_sig,
+                    pivot_dists,
+                }
+            })
+        });
 
-        let tree = RStarTree::bulk_build(
-            cfg.node_capacity,
-            (0..n as PoiId).map(|id| (id, pois.location(id))),
-        );
-        let node_aug = aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node);
-        let ch = cfg
-            .build_ch
-            .then(|| gpssn_graph::ChOracle::build(road.graph()));
-        RoadIndex {
+        let tree = stages.time("rstar_str", || {
+            RStarTree::str_bulk_load_with_threads(
+                cfg.node_capacity,
+                (0..n as PoiId).map(|id| (id, pois.location(id))),
+                threads,
+            )
+        });
+        let node_aug = stages.time("node_aggregate", || {
+            aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node)
+        });
+        let (ch, ch_stats) = {
+            let t0 = std::time::Instant::now();
+            let built = cfg
+                .build_ch
+                .then(|| gpssn_graph::ChOracle::build_with_stats(road.graph(), threads));
+            stages.stages.push(("ch_contract", t0.elapsed()));
+            match built {
+                Some((oracle, stats)) => (Some(oracle), Some(stats)),
+                None => (None, None),
+            }
+        };
+        stages.ch = ch_stats;
+        let idx = RoadIndex {
             tree,
             poi_aug,
             node_aug,
             pivots,
             cfg,
             ch,
-        }
+        };
+        (idx, stages)
     }
 
     /// Reassembles an index from deserialized parts: the R\*-tree is
-    /// re-bulk-built (deterministic given the POI set and node capacity)
-    /// and node augments re-aggregated, so only the expensive-to-recompute
-    /// parts (per-POI keyword balls, the CH oracle) come from the file.
+    /// re-bulk-built (deterministic given the POI set and node capacity —
+    /// the same STR packing the builder uses, so built and loaded trees
+    /// are identical) and node augments re-aggregated, so only the
+    /// expensive-to-recompute parts (per-POI keyword balls, the CH
+    /// oracle) come from the file.
     pub(crate) fn from_loaded_parts(
         pois: &PoiSet,
         pivots: RoadPivots,
@@ -168,9 +210,10 @@ impl RoadIndex {
         ch: Option<gpssn_graph::ChOracle>,
     ) -> Self {
         let n = poi_aug.len();
-        let tree = RStarTree::bulk_build(
+        let tree = RStarTree::str_bulk_load_with_threads(
             cfg.node_capacity,
             (0..n as PoiId).map(|id| (id, pois.location(id))),
+            cfg.build.threads,
         );
         let node_aug = aggregate(&tree, &poi_aug, pivots.len(), cfg.samples_per_node);
         RoadIndex {
@@ -460,6 +503,78 @@ mod tests {
             }
         }
         assert!(narrower_somewhere, "r_min had no effect at all");
+    }
+
+    /// The tentpole determinism claim at index level: the whole `I_R`
+    /// build — POI augments, STR tree, aggregates, CH oracle — is
+    /// bit-identical for every thread count, so the serialized file is
+    /// byte-identical too.
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let (road, pois) = small_instance();
+        let build_at = |threads: usize| {
+            let pivots = RoadPivots::new(&road, vec![0, 50, 100]);
+            RoadIndex::build(
+                &road,
+                &pois,
+                pivots,
+                RoadIndexConfig {
+                    r_max: 3.0,
+                    build: BuildOptions::with_threads(threads),
+                    ..Default::default()
+                },
+            )
+        };
+        let base = build_at(1);
+        let mut base_bytes = Vec::new();
+        crate::io::write_road_index(&base, &mut base_bytes).unwrap();
+        for threads in [2, 8, 0] {
+            let idx = build_at(threads);
+            assert_eq!(idx.num_pages(), base.num_pages(), "threads={threads}");
+            for id in 0..pois.len() as PoiId {
+                let (x, y) = (idx.poi(id), base.poi(id));
+                assert_eq!(x.sup_keywords, y.sup_keywords, "threads={threads}");
+                assert_eq!(x.sub_keywords, y.sub_keywords, "threads={threads}");
+                let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|d| d.to_bits()).collect() };
+                assert_eq!(
+                    bits(&x.pivot_dists),
+                    bits(&y.pivot_dists),
+                    "threads={threads}"
+                );
+            }
+            let mut bytes = Vec::new();
+            crate::io::write_road_index(&idx, &mut bytes).unwrap();
+            assert_eq!(
+                bytes, base_bytes,
+                "serialized bytes differ at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_stages_cover_the_pipeline() {
+        let (road, pois) = small_instance();
+        let pivots = RoadPivots::new(&road, vec![0, 50]);
+        let (idx, stages) = RoadIndex::build_with_stages(
+            &road,
+            &pois,
+            pivots,
+            RoadIndexConfig {
+                r_max: 3.0,
+                ..Default::default()
+            },
+        );
+        let names: Vec<&str> = stages.stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["poi_augment", "rstar_str", "node_aggregate", "ch_contract"]
+        );
+        assert!(stages.total() >= stages.get("poi_augment").unwrap());
+        // CH ran, so its counters rode along.
+        let ch = stages.ch.expect("CH stage stats");
+        assert!(idx.ch().is_some());
+        assert_eq!(ch.shortcuts, idx.ch().unwrap().num_shortcuts());
+        assert!(ch.witness_resets > 0);
     }
 
     #[test]

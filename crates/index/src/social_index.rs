@@ -17,6 +17,7 @@
 //! than any finite hop distance), which keeps every triangle-inequality
 //! bound valid across components — see the module tests.
 
+use crate::build::{par_map, BuildOptions, BuildStages};
 use crate::pivot_select::PivotSelectConfig;
 use gpssn_graph::{partition_graph, CsrGraph, NodeId as GraphNodeId};
 use gpssn_road::RoadPivots;
@@ -38,6 +39,9 @@ pub struct SocialIndexConfig {
     /// the index-level interest pruning (Lemma 8); topic-aware leaves
     /// restore it. Ablatable — see the `ablation` bench.
     pub topic_aware_leaves: bool,
+    /// Build parallelism (`0` = auto). Runtime-only: the built index is
+    /// bit-identical for every thread count.
+    pub build: BuildOptions,
 }
 
 impl Default for SocialIndexConfig {
@@ -47,6 +51,7 @@ impl Default for SocialIndexConfig {
             fanout: 8,
             pivot_select: PivotSelectConfig::default(),
             topic_aware_leaves: true,
+            build: BuildOptions::default(),
         }
     }
 }
@@ -91,14 +96,30 @@ pub struct SocialIndex {
 }
 
 impl SocialIndex {
-    /// Builds `I_S` with the given pivots.
+    /// Builds `I_S` with the given pivots. Parallelized over
+    /// `cfg.build.threads` workers; the result is bit-identical for
+    /// every thread count.
     pub fn build(
         ssn: &SpatialSocialNetwork,
         social_pivots: SocialPivots,
         road_pivots: &RoadPivots,
         cfg: &SocialIndexConfig,
     ) -> Self {
+        Self::build_with_stages(ssn, social_pivots, road_pivots, cfg).0
+    }
+
+    /// [`SocialIndex::build`], also returning per-stage wall-clock
+    /// timings (for the `gpssn_build_stage_ns{stage}` telemetry and
+    /// `build_report`).
+    pub fn build_with_stages(
+        ssn: &SpatialSocialNetwork,
+        social_pivots: SocialPivots,
+        road_pivots: &RoadPivots,
+        cfg: &SocialIndexConfig,
+    ) -> (Self, BuildStages) {
         assert!(cfg.leaf_size >= 1 && cfg.fanout >= 2, "invalid index shape");
+        let mut stages = BuildStages::default();
+        let threads = cfg.build.threads;
         let social = ssn.social();
         let m = social.num_users();
         let hop_saturation = (m + 1) as u32;
@@ -109,18 +130,31 @@ impl SocialIndex {
                 h
             }
         };
-        let user_sn: Vec<Vec<u32>> = (0..m as UserId)
-            .map(|u| {
-                social_pivots
-                    .user_dists(u)
-                    .into_iter()
-                    .map(saturate)
-                    .collect()
-            })
-            .collect();
-        let user_rn: Vec<Vec<f64>> = (0..m as UserId)
-            .map(|u| road_pivots.point_dists(ssn.road(), &ssn.home(u)))
-            .collect();
+        // Per-user pivot tables. The social side is table lookups; the
+        // road side costs a seed lookup plus `h` table probes per user
+        // and dominates, so both fan out over contiguous user chunks
+        // (each user's row is a pure function of the user id).
+        let (user_sn, user_rn) = stages.time("user_tables", || {
+            let user_sn: Vec<Vec<u32>> = par_map(
+                threads,
+                m,
+                || (),
+                |_, u| {
+                    social_pivots
+                        .user_dists(u as UserId)
+                        .into_iter()
+                        .map(saturate)
+                        .collect()
+                },
+            );
+            let user_rn: Vec<Vec<f64>> = par_map(
+                threads,
+                m,
+                || (),
+                |_, u| road_pivots.point_dists(ssn.road(), &ssn.home(u as UserId)),
+            );
+            (user_sn, user_rn)
+        });
 
         let d = social.num_topics();
         let l = social_pivots.len();
@@ -138,42 +172,56 @@ impl SocialIndex {
             user_count: 0,
         };
 
-        let mut nodes: Vec<SocialNode> = Vec::new();
-
         // Level 0: balanced connected partitions of G_s — either of the
-        // whole graph, or of each dominant-topic subgraph (tight MBRs).
+        // whole graph, or of each dominant-topic subgraph (tight MBRs) —
+        // then one leaf node per partition. Leaf MBR/bound accumulation
+        // is independent per leaf, so it fans out over leaf chunks.
+        let t0 = std::time::Instant::now();
         let leaf_parts: Vec<Vec<UserId>> = if cfg.topic_aware_leaves && d > 0 {
             topic_aware_partition(ssn, cfg.leaf_size)
         } else {
             partition_graph(social.graph(), cfg.leaf_size).parts
         };
-        let mut current: Vec<u32> = Vec::new();
+        stages.stages.push(("leaf_partition", t0.elapsed()));
+        let t0 = std::time::Instant::now();
+        let mut nodes: Vec<SocialNode> = par_map(
+            threads,
+            leaf_parts.len(),
+            || (),
+            |_, i| {
+                let members = &leaf_parts[i];
+                let mut node = blank(0);
+                node.users = members.clone();
+                for &u in members {
+                    let w = social.interest(u);
+                    for f in 0..d {
+                        node.lb_w[f] = node.lb_w[f].min(w.weight(f));
+                        node.ub_w[f] = node.ub_w[f].max(w.weight(f));
+                    }
+                    for (k, &d) in user_sn[u as usize].iter().enumerate() {
+                        node.lb_sn[k] = node.lb_sn[k].min(d);
+                        node.ub_sn[k] = node.ub_sn[k].max(d);
+                    }
+                    for (k, &d) in user_rn[u as usize].iter().enumerate() {
+                        node.lb_rn[k] = node.lb_rn[k].min(d);
+                        node.ub_rn[k] = node.ub_rn[k].max(d);
+                    }
+                }
+                node.user_count = members.len();
+                node
+            },
+        );
+        let mut current: Vec<u32> = (0..nodes.len() as u32).collect();
         let mut part_of_user = vec![0u32; m];
-        for members in &leaf_parts {
-            let mut node = blank(0);
-            node.users = members.clone();
-            for &u in members {
-                part_of_user[u as usize] = nodes.len() as u32;
-                let w = social.interest(u);
-                for f in 0..d {
-                    node.lb_w[f] = node.lb_w[f].min(w.weight(f));
-                    node.ub_w[f] = node.ub_w[f].max(w.weight(f));
-                }
-                for (k, &d) in user_sn[u as usize].iter().enumerate() {
-                    node.lb_sn[k] = node.lb_sn[k].min(d);
-                    node.ub_sn[k] = node.ub_sn[k].max(d);
-                }
-                for (k, &d) in user_rn[u as usize].iter().enumerate() {
-                    node.lb_rn[k] = node.lb_rn[k].min(d);
-                    node.ub_rn[k] = node.ub_rn[k].max(d);
-                }
+        for (i, node) in nodes.iter().enumerate() {
+            for &u in &node.users {
+                part_of_user[u as usize] = i as u32;
             }
-            node.user_count = members.len();
-            current.push(nodes.len() as u32);
-            nodes.push(node);
         }
+        stages.stages.push(("leaf_nodes", t0.elapsed()));
 
         // Recursive grouping: connected subgraphs of the quotient graph.
+        let t0 = std::time::Instant::now();
         let mut parent: Vec<u32> = vec![u32::MAX; nodes.len()];
         let mut level = 0u32;
         while current.len() > 1 {
@@ -251,14 +299,16 @@ impl SocialIndex {
             nodes.push(blank(0));
             (nodes.len() - 1) as u32
         });
-        SocialIndex {
+        stages.stages.push(("tree_levels", t0.elapsed()));
+        let idx = SocialIndex {
             nodes,
             root,
             user_sn,
             user_rn,
             social_pivots,
             hop_saturation,
-        }
+        };
+        (idx, stages)
     }
 
     /// Builds `I_S`, first selecting `l` social pivots with Algorithm 1.
@@ -271,7 +321,7 @@ impl SocialIndex {
         let mut ps = cfg.pivot_select.clone();
         ps.count = num_pivots;
         let pivots = crate::pivot_select::select_social_pivots(ssn.social(), &ps);
-        let sp = SocialPivots::new(ssn.social(), pivots);
+        let sp = SocialPivots::new_with_threads(ssn.social(), pivots, cfg.build.threads);
         Self::build(ssn, sp, road_pivots, cfg)
     }
 
@@ -508,6 +558,68 @@ mod tests {
                 assert!(d <= sat, "hop distance {d} above saturation {sat}");
             }
         }
+    }
+
+    /// `I_S` construction is bit-identical for every thread count: node
+    /// structure, MBRs, pivot bounds, and user tables all match the
+    /// sequential build exactly.
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let ssn = small_ssn();
+        let build_at = |threads: usize| {
+            let sp = SocialPivots::new(ssn.social(), vec![0, 1]);
+            let rp = RoadPivots::new(ssn.road(), vec![0, 5]);
+            SocialIndex::build(
+                &ssn,
+                sp,
+                &rp,
+                &SocialIndexConfig {
+                    leaf_size: 16,
+                    fanout: 4,
+                    build: crate::build::BuildOptions::with_threads(threads),
+                    ..Default::default()
+                },
+            )
+        };
+        let base = build_at(1);
+        for threads in [2, 8, 0] {
+            let idx = build_at(threads);
+            assert_eq!(idx.root, base.root, "threads={threads}");
+            assert_eq!(
+                format!("{:?}", idx.nodes),
+                format!("{:?}", base.nodes),
+                "threads={threads}"
+            );
+            assert_eq!(idx.user_sn, base.user_sn, "threads={threads}");
+            let bits = |t: &[Vec<f64>]| -> Vec<Vec<u64>> {
+                t.iter()
+                    .map(|r| r.iter().map(|d| d.to_bits()).collect())
+                    .collect()
+            };
+            assert_eq!(bits(&idx.user_rn), bits(&base.user_rn), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn build_stages_cover_the_pipeline() {
+        let ssn = small_ssn();
+        let sp = SocialPivots::new(ssn.social(), vec![0, 1]);
+        let rp = RoadPivots::new(ssn.road(), vec![0, 5]);
+        let (_, stages) = SocialIndex::build_with_stages(
+            &ssn,
+            sp,
+            &rp,
+            &SocialIndexConfig {
+                leaf_size: 16,
+                fanout: 4,
+                ..Default::default()
+            },
+        );
+        let names: Vec<&str> = stages.stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["user_tables", "leaf_partition", "leaf_nodes", "tree_levels"]
+        );
     }
 
     #[test]

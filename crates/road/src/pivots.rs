@@ -25,13 +25,18 @@ pub struct RoadPivots {
 
 impl RoadPivots {
     /// Precomputes distance tables for the given pivot vertices (one
-    /// Dijkstra per pivot).
+    /// Dijkstra per pivot), sequentially.
     pub fn new(net: &RoadNetwork, pivots: Vec<NodeId>) -> Self {
+        Self::new_with_threads(net, pivots, 1)
+    }
+
+    /// [`RoadPivots::new`] with the columns computed over `threads`
+    /// scoped workers (`0` = all cores). Each column is an independent
+    /// single-source Dijkstra merged back in pivot order, so the table
+    /// is bit-identical for every thread count.
+    pub fn new_with_threads(net: &RoadNetwork, pivots: Vec<NodeId>, threads: usize) -> Self {
         assert!(!pivots.is_empty(), "at least one pivot is required");
-        let table = pivots
-            .iter()
-            .map(|&p| dijkstra_all(net.graph(), &[(p, 0.0)]))
-            .collect();
+        let table = pivot_columns(net, &pivots, threads);
         RoadPivots { pivots, table }
     }
 
@@ -71,6 +76,47 @@ impl RoadPivots {
             })
             .collect()
     }
+}
+
+/// Computes the pivot distance columns, fanning contiguous pivot chunks
+/// out over scoped threads when more than one worker is requested.
+/// Chunk boundaries depend only on the pivot count, and each column is
+/// computed whole by one worker, so the merged table matches the
+/// sequential one exactly.
+// Audited expect: `join` only fails when a column worker panicked, and
+// propagating that panic is exactly the intended behavior.
+#[allow(clippy::expect_used)]
+fn pivot_columns(net: &RoadNetwork, pivots: &[NodeId], threads: usize) -> Vec<Vec<f64>> {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let workers = if threads == 0 { auto() } else { threads }.min(pivots.len());
+    if workers <= 1 {
+        return pivots
+            .iter()
+            .map(|&p| dijkstra_all(net.graph(), &[(p, 0.0)]))
+            .collect();
+    }
+    let chunk = pivots.len().div_ceil(workers);
+    let mut table = Vec::with_capacity(pivots.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pivots
+            .chunks(chunk)
+            .map(|ps| {
+                scope.spawn(move || {
+                    ps.iter()
+                        .map(|&p| dijkstra_all(net.graph(), &[(p, 0.0)]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            table.extend(h.join().expect("pivot column worker panicked"));
+        }
+    });
+    table
 }
 
 /// Triangle-inequality lower bound on `d(a,b)` from per-pivot distance
@@ -143,6 +189,26 @@ mod tests {
     fn rejects_empty_pivot_set() {
         let net = grid(2, 2);
         RoadPivots::new(&net, vec![]);
+    }
+
+    #[test]
+    fn parallel_tables_match_sequential_bitwise() {
+        let net = grid(6, 6);
+        let pivots = vec![0u32, 7, 20, 35, 14];
+        let base = RoadPivots::new(&net, pivots.clone());
+        for threads in [2, 3, 8, 0] {
+            let par = RoadPivots::new_with_threads(&net, pivots.clone(), threads);
+            assert_eq!(par.pivots(), base.pivots());
+            for k in 0..pivots.len() {
+                for v in 0..net.num_vertices() as u32 {
+                    assert_eq!(
+                        par.vertex_dist(k, v).to_bits(),
+                        base.vertex_dist(k, v).to_bits(),
+                        "threads={threads} k={k} v={v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

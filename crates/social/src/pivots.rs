@@ -21,13 +21,19 @@ pub struct SocialPivots {
 }
 
 impl SocialPivots {
-    /// Precomputes hop tables for the given pivot users (one BFS each).
+    /// Precomputes hop tables for the given pivot users (one BFS each),
+    /// sequentially.
     pub fn new(net: &SocialNetwork, pivots: Vec<UserId>) -> Self {
+        Self::new_with_threads(net, pivots, 1)
+    }
+
+    /// [`SocialPivots::new`] with the columns computed over `threads`
+    /// scoped workers (`0` = all cores). Each column is an independent
+    /// BFS merged back in pivot order, so the table is identical for
+    /// every thread count.
+    pub fn new_with_threads(net: &SocialNetwork, pivots: Vec<UserId>, threads: usize) -> Self {
         assert!(!pivots.is_empty(), "at least one pivot is required");
-        let table = pivots
-            .iter()
-            .map(|&p| bfs::hop_distances(net.graph(), p))
-            .collect();
+        let table = hop_columns(net, &pivots, threads);
         SocialPivots { pivots, table }
     }
 
@@ -81,6 +87,47 @@ impl SocialPivots {
     }
 }
 
+/// Computes the pivot hop columns, fanning contiguous pivot chunks out
+/// over scoped threads when more than one worker is requested. Chunk
+/// boundaries depend only on the pivot count, and each column is
+/// computed whole by one worker, so the merged table matches the
+/// sequential one exactly.
+// Audited expect: `join` only fails when a column worker panicked, and
+// propagating that panic is exactly the intended behavior.
+#[allow(clippy::expect_used)]
+fn hop_columns(net: &SocialNetwork, pivots: &[UserId], threads: usize) -> Vec<Vec<u32>> {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let workers = if threads == 0 { auto() } else { threads }.min(pivots.len());
+    if workers <= 1 {
+        return pivots
+            .iter()
+            .map(|&p| bfs::hop_distances(net.graph(), p))
+            .collect();
+    }
+    let chunk = pivots.len().div_ceil(workers);
+    let mut table = Vec::with_capacity(pivots.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pivots
+            .chunks(chunk)
+            .map(|ps| {
+                scope.spawn(move || {
+                    ps.iter()
+                        .map(|&p| bfs::hop_distances(net.graph(), p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            table.extend(h.join().expect("pivot column worker panicked"));
+        }
+    });
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +174,22 @@ mod tests {
     #[should_panic(expected = "at least one pivot")]
     fn rejects_empty_pivots() {
         SocialPivots::new(&chain(2), vec![]);
+    }
+
+    #[test]
+    fn parallel_tables_match_sequential() {
+        let net = chain(12);
+        let pivots = vec![0u32, 3, 7, 11];
+        let base = SocialPivots::new(&net, pivots.clone());
+        for threads in [2, 3, 8, 0] {
+            let par = SocialPivots::new_with_threads(&net, pivots.clone(), threads);
+            assert_eq!(par.pivots(), base.pivots());
+            for k in 0..pivots.len() {
+                for u in 0..12u32 {
+                    assert_eq!(par.dist(k, u), base.dist(k, u), "threads={threads}");
+                }
+            }
+        }
     }
 
     proptest! {

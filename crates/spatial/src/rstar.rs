@@ -79,6 +79,17 @@ pub struct RStarTree {
 /// recommended 30%).
 const REINSERT_FRACTION: f64 = 0.3;
 
+/// Resolves a thread-count knob: `0` means "use all available cores".
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Splits `items` into chunks of at most `cap`, redistributing the final
 /// remainder so every chunk holds at least `min` items (assumes
 /// `min <= cap / 2`, which [`RStarTree::new`] guarantees).
@@ -191,8 +202,21 @@ impl RStarTree {
         items: impl IntoIterator<Item = (ItemId, Point)>,
     ) -> Self {
         let mut tree = RStarTree::new(max_entries);
+        let items: Vec<(ItemId, Point)> = items.into_iter().collect();
+        // Reserve the arena from the known item count: at worst every
+        // node is minimally filled, so `n / min_entries` leaves plus a
+        // thin layer of internals covers the final size.
+        tree.nodes
+            .reserve(items.len() / tree.min_entries + items.len() / (tree.min_entries * 4) + 2);
+        // One reinsertion bitmap reused across all inserts instead of a
+        // fresh `Vec<bool>` per item.
+        let mut reinserted: Vec<bool> = Vec::new();
         for (item, point) in items {
-            tree.insert(item, point);
+            let height = tree.nodes[tree.root as usize].level as usize;
+            reinserted.clear();
+            reinserted.resize(height + 1, false);
+            tree.insert_entry(Entry::Item { item, point }, 0, &mut reinserted);
+            tree.len += 1;
         }
         tree
     }
@@ -400,11 +424,31 @@ impl RStarTree {
     /// nodes bottom-up. Much faster to build than repeated insertion and
     /// produces near-perfectly filled nodes; remainders are redistributed
     /// so every non-root node meets the minimum fill.
-    // Audited unwraps: `partial_cmp` over finite input coordinates.
-    #[allow(clippy::unwrap_used)]
+    ///
+    /// Sequential convenience wrapper around
+    /// [`RStarTree::str_bulk_load_with_threads`] (which yields the same
+    /// tree for every thread count).
     pub fn str_bulk_load(
         max_entries: usize,
         items: impl IntoIterator<Item = (ItemId, Point)>,
+    ) -> Self {
+        Self::str_bulk_load_with_threads(max_entries, items, 1)
+    }
+
+    /// STR bulk loading with the per-slab y-sorts fanned out over
+    /// `threads` scoped worker threads (`0` = all available cores).
+    ///
+    /// The resulting tree is **bit-identical for every thread count**:
+    /// the slab boundaries are fixed by the sequential x-sort before any
+    /// worker starts, each slab is sorted in full by exactly one worker
+    /// with the same stable comparator, and nodes are packed from the
+    /// slabs in slab order after all workers have joined.
+    // Audited unwraps: `partial_cmp` over finite input coordinates.
+    #[allow(clippy::unwrap_used)]
+    pub fn str_bulk_load_with_threads(
+        max_entries: usize,
+        items: impl IntoIterator<Item = (ItemId, Point)>,
+        threads: usize,
     ) -> Self {
         let mut tree = RStarTree::new(max_entries);
         let mut pts: Vec<(ItemId, Point)> = items.into_iter().collect();
@@ -417,13 +461,45 @@ impl RStarTree {
         pts.sort_by(|a, b| a.1.x.partial_cmp(&b.1.x).unwrap());
         let leaf_count = pts.len().div_ceil(cap);
         let slabs = (leaf_count as f64).sqrt().ceil() as usize;
-        let per_slab = pts.len().div_ceil(slabs);
-        let mut level_nodes: Vec<NodeId> = Vec::new();
+        let per_slab = pts.len().div_ceil(slabs).max(1);
+        let workers = resolve_threads(threads).min(pts.len().div_ceil(per_slab));
+        if workers > 1 {
+            // Deal the slab slices round-robin onto the workers; each
+            // slab is sorted wholly by one worker, so the assignment
+            // cannot affect the result.
+            let mut buckets: Vec<Vec<&mut [(ItemId, Point)]>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, slab) in pts.chunks_mut(per_slab).enumerate() {
+                buckets[i % workers].push(slab);
+            }
+            std::thread::scope(|s| {
+                for bucket in buckets {
+                    s.spawn(move || {
+                        for slab in bucket {
+                            slab.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap());
+                        }
+                    });
+                }
+            });
+        } else {
+            for slab in pts.chunks_mut(per_slab) {
+                slab.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap());
+            }
+        }
+        // Reserve the arena up front: exact leaf count from the slab
+        // layout, then one `div_ceil(cap)` layer at a time up to the root.
+        let exact_leaves: usize = pts.chunks(per_slab).map(|s| s.len().div_ceil(cap)).sum();
+        let mut reserve = 0usize;
+        let mut width = exact_leaves;
+        while width > 1 {
+            reserve += width;
+            width = width.div_ceil(cap);
+        }
         tree.nodes.clear();
-        for slab in pts.chunks(per_slab.max(1)) {
-            let mut slab: Vec<(ItemId, Point)> = slab.to_vec();
-            slab.sort_by(|a, b| a.1.y.partial_cmp(&b.1.y).unwrap());
-            for chunk in balanced_chunks(&slab, cap, tree.min_entries) {
+        tree.nodes.reserve(reserve + 1);
+        let mut level_nodes: Vec<NodeId> = Vec::with_capacity(exact_leaves);
+        for slab in pts.chunks(per_slab) {
+            for chunk in balanced_chunks(slab, cap, tree.min_entries) {
                 let id = tree.nodes.len() as NodeId;
                 tree.nodes.push(Node {
                     level: 0,
@@ -440,8 +516,8 @@ impl RStarTree {
         let mut level = 0u32;
         while level_nodes.len() > 1 {
             level += 1;
-            let mut next: Vec<NodeId> = Vec::new();
-            let ids: Vec<NodeId> = level_nodes.clone();
+            let mut next: Vec<NodeId> = Vec::with_capacity(level_nodes.len().div_ceil(cap));
+            let ids: Vec<NodeId> = std::mem::take(&mut level_nodes);
             for chunk in balanced_chunks(&ids, cap, tree.min_entries) {
                 let id = tree.nodes.len() as NodeId;
                 let entries: Vec<Entry> = chunk
@@ -681,24 +757,31 @@ impl RStarTree {
             }
         };
 
-        // (margin_sum, overlap, area, sorted, split_at)
-        let mut best: Option<(f64, f64, f64, Vec<Entry>, usize)> = None;
+        // One scratch order re-sorted per candidate axis and swapped into
+        // `best_sorted` when it wins, with the prefix/suffix MBR arrays
+        // hoisted out of the loop — no per-candidate clone or realloc.
+        let mut scratch: Vec<Entry> = Vec::with_capacity(total);
+        let mut best_sorted: Vec<Entry> = Vec::with_capacity(total);
+        let mut prefix = vec![Rect::empty(); total + 1];
+        let mut suffix = vec![Rect::empty(); total + 1];
+        // (margin_sum, overlap, area, split_at)
+        let mut best: Option<(f64, f64, f64, usize)> = None;
         for axis in 0..2usize {
             for upper in [false, true] {
-                let mut sorted = entries.clone();
-                sorted.sort_by(|a, b| {
+                scratch.clone_from(&entries);
+                scratch.sort_by(|a, b| {
                     sort_key(a, axis, upper)
                         .partial_cmp(&sort_key(b, axis, upper))
                         .unwrap()
                 });
                 // Prefix/suffix MBRs for O(k) evaluation.
-                let mut prefix = vec![Rect::empty(); total + 1];
+                prefix[0] = Rect::empty();
                 for i in 0..total {
-                    prefix[i + 1] = prefix[i].union(&sorted[i].mbr());
+                    prefix[i + 1] = prefix[i].union(&scratch[i].mbr());
                 }
-                let mut suffix = vec![Rect::empty(); total + 1];
+                suffix[total] = Rect::empty();
                 for i in (0..total).rev() {
-                    suffix[i] = suffix[i + 1].union(&sorted[i].mbr());
+                    suffix[i] = suffix[i + 1].union(&scratch[i].mbr());
                 }
                 let mut margin_sum = 0.0;
                 let mut axis_best: Option<(f64, f64, usize)> = None;
@@ -720,15 +803,16 @@ impl RStarTree {
                 // axis, `axis_best` already minimized overlap then area.
                 let replace = match &best {
                     None => true,
-                    Some((bm, bo, ba, _, _)) => (margin_sum, overlap, area) < (*bm, *bo, *ba),
+                    Some((bm, bo, ba, _)) => (margin_sum, overlap, area) < (*bm, *bo, *ba),
                 };
                 if replace {
-                    best = Some((margin_sum, overlap, area, sorted, k));
+                    best = Some((margin_sum, overlap, area, k));
+                    std::mem::swap(&mut best_sorted, &mut scratch);
                 }
             }
         }
-        let (_, _, _, sorted, k) = best.expect("split candidates exist");
-        let mut keep = sorted;
+        let (_, _, _, k) = best.expect("split candidates exist");
+        let mut keep = best_sorted;
         let moved = keep.split_off(k);
         (keep, moved)
     }
@@ -1012,6 +1096,23 @@ mod tests {
     }
 
     #[test]
+    fn str_bulk_load_is_thread_count_invariant() {
+        let items: Vec<(ItemId, Point)> = (0..700)
+            .map(|i| (i, Point::new((i * 37 % 211) as f64, (i * 53 % 193) as f64)))
+            .collect();
+        let base = RStarTree::str_bulk_load_with_threads(12, items.iter().copied(), 1);
+        base.validate();
+        for threads in [2usize, 8, 0] {
+            let t = RStarTree::str_bulk_load_with_threads(12, items.iter().copied(), threads);
+            assert_eq!(
+                format!("{base:?}"),
+                format!("{t:?}"),
+                "STR tree differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
     fn str_bulk_load_empty_and_tiny() {
         let tree = RStarTree::str_bulk_load(8, std::iter::empty());
         assert!(tree.is_empty());
@@ -1050,6 +1151,54 @@ mod tests {
             let mut expected: Vec<ItemId> = model.iter().map(|&(i, _)| i).collect();
             expected.sort_unstable();
             prop_assert_eq!(got, expected);
+        }
+
+        /// STR-built and insert-built trees answer identical range, exact
+        /// point, and ball (within-radius) queries on random point sets.
+        #[test]
+        fn str_matches_insert_build_on_queries(
+            seed in 0u64..200,
+            n in 1usize..300,
+            cap in 4usize..24,
+            threads in 0usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items: Vec<(ItemId, Point)> = (0..n as u32)
+                .map(|i| (i, Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))))
+                .collect();
+            let str_tree = RStarTree::str_bulk_load_with_threads(cap, items.iter().copied(), threads);
+            let ins_tree = RStarTree::bulk_build(cap, items.iter().copied());
+            str_tree.validate();
+            let sorted_ids = |v: Vec<(ItemId, Point)>| {
+                let mut ids: Vec<ItemId> = v.into_iter().map(|(i, _)| i).collect();
+                ids.sort_unstable();
+                ids
+            };
+            // Range query.
+            let a = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let b = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let rect = Rect::new(
+                Point::new(a.x.min(b.x), a.y.min(b.y)),
+                Point::new(a.x.max(b.x), a.y.max(b.y)),
+            );
+            prop_assert_eq!(
+                sorted_ids(str_tree.range_query(&rect)),
+                sorted_ids(ins_tree.range_query(&rect))
+            );
+            // Exact point query (degenerate rect on an indexed point).
+            let probe = items[rng.gen_range(0..items.len())].1;
+            let point_rect = Rect::from_point(probe);
+            prop_assert_eq!(
+                sorted_ids(str_tree.range_query(&point_rect)),
+                sorted_ids(ins_tree.range_query(&point_rect))
+            );
+            // Ball query.
+            let c = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let r = rng.gen_range(0.0..60.0);
+            prop_assert_eq!(
+                sorted_ids(str_tree.within_radius(&c, r)),
+                sorted_ids(ins_tree.within_radius(&c, r))
+            );
         }
 
         /// STR bulk load: invariants + retrievability on random sets.

@@ -306,3 +306,43 @@ fn batch_counter_merge_is_deterministic_across_runs() {
         .expect("per-query CPU histogram present");
     assert_eq!(cpu.count, queries.len() as u64);
 }
+
+#[test]
+fn build_stage_histograms_and_witness_counters_are_recorded() {
+    let ssn = synthetic(&SyntheticConfig::uni().scaled(0.01), 19);
+    let obs = Arc::new(Obs::with_metrics());
+    let _engine = GpSsnEngine::build(&ssn, small_cfg(19, Some(obs.clone())));
+    let snap = obs.base_registry().snapshot();
+    // Every stage of the build pipeline lands one observation in the
+    // gpssn_build_stage_ns histogram.
+    for stage in [
+        "road_pivots",
+        "social_pivots",
+        "poi_augment",
+        "rstar_str",
+        "node_aggregate",
+        "ch_contract",
+        "user_tables",
+        "leaf_partition",
+        "leaf_nodes",
+        "tree_levels",
+    ] {
+        let h = snap
+            .histogram("gpssn_build_stage_ns", &[("stage", stage)])
+            .unwrap_or_else(|| panic!("build stage {stage:?} not recorded"));
+        assert_eq!(h.count, 1, "stage {stage:?} recorded {} times", h.count);
+    }
+    // The CH contraction reused its witness workspaces: every candidate
+    // simulation resets the search, and all but the first per workspace
+    // recycle previously-touched state instead of reallocating.
+    let resets = snap.counter("gpssn_build_witness_resets_total", &[]);
+    let recycles = snap.counter("gpssn_build_witness_recycles_total", &[]);
+    assert!(resets > 0, "no witness searches ran during the build");
+    assert!(recycles > 0, "witness workspaces were never recycled");
+    assert!(recycles <= resets);
+    assert!(snap.counter("gpssn_build_ch_shortcuts_total", &[]) > 0);
+
+    // A build without a metrics sink records nothing (and still works).
+    let quiet = GpSsnEngine::build(&ssn, small_cfg(19, None));
+    assert!(quiet.obs_handle().is_none());
+}
