@@ -72,12 +72,31 @@
 //! Budget flags set the default budget for requests that carry none.
 //! Exit is 0 once the stream drains, regardless of per-request failures;
 //! 74 signals an I/O error on the stream itself.
+//!
+//! Serving-mode observability:
+//!
+//! * `--telemetry-addr ADDR` — bind a live HTTP endpoint for the
+//!   duration of the stream: `GET /metrics` (Prometheus), `/health`,
+//!   `/slo`, and `/flight` (see `gpssn_core::telemetry`).
+//! * `--metrics-out FILE`, `--slo-out FILE`, `--trace-out FILE` — dump
+//!   the final metric snapshot, rolling SLO window, and tail-sampled
+//!   Chrome trace when the stream ends. The dumps are written on *every*
+//!   exit path — clean EOF and stream I/O error (exit 74) alike.
+//! * `--slow-ms N` / `--head-rate N` — tail-sampling policy: traces of
+//!   errored/shed/degraded queries are always kept, queries at least
+//!   `N` ms slow are kept (`0` disables), and 1-in-`head-rate` of the
+//!   boring rest survive (`0` keeps none).
+//! * `--flight-cap N` — flight-recorder ring size (default 256).
+//!
+//! A request line `{"control":"metrics"|"slo"|"flight"}` returns the
+//! same telemetry inline on stdout instead of running a query.
 
 use gpssn_core::{
     serve_jsonl, suggest_parameters, Completion, DegradationPolicy, EngineConfig, GpSsnEngine,
     GpSsnError, GpSsnQuery, OverloadPolicy, QueryBudget, QueryOptions, QueryOutcome, ServeConfig,
+    ServeObs, ServeObsConfig,
 };
-use gpssn_obs::{Obs, ObsConfig};
+use gpssn_obs::{FlightConfig, Obs, ObsConfig, Registry, TailConfig};
 use gpssn_ssn::{load_ssn, DatasetStats, SpatialSocialNetwork};
 use std::io::BufRead;
 use std::sync::Arc;
@@ -89,7 +108,8 @@ const USAGE: &str = "usage: gpq --data FILE [--user N] [--tau N] [--gamma F] [--
      [--trace-out FILE] [--metrics-out FILE] [--log jsonl] [--chaos-seed N]\n\
        gpq serve --data FILE [--queries FILE] [--threads N] [--queue-cap N] [--shed] \
      [--build-threads N] [--timeout-ms N] [--max-pops N] [--max-groups N] [--max-settles N] \
-     [--metrics-out FILE] [--chaos-seed N]";
+     [--telemetry-addr ADDR] [--metrics-out FILE] [--slo-out FILE] [--trace-out FILE] \
+     [--slow-ms N] [--head-rate N] [--flight-cap N] [--chaos-seed N]";
 
 fn die_usage(msg: &str) -> ! {
     eprintln!("gpq: {msg}");
@@ -284,7 +304,12 @@ fn main() {
     if let Some(samples) = approx {
         let out = match engine.try_query_approximate(&q, samples, 7, &budget) {
             Ok(out) => out,
-            Err(e) => fail(&e),
+            Err(e) => {
+                // Failed queries are when the trace matters most —
+                // flush before the error exit.
+                emit_telemetry(&sinks, &engine, &q, "approximate", None);
+                fail(&e)
+            }
         };
         emit_telemetry(&sinks, &engine, &q, "approximate", Some(&out));
         let code = report_completion(&out.completion);
@@ -299,7 +324,10 @@ fn main() {
     if top_k > 1 {
         let out = match engine.try_query_top_k(&q, top_k, &budget) {
             Ok(out) => out,
-            Err(e) => fail(&e),
+            Err(e) => {
+                emit_telemetry(&sinks, &engine, &q, "top_k", None);
+                fail(&e)
+            }
         };
         emit_telemetry(&sinks, &engine, &q, "top_k", None);
         let code = report_completion(&out.completion);
@@ -319,7 +347,10 @@ fn main() {
     }
     let out = match engine.try_query_with_options(&q, &opts, &budget) {
         Ok(out) => out,
-        Err(e) => fail(&e),
+        Err(e) => {
+            emit_telemetry(&sinks, &engine, &q, "exact", None);
+            fail(&e)
+        }
     };
     emit_telemetry(&sinks, &engine, &q, "exact", Some(&out));
     let code = report_completion(&out.completion);
@@ -473,6 +504,12 @@ fn serve_main(args: &[String]) -> ! {
     let mut shed = false;
     let mut budget = QueryBudget::unlimited();
     let mut metrics_out: Option<String> = None;
+    let mut slo_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut telemetry_addr: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut head_rate: Option<u64> = None;
+    let mut flight_cap: Option<usize> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut build_threads = 0usize;
     let mut i = 0;
@@ -512,6 +549,35 @@ fn serve_main(args: &[String]) -> ! {
             "--metrics-out" => {
                 metrics_out = Some(take(args, &mut i, "--metrics-out", "a file path"))
             }
+            "--slo-out" => slo_out = Some(take(args, &mut i, "--slo-out", "a file path")),
+            "--trace-out" => trace_out = Some(take(args, &mut i, "--trace-out", "a file path")),
+            "--telemetry-addr" => {
+                telemetry_addr = Some(take(
+                    args,
+                    &mut i,
+                    "--telemetry-addr",
+                    "a bind address (host:port)",
+                ))
+            }
+            "--slow-ms" => {
+                slow_ms = Some(take(
+                    args,
+                    &mut i,
+                    "--slow-ms",
+                    "milliseconds (0 disables the slow-trace trigger)",
+                ))
+            }
+            "--head-rate" => {
+                head_rate = Some(take(
+                    args,
+                    &mut i,
+                    "--head-rate",
+                    "a 1-in-N rate (0 keeps no boring traces)",
+                ))
+            }
+            "--flight-cap" => {
+                flight_cap = Some(take(args, &mut i, "--flight-cap", "a record count"))
+            }
             "--chaos-seed" => chaos_seed = Some(take(args, &mut i, "--chaos-seed", "a seed")),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -523,11 +589,13 @@ fn serve_main(args: &[String]) -> ! {
     }
 
     let ssn = load_dataset(&data);
-    let obs = metrics_out.is_some().then(|| {
+    // Tail sampling buffers spans per query, so `--trace-out` needs the
+    // tracer on even without a metrics sink.
+    let obs = (metrics_out.is_some() || trace_out.is_some()).then(|| {
         Arc::new(Obs::new(ObsConfig {
-            metrics: true,
-            tracing: false,
-            trace_capacity: 0,
+            metrics: metrics_out.is_some() || telemetry_addr.is_some(),
+            tracing: trace_out.is_some(),
+            trace_capacity: if trace_out.is_some() { 1 << 16 } else { 0 },
         }))
     });
     eprintln!("building indexes...");
@@ -564,6 +632,23 @@ fn serve_main(args: &[String]) -> ! {
         );
     }
 
+    let defaults = TailConfig::default();
+    let obs_cfg = ServeObsConfig {
+        flight: FlightConfig {
+            capacity: flight_cap.unwrap_or_else(|| FlightConfig::default().capacity),
+        },
+        tail: TailConfig {
+            latency_threshold: match slow_ms {
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+                None => defaults.latency_threshold,
+            },
+            head_rate: head_rate.unwrap_or(defaults.head_rate),
+            seed: chaos_seed.unwrap_or(defaults.seed),
+        },
+        ..Default::default()
+    };
+    let tele = Arc::new(ServeObs::new(&obs_cfg));
     let cfg = ServeConfig {
         threads,
         queue_capacity: queue_cap,
@@ -574,6 +659,8 @@ fn serve_main(args: &[String]) -> ! {
         } else {
             OverloadPolicy::Block
         },
+        telemetry: Arc::clone(&tele),
+        telemetry_addr: telemetry_addr.clone(),
     };
     // One incremental line reader serves both modes: a request file and
     // stdin are the same stream to `serve_jsonl`.
@@ -590,10 +677,39 @@ fn serve_main(args: &[String]) -> ! {
             Box::new(std::io::stdin().lock())
         }
     };
+    // Announce the bound telemetry address (resolved inside `serve`,
+    // useful with a `:0` port) or the bind failure, from a detached
+    // poller so the serve loop itself stays print-free.
+    if telemetry_addr.is_some() {
+        let tele = Arc::clone(&tele);
+        std::thread::spawn(move || {
+            for _ in 0..500 {
+                if let Some(addr) = tele.telemetry_addr() {
+                    eprintln!(
+                        "telemetry: listening on http://{addr} (/metrics /health /slo /flight)"
+                    );
+                    return;
+                }
+                if let Some(e) = tele.listener_error() {
+                    eprintln!("gpq: telemetry listener never started: {e}");
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+    }
+    let sinks = ServeSinks {
+        metrics_out,
+        slo_out,
+        trace_out,
+    };
     let stats = match serve_jsonl(&engine, &cfg, reader, std::io::stdout()) {
         Ok(stats) => stats,
         Err(e) => {
+            // A broken stream must not lose the telemetry already
+            // gathered: flush everything before the 74 exit.
             eprintln!("gpq: serve stream I/O error: {e}");
+            flush_serve_telemetry(&sinks, &engine, &obs, &tele);
             std::process::exit(74);
         }
     };
@@ -601,16 +717,74 @@ fn serve_main(args: &[String]) -> ! {
         "served: {} submitted, {} ran, {} shed expired, {} shed overloaded, {} malformed",
         stats.submitted, stats.served, stats.shed_expired, stats.shed_overloaded, stats.rejected
     );
-    if let (Some(p), Some(obs)) = (&metrics_out, &obs) {
-        engine.publish_cache_metrics();
-        let snap = obs.base_registry().snapshot();
+    flush_serve_telemetry(&sinks, &engine, &obs, &tele);
+    std::process::exit(0);
+}
+
+/// Where `gpq serve` dumps its telemetry when the stream ends — cleanly
+/// or not.
+struct ServeSinks {
+    metrics_out: Option<String>,
+    slo_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Writes every requested telemetry artifact. Called on *all* serve
+/// exits (clean EOF and stream I/O error alike): partial telemetry from
+/// a crashed stream is exactly what the post-mortem needs. Write
+/// failures are warnings — the exit code belongs to the stream.
+fn flush_serve_telemetry(
+    sinks: &ServeSinks,
+    engine: &GpSsnEngine,
+    obs: &Option<Arc<Obs>>,
+    tele: &ServeObs,
+) {
+    if let Some(p) = &sinks.metrics_out {
+        // Same snapshot the /metrics route serves: the engine registry
+        // refreshed with cache + serve-layer series when a sink is
+        // attached, else a scratch registry with just the serve layer.
+        let snap = match obs {
+            Some(obs) => {
+                engine.publish_cache_metrics();
+                tele.publish(obs.base_registry());
+                obs.base_registry().snapshot()
+            }
+            None => {
+                let reg = Registry::new();
+                tele.publish(&reg);
+                reg.snapshot()
+            }
+        };
         if let Err(e) = std::fs::write(p, snap.to_prometheus()) {
             eprintln!("gpq: cannot write {p}: {e}");
         } else {
             eprintln!("metrics written to {p}");
         }
     }
-    std::process::exit(0);
+    if let Some(p) = &sinks.slo_out {
+        let line = format!("{}\n", tele.slo().to_json(tele.slo().now_ns()));
+        if let Err(e) = std::fs::write(p, line) {
+            eprintln!("gpq: cannot write {p}: {e}");
+        } else {
+            eprintln!("SLO window written to {p}");
+        }
+    }
+    if let Some(p) = &sinks.trace_out {
+        let records = obs
+            .as_ref()
+            .map(|o| o.tracer().records())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(p, gpssn_obs::chrome_trace_json(&records)) {
+            eprintln!("gpq: cannot write {p}: {e}");
+        } else {
+            let (outcome, slow, head, dropped) = tele.tail().stats();
+            eprintln!(
+                "trace with {} spans written to {p} (tail sampling kept \
+                 {outcome} by outcome, {slow} slow, {head} head; dropped {dropped})",
+                records.len()
+            );
+        }
+    }
 }
 
 fn report(mode: &str, answer: &Option<gpssn_core::GpSsnAnswer>, io: u64, cpu: std::time::Duration) {

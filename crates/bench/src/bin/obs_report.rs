@@ -5,6 +5,14 @@
 //! The same comparison runs under Criterion in `benches/obs_overhead.rs`;
 //! this bin trades statistical rigor for one machine-readable artifact.
 //!
+//! A fifth configuration, `flight_tail`, measures the always-on
+//! continuous serve layer: the disabled-`Obs` engine plus exactly the
+//! per-request work a serve worker adds — one clock read, a rolling SLO
+//! window record, a tail-sampling decision, and a flight-recorder ring
+//! push. Its `vs_disabled_pct` is the cost of the always-on recorder
+//! over the PR-4 disabled baseline, and `GPSSN_OBS_ASSERT=1` turns the
+//! 1% budget on both `disabled` and `flight_tail` into hard assertions.
+//!
 //! Passes are interleaved round-robin across the configurations and
 //! the per-config minimum is kept, so slow machine drift cancels out
 //! of the overhead ratios.
@@ -14,12 +22,18 @@
 //!     [--scale F] [--seed N] [--reps N] [--out BENCH_obs.json]
 //! ```
 
-use gpssn_core::{EngineConfig, GpSsnEngine, GpSsnQuery};
-use gpssn_obs::{Obs, ObsConfig};
+use gpssn_core::{EngineConfig, GpSsnEngine, GpSsnQuery, QueryOutcome};
+use gpssn_obs::{
+    FlightConfig, FlightCounters, FlightRecord, FlightRecorder, Obs, ObsConfig, ServeClass,
+    SloConfig, SloMonitor, TailConfig, TailSampler, WindowConfig,
+};
 use gpssn_ssn::{DatasetKind, SpatialSocialNetwork};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A named timed pass over the corpus.
+type Pass<'a> = (&'a str, Box<dyn Fn() + 'a>);
 
 /// One timed wall-clock pass of `f`, in seconds.
 fn timed_pass<T>(mut f: impl FnMut() -> T) -> f64 {
@@ -57,6 +71,72 @@ fn corpus(ssn: &SpatialSocialNetwork) -> Vec<GpSsnQuery> {
 fn run(eng: &GpSsnEngine, queries: &[GpSsnQuery]) {
     for q in queries {
         std::hint::black_box(eng.query(q));
+    }
+}
+
+/// The always-on continuous layer a serve worker threads around each
+/// request, shared by the `flight_tail` configuration's passes.
+struct Continuous {
+    flight: FlightRecorder,
+    tail: TailSampler,
+    slo: SloMonitor,
+}
+
+impl Continuous {
+    fn new() -> Self {
+        Continuous {
+            flight: FlightRecorder::new(&FlightConfig::default()),
+            tail: TailSampler::new(&TailConfig::default()),
+            slo: SloMonitor::new(&WindowConfig::default(), SloConfig::default()),
+        }
+    }
+
+    /// Exactly the per-request bookkeeping `serve`'s `record_completion`
+    /// does for a successful query: clock read, SLO record, tail
+    /// decision, flight push.
+    fn record(&self, seq: u64, out: &QueryOutcome) {
+        let m = &out.metrics;
+        let latency_ns = m.cpu.as_nanos().min(u64::MAX as u128) as u64;
+        let now_ns = self.slo.now_ns();
+        self.slo.record(now_ns, latency_ns, 0, ServeClass::Ok);
+        let decision = self.tail.decide(latency_ns, false);
+        let s = &m.stats;
+        self.flight.record(FlightRecord {
+            id: 0, // reassigned by the recorder
+            seq,
+            class: "ok",
+            completion: "exact",
+            code: "",
+            backend: "",
+            end_ns: now_ns,
+            total_ns: latency_ns,
+            queue_wait_ns: 0,
+            io_pages: m.io_pages,
+            heap_pops: m.heap_pops,
+            settles: m.total_settles(),
+            cache_hits: m.cache.ball_hits + m.cache.dist_hits,
+            cache_misses: m.cache.ball_misses + m.cache.dist_misses,
+            counters: FlightCounters {
+                users_total: s.users_total as u64,
+                users_pruned_index: s.users_pruned_index as u64,
+                users_pruned_object: s.users_pruned_object as u64,
+                pois_total: s.pois_total as u64,
+                pois_pruned_index: s.pois_pruned_index as u64,
+                pois_pruned_object: s.pois_pruned_object as u64,
+                candidate_users: s.candidate_users as u64,
+                candidate_pois: s.candidate_pois as u64,
+                pairs_refined: s.pairs_refined,
+            },
+            phases: Vec::new(),
+            trace_committed: decision.keep(),
+        });
+    }
+}
+
+fn run_recorded(eng: &GpSsnEngine, queries: &[GpSsnQuery], cont: &Continuous) {
+    for (i, q) in queries.iter().enumerate() {
+        let out = std::hint::black_box(eng.query(q));
+        cont.record(i as u64, &out);
     }
 }
 
@@ -133,22 +213,40 @@ fn main() {
             (name, eng)
         })
         .collect();
+    // The continuous-layer configuration rides on the disabled engine
+    // (PR-4's attached-but-off baseline) plus the serve worker's
+    // per-request recording.
+    let cont = Continuous::new();
+    let disabled_eng = &engines[1].1;
+    let queries = &queries;
+    let passes: Vec<Pass<'_>> = engines
+        .iter()
+        .map(|(name, eng)| {
+            let f: Box<dyn Fn() + '_> = Box::new(move || run(eng, queries));
+            (*name, f)
+        })
+        .chain(std::iter::once((
+            "flight_tail",
+            Box::new(|| run_recorded(disabled_eng, queries, &cont)) as Box<dyn Fn() + '_>,
+        )))
+        .collect();
     // Interleave passes round-robin across configurations so slow
     // machine drift (thermal, co-tenant noise) hits every config
     // equally, and keep the per-config minimum — the least-perturbed
     // pass, the standard noise-robust estimator for overhead ratios.
-    let mut best = vec![f64::INFINITY; engines.len()];
+    let mut best = vec![f64::INFINITY; passes.len()];
     for _ in 0..reps {
-        for (i, (_, eng)) in engines.iter().enumerate() {
-            best[i] = best[i].min(timed_pass(|| run(eng, &queries)));
+        for (i, (_, pass)) in passes.iter().enumerate() {
+            best[i] = best[i].min(timed_pass(pass));
         }
     }
     let mut secs = Vec::new();
-    for ((name, _), t) in engines.iter().zip(best) {
-        eprintln!("{name:>9}: {t:.4}s");
+    for ((name, _), t) in passes.iter().zip(best) {
+        eprintln!("{name:>11}: {t:.4}s");
         secs.push((*name, t));
     }
     let base = secs[0].1;
+    let disabled = secs[1].1;
     let mut fields = String::new();
     for (name, t) in &secs {
         fields.push_str(&format!(
@@ -156,12 +254,38 @@ fn main() {
             (t / base - 1.0) * 100.0
         ));
     }
+    // The recorder's own cost: always-on continuous layer over the
+    // disabled baseline it wraps.
+    let flight_tail = secs
+        .iter()
+        .find(|(n, _)| *n == "flight_tail")
+        .map(|(_, t)| *t)
+        .unwrap_or(disabled);
+    let recorder_pct = (flight_tail / disabled - 1.0) * 100.0;
     let json = format!(
         "{{\n  \"dataset\": {{\"kind\": \"Uni\", \"scale\": {scale}, \"seed\": {seed}, \
-         \"queries\": {}}},\n{fields}  \"budget\": {{\"disabled_overhead_limit_pct\": 1.0}}\n}}\n",
+         \"queries\": {}}},\n{fields}  \"flight_tail_vs_disabled_pct\": {recorder_pct:.3},\n  \
+         \"budget\": {{\"disabled_overhead_limit_pct\": 1.0, \
+         \"flight_tail_vs_disabled_limit_pct\": 1.0}}\n}}\n",
         queries.len()
     );
     let mut f = std::fs::File::create(&out).expect("create output file");
     f.write_all(json.as_bytes()).expect("write report");
     eprintln!("wrote {out}");
+    if std::env::var_os("GPSSN_OBS_ASSERT").is_some() {
+        let disabled_pct = (disabled / base - 1.0) * 100.0;
+        assert!(
+            disabled_pct < 1.0,
+            "disabled Obs overhead {disabled_pct:.3}% breaches the 1% budget"
+        );
+        assert!(
+            recorder_pct < 1.0,
+            "flight recorder + tail sampler overhead {recorder_pct:.3}% over the \
+             disabled baseline breaches the 1% budget"
+        );
+        eprintln!(
+            "asserted: disabled {disabled_pct:.3}% < 1%, flight_tail vs disabled \
+             {recorder_pct:.3}% < 1%"
+        );
+    }
 }

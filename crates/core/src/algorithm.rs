@@ -1796,9 +1796,18 @@ impl<'a> GpSsnEngine<'a> {
         // pilot is simply claim 0 of the same protocol, so determinism
         // is untouched.
         let pilot = worker(1);
+        // If the query thread is buffering spans for tail sampling,
+        // workers adopt the same capture so their verification spans
+        // stay with (and live or die with) the query's trace.
+        let capture = gpssn_obs::trace::capture_handle();
         let results: Vec<WorkerResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|| worker(usize::MAX)))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let _adopt = capture.as_ref().map(gpssn_obs::trace::adopt_capture);
+                        worker(usize::MAX)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

@@ -40,6 +40,7 @@ pub mod refinement;
 pub mod sampling;
 pub mod serve;
 pub mod stats;
+pub mod telemetry;
 pub mod tuning;
 
 pub use algorithm::{
@@ -56,8 +57,8 @@ pub use query::{GpSsnAnswer, GpSsnQuery};
 pub use refinement::{verify_center, CenterVerification, ChBackend, VerifyContext};
 pub use sampling::{sample_connected_group, verify_center_sampled};
 pub use serve::{
-    serve, serve_jsonl, OverloadPolicy, ServeConfig, ServeRequest, ServeResponse, ServeStats,
-    Submission,
+    serve, serve_jsonl, OverloadPolicy, ServeConfig, ServeObs, ServeObsConfig, ServeRequest,
+    ServeResponse, ServeStats, Submission,
 };
 pub use stats::{BackendServed, CacheStats, PruningStats, QueryMetrics, QueryOutcome, TopKOutcome};
 pub use tuning::{suggest_parameters, TunedParameters};

@@ -33,6 +33,18 @@
 //!   `gpssn_serve_served_total`, `gpssn_serve_shed_total{reason}`
 //!   (counters), and the per-request `gpssn_serve_queue_wait_ns`
 //!   histogram.
+//! * **Continuous observability** — independent of the engine's `Obs`,
+//!   every serve call records into an always-on [`ServeObs`]: a
+//!   [flight recorder](gpssn_obs::flight) of recent completed-request
+//!   records, [rolling SLO windows](gpssn_obs::window) over latency and
+//!   queue wait, and [tail-based trace sampling](gpssn_obs::tail) that
+//!   commits a query's buffered span tree to the trace sink only when
+//!   the query was slow, errored, shed, or degraded (plus a
+//!   deterministic 1-in-N head sample). Set
+//!   [`ServeConfig::telemetry_addr`] to expose it all over a
+//!   zero-dependency HTTP listener (`/metrics`, `/health`, `/slo`,
+//!   `/flight` — see [`crate::telemetry`]), or send a JSONL control
+//!   line (`{"control":"flight"}`) to get the same dumps in-stream.
 //!
 //! [`serve`] is the programmatic entry point (an iterator of
 //! [`Submission`]s in, an in-order response callback out); [`serve_jsonl`]
@@ -49,14 +61,18 @@
 //! overload policy, exercising the shedding path without real pressure.
 
 use crate::algorithm::{resolve_threads, run_isolated, GpSsnEngine, QueryOptions};
-use crate::error::{GpSsnError, QueryBudget};
+use crate::error::{Completion, GpSsnError, QueryBudget};
 use crate::query::{GpSsnAnswer, GpSsnQuery};
 use crate::stats::QueryOutcome;
-use gpssn_obs::{json, Obs};
+use gpssn_obs::{
+    json, FlightConfig, FlightCounters, FlightRecord, FlightRecorder, Obs, Registry, ServeClass,
+    SloConfig, SloMonitor, SpanRecord, TailConfig, TailDecision, TailSampler, WindowConfig,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// What to do when a request arrives and the submission queue is full.
@@ -71,6 +87,113 @@ pub enum OverloadPolicy {
     /// The right choice when blocking the submitter would block the
     /// caller's event loop.
     Shed,
+}
+
+/// Continuous-observability knobs for one serve call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeObsConfig {
+    /// Flight-recorder ring size.
+    pub flight: FlightConfig,
+    /// Tail-sampling policy (latency threshold, head rate, seed).
+    pub tail: TailConfig,
+    /// Rolling-window shape shared by the latency / queue-wait / SLO
+    /// windows.
+    pub window: WindowConfig,
+    /// The SLO evaluated over the rolling window.
+    pub slo: SloConfig,
+}
+
+/// The always-on serve-path observability state: flight recorder,
+/// rolling SLO windows, tail sampler, and live queue depth. One
+/// instance is shared (via `Arc` in [`ServeConfig::telemetry`]) by the
+/// serve workers, the telemetry endpoint, and the caller, who can
+/// inspect it after — or, from another thread, during — the serve call.
+///
+/// Unlike the engine's optional `Obs`, this layer stays on even when
+/// metrics and tracing are disabled; it is sized to cost one short
+/// mutex acquisition per completed request.
+pub struct ServeObs {
+    flight: FlightRecorder,
+    slo: SloMonitor,
+    tail: TailSampler,
+    queue_depth: AtomicI64,
+    bound: Mutex<Option<SocketAddr>>,
+    listener_error: Mutex<Option<String>>,
+}
+
+impl std::fmt::Debug for ServeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObs")
+            .field("flight_records", &self.flight.len())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl ServeObs {
+    pub fn new(cfg: &ServeObsConfig) -> Self {
+        ServeObs {
+            flight: FlightRecorder::new(&cfg.flight),
+            slo: SloMonitor::new(&cfg.window, cfg.slo),
+            tail: TailSampler::new(&cfg.tail),
+            queue_depth: AtomicI64::new(0),
+            bound: Mutex::new(None),
+            listener_error: Mutex::new(None),
+        }
+    }
+
+    /// The flight recorder (ring of recent completed-request records).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The rolling SLO monitor.
+    pub fn slo(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// The tail sampler's state.
+    pub fn tail(&self) -> &TailSampler {
+        &self.tail
+    }
+
+    /// Requests admitted to the queue and not yet dispatched. Exactly 0
+    /// after a serve call drains.
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The address the telemetry listener actually bound (useful with
+    /// a `:0` port), or `None` when no listener is running.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        *lock(&self.bound)
+    }
+
+    /// Why the telemetry listener failed to start, if it did.
+    pub fn listener_error(&self) -> Option<String> {
+        lock(&self.listener_error).clone()
+    }
+
+    /// Publishes the rolling windows, tail-sampler tallies, and flight
+    /// gauges into `reg` as absolute values — safe to call repeatedly
+    /// before every scrape.
+    pub fn publish(&self, reg: &Registry) {
+        self.slo.publish(reg, self.slo.now_ns());
+        let (outcome, slow, head, dropped) = self.tail.stats();
+        for (reason, n) in [("outcome", outcome), ("slow", slow), ("head", head)] {
+            reg.set_counter("gpssn_trace_tail_committed_total", &[("reason", reason)], n);
+        }
+        reg.set_counter("gpssn_trace_tail_dropped_total", &[], dropped);
+        reg.set_gauge("gpssn_flight_records", &[], self.flight.len() as f64);
+        reg.set_counter("gpssn_flight_evicted_total", &[], self.flight.dropped());
+        reg.set_gauge("gpssn_serve_queue_depth", &[], self.queue_depth() as f64);
+    }
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new(&ServeObsConfig::default())
+    }
 }
 
 /// Serving-layer configuration.
@@ -89,6 +212,15 @@ pub struct ServeConfig {
     pub options: QueryOptions,
     /// Full-queue behavior.
     pub overload: OverloadPolicy,
+    /// The continuous-observability state this serve call records into.
+    /// Cloning the config shares it; keep a clone of the `Arc` to read
+    /// the flight recorder / SLO windows after (or during) the call.
+    pub telemetry: Arc<ServeObs>,
+    /// When set, a hand-rolled HTTP/1.1 listener binds here for the
+    /// duration of the serve call, serving `GET /metrics`, `/health`,
+    /// `/slo`, and `/flight` concurrently with query traffic. Use a
+    /// `:0` port and [`ServeObs::telemetry_addr`] to let the OS pick.
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +231,8 @@ impl Default for ServeConfig {
             default_budget: QueryBudget::unlimited(),
             options: QueryOptions::default(),
             overload: OverloadPolicy::Block,
+            telemetry: Arc::new(ServeObs::default()),
+            telemetry_addr: None,
         }
     }
 }
@@ -235,6 +369,7 @@ where
     };
     let _capture = crate::panic_capture::capture_scope();
     let obs = metrics_of(engine);
+    let tele = cfg.telemetry.as_ref();
 
     let state = Mutex::new(QueueState {
         queue: VecDeque::new(),
@@ -250,119 +385,193 @@ where
     let served = AtomicU64::new(0);
     let shed_expired = AtomicU64::new(0);
 
-    let mut stats = ServeStats::default();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                worker_loop(
-                    engine,
-                    cfg,
-                    &state,
-                    &not_empty,
-                    &not_full,
-                    &emitter,
-                    obs,
-                    &served,
-                    &shed_expired,
-                );
+    // The telemetry listener (when requested) binds before any query
+    // runs, so a scrape racing the first request still connects.
+    let listener =
+        cfg.telemetry_addr
+            .as_deref()
+            .and_then(|addr| match std::net::TcpListener::bind(addr) {
+                Ok(l) => {
+                    if let Err(e) = l.set_nonblocking(true) {
+                        *lock(&tele.listener_error) = Some(e.to_string());
+                        return None;
+                    }
+                    *lock(&tele.bound) = l.local_addr().ok();
+                    Some(l)
+                }
+                Err(e) => {
+                    *lock(&tele.listener_error) = Some(format!("bind {addr}: {e}"));
+                    None
+                }
             });
-        }
+    let stop = AtomicBool::new(false);
 
-        // Submitter: the calling thread. Each submission gets the next
-        // seq so responses come back in input order.
-        let mut seq = 0u64;
-        for sub in requests {
-            stats.submitted += 1;
-            if let Some(o) = obs {
-                o.inc("gpssn_serve_submitted_total", &[], 1);
+    let mut stats = ServeStats::default();
+    std::thread::scope(|outer| {
+        if let Some(l) = listener {
+            let ctx = crate::telemetry::TelemetryCtx {
+                engine,
+                tele,
+                queue_capacity: capacity,
+                workers: threads,
+            };
+            let stop = &stop;
+            outer.spawn(move || crate::telemetry::run_listener(l, stop, ctx));
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    worker_loop(
+                        engine,
+                        cfg,
+                        &state,
+                        &not_empty,
+                        &not_full,
+                        &emitter,
+                        obs,
+                        &served,
+                        &shed_expired,
+                    );
+                });
             }
-            let req = match sub {
-                Submission::Rejected { id, error } => {
-                    stats.rejected += 1;
+
+            // Submitter: the calling thread. Each submission gets the
+            // next seq so responses come back in input order.
+            let mut seq = 0u64;
+            for sub in requests {
+                stats.submitted += 1;
+                if let Some(o) = obs {
+                    o.inc("gpssn_serve_submitted_total", &[], 1);
+                }
+                let req = match sub {
+                    Submission::Rejected { id, error } => {
+                        stats.rejected += 1;
+                        let result = Err(error);
+                        record_completion(
+                            tele,
+                            seq,
+                            &result,
+                            Duration::ZERO,
+                            Duration::ZERO,
+                            Vec::new(),
+                            false,
+                        );
+                        lock(&emitter).emit(
+                            seq,
+                            ServeResponse {
+                                id,
+                                result,
+                                queue_wait: Duration::ZERO,
+                            },
+                        );
+                        seq += 1;
+                        continue;
+                    }
+                    Submission::Request(req) => req,
+                };
+                let now = Instant::now();
+                // Submission-time shed: a deadline of zero was dead on
+                // arrival; don't even queue it.
+                if req.budget.deadline.is_some_and(|d| d.is_zero()) {
+                    stats.shed_expired += 1;
+                    shed(obs, "expired");
+                    let result = Err(GpSsnError::DeadlineExpired);
+                    record_completion(
+                        tele,
+                        seq,
+                        &result,
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        Vec::new(),
+                        false,
+                    );
                     lock(&emitter).emit(
                         seq,
                         ServeResponse {
-                            id,
-                            result: Err(error),
+                            id: req.id,
+                            result,
                             queue_wait: Duration::ZERO,
                         },
                     );
                     seq += 1;
                     continue;
                 }
-                Submission::Request(req) => req,
-            };
-            let now = Instant::now();
-            // Submission-time shed: a deadline of zero was dead on
-            // arrival; don't even queue it.
-            if req.budget.deadline.is_some_and(|d| d.is_zero()) {
-                stats.shed_expired += 1;
-                shed(obs, "expired");
-                lock(&emitter).emit(
-                    seq,
-                    ServeResponse {
-                        id: req.id,
-                        result: Err(GpSsnError::DeadlineExpired),
-                        queue_wait: Duration::ZERO,
-                    },
-                );
-                seq += 1;
-                continue;
-            }
-            let deadline_at = req.budget.deadline.map(|d| now + d);
-            // Fault site: pretend the queue is full at admission. Shed
-            // under either policy — blocking on a fault that nothing
-            // will ever clear would wedge the submitter.
-            let forced_full = gpssn_failpoint::failpoint!("serve::queue_full");
-            let mut st = lock(&state);
-            let admitted = if forced_full {
-                false
-            } else {
-                loop {
-                    if st.queue.len() < capacity {
-                        break true;
-                    }
-                    match cfg.overload {
-                        OverloadPolicy::Shed => break false,
-                        OverloadPolicy::Block => {
-                            st = not_full.wait(st).unwrap_or_else(|p| p.into_inner());
+                let deadline_at = req.budget.deadline.map(|d| now + d);
+                // Fault site: pretend the queue is full at admission.
+                // Shed under either policy — blocking on a fault that
+                // nothing will ever clear would wedge the submitter.
+                let forced_full = gpssn_failpoint::failpoint!("serve::queue_full");
+                let mut st = lock(&state);
+                let admitted = if forced_full {
+                    false
+                } else {
+                    loop {
+                        if st.queue.len() < capacity {
+                            break true;
+                        }
+                        match cfg.overload {
+                            OverloadPolicy::Shed => break false,
+                            OverloadPolicy::Block => {
+                                st = not_full.wait(st).unwrap_or_else(|p| p.into_inner());
+                            }
                         }
                     }
+                };
+                if !admitted {
+                    let depth = st.queue.len();
+                    drop(st);
+                    stats.shed_overloaded += 1;
+                    shed(obs, "overloaded");
+                    let result = Err(GpSsnError::Overloaded { depth, capacity });
+                    record_completion(
+                        tele,
+                        seq,
+                        &result,
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        Vec::new(),
+                        false,
+                    );
+                    lock(&emitter).emit(
+                        seq,
+                        ServeResponse {
+                            id: req.id,
+                            result,
+                            queue_wait: Duration::ZERO,
+                        },
+                    );
+                    seq += 1;
+                    continue;
                 }
-            };
-            if !admitted {
-                let depth = st.queue.len();
-                drop(st);
-                stats.shed_overloaded += 1;
-                shed(obs, "overloaded");
-                lock(&emitter).emit(
+                st.queue.push_back(Queued {
                     seq,
-                    ServeResponse {
-                        id: req.id,
-                        result: Err(GpSsnError::Overloaded { depth, capacity }),
-                        queue_wait: Duration::ZERO,
-                    },
-                );
+                    req,
+                    enqueued: now,
+                    deadline_at,
+                });
+                let depth = tele.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                note_depth(obs, depth);
+                drop(st);
+                not_empty.notify_one();
                 seq += 1;
-                continue;
             }
-            st.queue.push_back(Queued {
-                seq,
-                req,
-                enqueued: now,
-                deadline_at,
-            });
-            note_depth(obs, st.queue.len());
-            drop(st);
-            not_empty.notify_one();
-            seq += 1;
-        }
 
-        // Graceful drain: close the queue; workers finish what is
-        // admitted and exit.
-        lock(&state).closed = true;
-        not_empty.notify_all();
+            // Graceful drain: close the queue; workers finish what is
+            // admitted and exit.
+            lock(&state).closed = true;
+            not_empty.notify_all();
+        });
+        // Workers are done; stop the listener and let the outer scope
+        // join it.
+        stop.store(true, Ordering::Relaxed);
     });
+
+    // Every admitted request was dispatched, so the depth counter — and
+    // the gauge derived from it — must read exactly zero again. The
+    // counter is the source of truth; resync the gauge in case gauge
+    // writes raced.
+    debug_assert_eq!(tele.queue_depth(), 0, "queue depth must drain to 0");
+    note_depth(obs, tele.queue_depth());
 
     stats.served = served.load(Ordering::Relaxed);
     stats.shed_expired += shed_expired.load(Ordering::Relaxed);
@@ -382,6 +591,8 @@ fn worker_loop<F: FnMut(ServeResponse)>(
     served: &AtomicU64,
     shed_expired: &AtomicU64,
 ) {
+    let tele = cfg.telemetry.as_ref();
+    let tracer = engine.obs_handle().map(|o| o.tracer());
     loop {
         let mut st = lock(state);
         let item = loop {
@@ -394,7 +605,10 @@ fn worker_loop<F: FnMut(ServeResponse)>(
             st = not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
         };
         if item.is_some() {
-            note_depth(obs, st.queue.len());
+            // Decrement on *every* dequeue — the request may yet shed
+            // on deadline or panic, but it has left the queue.
+            let depth = tele.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            note_depth(obs, depth);
         }
         drop(st);
         let Some(it) = item else {
@@ -407,31 +621,60 @@ fn worker_loop<F: FnMut(ServeResponse)>(
             o.observe(
                 "gpssn_serve_queue_wait_ns",
                 &[],
-                wait.as_nanos().min(u64::MAX as u128) as u64,
+                wait.as_nanos().min(NS_MAX) as u64,
             );
         }
         let now = Instant::now();
-        let result = match it.deadline_at {
-            // Dispatch-time shed: the request aged out in the queue.
-            // The engine never sees it.
-            Some(at) if now >= at => {
-                shed_expired.fetch_add(1, Ordering::Relaxed);
-                shed(obs, "expired");
-                Err(GpSsnError::DeadlineExpired)
-            }
-            _ => {
-                let mut budget = it.req.budget.clone();
-                if let Some(at) = it.deadline_at {
-                    // The queue wait already spent part of the deadline.
-                    budget.deadline = Some(at.saturating_duration_since(now));
+        // Buffer this request's spans; the tail sampler decides at
+        // completion whether the trace survives. `None` when tracing
+        // is off — nothing to buffer, nothing to decide.
+        let capture = tracer.and_then(|t| t.begin_capture());
+        let result = {
+            let _root = tracer.map(|t| t.span("serve_request"));
+            match it.deadline_at {
+                // Dispatch-time shed: the request aged out in the
+                // queue. The engine never sees it.
+                Some(at) if now >= at => {
+                    shed_expired.fetch_add(1, Ordering::Relaxed);
+                    shed(obs, "expired");
+                    Err(GpSsnError::DeadlineExpired)
                 }
-                served.fetch_add(1, Ordering::Relaxed);
-                if let Some(o) = obs {
-                    o.inc("gpssn_serve_served_total", &[], 1);
+                _ => {
+                    let mut budget = it.req.budget.clone();
+                    if let Some(at) = it.deadline_at {
+                        // The queue wait already spent part of the
+                        // deadline.
+                        budget.deadline = Some(at.saturating_duration_since(now));
+                    }
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = obs {
+                        o.inc("gpssn_serve_served_total", &[], 1);
+                    }
+                    run_isolated(engine, &it.req.query, &cfg.options, &budget)
                 }
-                run_isolated(engine, &it.req.query, &cfg.options, &budget)
             }
         };
+        let total = it.enqueued.elapsed();
+        let (class, _, _) = classify(&result);
+        let mut phases = Vec::new();
+        let mut committed = false;
+        if let Some(cap) = capture {
+            phases = phase_breakdown(&cap.records());
+            let interesting = class != ServeClass::Ok;
+            match tele
+                .tail
+                .decide(total.as_nanos().min(NS_MAX) as u64, interesting)
+            {
+                TailDecision::Keep(_) => {
+                    if let Some(t) = tracer {
+                        cap.commit(t);
+                        committed = true;
+                    }
+                }
+                TailDecision::Drop => cap.discard(),
+            }
+        }
+        record_completion(tele, it.seq, &result, total, wait, phases, committed);
         lock(emitter).emit(
             it.seq,
             ServeResponse {
@@ -449,11 +692,145 @@ fn shed(obs: Option<&Obs>, reason: &'static str) {
     }
 }
 
-fn note_depth(obs: Option<&Obs>, depth: usize) {
+fn note_depth(obs: Option<&Obs>, depth: i64) {
     if let Some(o) = obs {
         o.registry()
             .set_gauge("gpssn_serve_queue_depth", &[], depth as f64);
     }
+}
+
+/// Coarse outcome class plus the degradation rung and error code,
+/// derived from one response's result.
+fn classify(result: &Result<QueryOutcome, GpSsnError>) -> (ServeClass, &'static str, &'static str) {
+    match result {
+        Ok(out) => match &out.completion {
+            Completion::Exact => (ServeClass::Ok, "exact", ""),
+            Completion::TruncatedWithGap(_) => (ServeClass::Degraded, "truncated", ""),
+            Completion::DegradedSampling => (ServeClass::Degraded, "sampling", ""),
+            Completion::Failed(e) => (ServeClass::Error, "failed", error_code(e)),
+        },
+        Err(e @ (GpSsnError::DeadlineExpired | GpSsnError::Overloaded { .. })) => {
+            (ServeClass::Shed, "", error_code(e))
+        }
+        Err(e) => (ServeClass::Error, "", error_code(e)),
+    }
+}
+
+/// Which distance backend actually served the request's batches.
+fn backend_label(out: &QueryOutcome) -> &'static str {
+    let b = &out.metrics.backend_served;
+    match (b.ch_batches > 0, b.dijkstra_batches > 0) {
+        (true, true) => "mixed",
+        (true, false) => "ch",
+        (false, true) => "dijkstra",
+        (false, false) => "",
+    }
+}
+
+/// The Fig-7 pruning counters of a finished outcome, flattened for the
+/// flight record.
+fn flight_counters(out: &QueryOutcome) -> FlightCounters {
+    let s = &out.metrics.stats;
+    FlightCounters {
+        users_total: s.users_total as u64,
+        users_pruned_index: s.users_pruned_index as u64,
+        users_pruned_object: s.users_pruned_object as u64,
+        pois_total: s.pois_total as u64,
+        pois_pruned_index: s.pois_pruned_index as u64,
+        pois_pruned_object: s.pois_pruned_object as u64,
+        candidate_users: s.candidate_users as u64,
+        candidate_pois: s.candidate_pois as u64,
+        pairs_refined: s.pairs_refined,
+    }
+}
+
+/// Per-phase wall-clock breakdown from a query's captured spans: the
+/// children of the engine's `query` span(s) (falling back to children
+/// of the `serve_request` root when the engine never opened one),
+/// aggregated by name in first-start order.
+fn phase_breakdown(recs: &[SpanRecord]) -> Vec<(&'static str, u64)> {
+    use std::collections::HashSet;
+    let mut parents: HashSet<u64> = recs
+        .iter()
+        .filter(|r| r.name == "query")
+        .map(|r| r.id)
+        .collect();
+    if parents.is_empty() {
+        parents = recs
+            .iter()
+            .filter(|r| r.name == "serve_request")
+            .map(|r| r.id)
+            .collect();
+    }
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut sums: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in recs {
+        if parents.contains(&r.parent) {
+            let e = sums.entry(r.name).or_insert_with(|| {
+                order.push(r.name);
+                0
+            });
+            *e += r.dur_ns;
+        }
+    }
+    order.into_iter().map(|n| (n, sums[n])).collect()
+}
+
+const NS_MAX: u128 = u64::MAX as u128;
+
+/// Records one finished (or shed, or rejected) submission into the
+/// flight recorder and the rolling SLO windows. Called on every path
+/// that emits a response, so the continuous layer sees exactly the
+/// stream the caller sees.
+#[allow(clippy::too_many_arguments)]
+fn record_completion(
+    tele: &ServeObs,
+    seq: u64,
+    result: &Result<QueryOutcome, GpSsnError>,
+    total: Duration,
+    queue_wait: Duration,
+    phases: Vec<(&'static str, u64)>,
+    trace_committed: bool,
+) {
+    let (class, completion, code) = classify(result);
+    let total_ns = total.as_nanos().min(NS_MAX) as u64;
+    let queue_wait_ns = queue_wait.as_nanos().min(NS_MAX) as u64;
+    let now_ns = tele.slo.now_ns();
+    tele.slo.record(now_ns, total_ns, queue_wait_ns, class);
+    let (backend, io_pages, heap_pops, settles, cache_hits, cache_misses, counters) = match result {
+        Ok(out) => {
+            let c = &out.metrics.cache;
+            (
+                backend_label(out),
+                out.metrics.io_pages,
+                out.metrics.heap_pops,
+                out.metrics.total_settles(),
+                c.ball_hits + c.dist_hits,
+                c.ball_misses + c.dist_misses,
+                flight_counters(out),
+            )
+        }
+        Err(_) => ("", 0, 0, 0, 0, 0, FlightCounters::default()),
+    };
+    tele.flight.record(FlightRecord {
+        id: 0, // assigned by the recorder
+        seq,
+        class: class.label(),
+        completion,
+        code,
+        backend,
+        end_ns: now_ns,
+        total_ns,
+        queue_wait_ns,
+        io_pages,
+        heap_pops,
+        settles,
+        cache_hits,
+        cache_misses,
+        counters,
+        phases,
+        trace_committed,
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -624,6 +1001,26 @@ fn push_error(line: &mut String, e: &GpSsnError) {
     ));
 }
 
+/// Renders one `{"control":...}` line's reply: the same dumps the HTTP
+/// endpoint serves, delivered in-stream on demand.
+fn control_response(engine: &GpSsnEngine<'_>, tele: &ServeObs, what: &str) -> String {
+    match what {
+        "flight" => format!("{{\"control\":\"flight\",\"data\":{}}}", tele.flight().to_json()),
+        "slo" => format!(
+            "{{\"control\":\"slo\",\"data\":{}}}",
+            tele.slo().to_json(tele.slo().now_ns())
+        ),
+        "metrics" => format!(
+            "{{\"control\":\"metrics\",\"data\":{}}}",
+            crate::telemetry::metrics_json(engine, tele)
+        ),
+        other => format!(
+            "{{\"control\":\"{}\",\"error\":\"unknown control (expected flight, slo, or metrics)\"}}",
+            json::escape(other)
+        ),
+    }
+}
+
 /// Streams JSONL requests from `input` through the service and writes
 /// one JSONL response line per input line to `output`, in input order,
 /// flushing after every line so downstream consumers see answers as
@@ -631,6 +1028,11 @@ fn push_error(line: &mut String, e: &GpSsnError) {
 /// never slurped — so `gpq serve` on stdin and file mode share this one
 /// reader. A malformed line yields an in-order error record
 /// (`"code":"invalid_query"`) and the stream continues.
+///
+/// A line of the form `{"control":"flight"}` (or `"slo"`, `"metrics"`)
+/// is not a query: it writes one `{"control":...,"data":...}` dump line
+/// immediately — ahead of responses still in flight — and does not
+/// count as a submission.
 ///
 /// The returned `Err` only reports I/O failures on `input`/`output`;
 /// query-level failures are response records.
@@ -642,7 +1044,7 @@ pub fn serve_jsonl<R: BufRead, W: Write + Send>(
 ) -> std::io::Result<ServeStats> {
     let io_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
     let out = Mutex::new(output);
-    let submissions = input.lines().enumerate().map(|(i, line)| {
+    let submissions = input.lines().enumerate().filter_map(|(i, line)| {
         let lineno = i as u64 + 1;
         let line = match line {
             Ok(l) => l,
@@ -657,24 +1059,41 @@ pub fn serve_jsonl<R: BufRead, W: Write + Send>(
                 if slot.is_none() {
                     *slot = Some(e);
                 }
-                return Submission::Rejected {
+                return Some(Submission::Rejected {
                     id: lineno,
                     error: GpSsnError::InvalidQuery(format!("line {lineno}: read error: {msg}")),
-                };
+                });
             }
         };
         if line.trim().is_empty() {
-            return Submission::Rejected {
+            return Some(Submission::Rejected {
                 id: lineno,
                 error: GpSsnError::InvalidQuery(format!("line {lineno}: empty line")),
-            };
+            });
+        }
+        // Control lines answer immediately and never enter the queue.
+        if line.contains("\"control\"") {
+            if let Ok(v) = json::parse(&line) {
+                if let Some(what) = v.get("control").and_then(|c| c.as_str()) {
+                    let reply = control_response(engine, &cfg.telemetry, what);
+                    let mut w = lock(&out);
+                    let res = writeln!(w, "{reply}").and_then(|()| w.flush());
+                    if let Err(e) = res {
+                        let mut slot = lock(&io_err);
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                    return None;
+                }
+            }
         }
         match parse_request(&line, lineno, &cfg.default_budget) {
-            Ok(req) => Submission::Request(req),
-            Err(msg) => Submission::Rejected {
+            Ok(req) => Some(Submission::Request(req)),
+            Err(msg) => Some(Submission::Rejected {
                 id: lineno,
                 error: GpSsnError::InvalidQuery(format!("line {lineno}: {msg}")),
-            },
+            }),
         }
     });
     let stats = serve(engine, cfg, submissions, |resp| {

@@ -15,15 +15,26 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod tail;
 pub mod trace;
+pub mod window;
 
+pub use flight::{FlightConfig, FlightCounters, FlightRecord, FlightRecorder};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricId,
     Registry, Snapshot, HIST_BUCKETS,
 };
-pub use trace::{chrome_trace_json, text_flamegraph, Span, SpanRecord, Tracer};
+pub use tail::{TailConfig, TailDecision, TailSampler};
+pub use trace::{
+    adopt_capture, capture_handle, chrome_trace_json, text_flamegraph, CaptureAdoptGuard,
+    CaptureHandle, Span, SpanRecord, TraceCapture, Tracer,
+};
+pub use window::{
+    RollingWindow, ServeClass, SloConfig, SloMonitor, SloSnapshot, WindowConfig, WindowHistogram,
+};
 
 use std::cell::RefCell;
 use std::sync::Arc;

@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One finished span. Timestamps are nanoseconds since the tracer's
@@ -67,6 +67,120 @@ thread_local! {
     static TRACE_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     /// Innermost live span on this thread (0 = none).
     static CURRENT_SPAN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Active per-query capture buffer on this thread, if any. While
+    /// set, finished spans land here instead of the tracer's rings —
+    /// the tail sampler later commits or discards the whole buffer.
+    static CAPTURE: std::cell::RefCell<Option<Arc<CaptureInner>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Shared buffer behind one in-flight query's capture: the query
+/// thread and any adopted workers push finished spans here.
+#[derive(Debug, Default)]
+struct CaptureInner {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CaptureInner {
+    fn push(&self, rec: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(rec);
+    }
+}
+
+/// Cloneable, `Send` reference to an active capture — hand it to worker
+/// threads so their spans join the query's buffer (see
+/// [`adopt_capture`]).
+#[derive(Debug, Clone)]
+pub struct CaptureHandle(Arc<CaptureInner>);
+
+/// The capture handle active on this thread, if any. Capture it on the
+/// query thread *before* spawning workers.
+pub fn capture_handle() -> Option<CaptureHandle> {
+    CAPTURE.with(|c| c.borrow().as_ref().map(|a| CaptureHandle(Arc::clone(a))))
+}
+
+/// Routes this thread's finished spans into `handle`'s buffer until the
+/// returned guard drops (restoring whatever capture was active before).
+/// Worker threads adopt the spawning query's capture with this.
+pub fn adopt_capture(handle: &CaptureHandle) -> CaptureAdoptGuard {
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(Arc::clone(&handle.0)));
+    CaptureAdoptGuard { prev }
+}
+
+/// RAII guard from [`adopt_capture`].
+#[must_use = "dropping the guard immediately ends the adoption"]
+pub struct CaptureAdoptGuard {
+    prev: Option<Arc<CaptureInner>>,
+}
+
+impl Drop for CaptureAdoptGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CAPTURE.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// An in-flight per-query span buffer started by
+/// [`Tracer::begin_capture`]. While alive, every span finished on this
+/// thread (and on threads that [`adopt_capture`] its handle) collects
+/// here instead of the tracer's rings. Consume with
+/// [`TraceCapture::commit`] to publish the buffered spans to the sink,
+/// or just drop it to discard them — the tail-sampling primitive.
+#[must_use = "an unbound capture buffers nothing; commit or drop it explicitly"]
+pub struct TraceCapture {
+    inner: Arc<CaptureInner>,
+    prev: Option<Arc<CaptureInner>>,
+}
+
+impl std::fmt::Debug for TraceCapture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCapture").finish()
+    }
+}
+
+impl TraceCapture {
+    /// A cloneable handle for worker threads.
+    pub fn handle(&self) -> CaptureHandle {
+        CaptureHandle(Arc::clone(&self.inner))
+    }
+
+    /// Snapshot of the spans buffered so far, sorted by `(start_ns,
+    /// id)`. Used to derive per-phase breakdowns for flight records
+    /// without committing the trace.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut out = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        out.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+
+    /// Publishes the buffered spans to `tracer`'s rings and ends the
+    /// capture. Returns how many spans were committed.
+    pub fn commit(self, tracer: &Tracer) -> usize {
+        let spans =
+            std::mem::take(&mut *self.inner.spans.lock().unwrap_or_else(|p| p.into_inner()));
+        let n = spans.len();
+        tracer.push_records(spans);
+        n
+    }
+
+    /// Ends the capture, dropping the buffered spans. Equivalent to
+    /// letting it fall out of scope; named for call-site clarity.
+    pub fn discard(self) {}
+}
+
+impl Drop for TraceCapture {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CAPTURE.with(|c| *c.borrow_mut() = prev);
+    }
 }
 
 /// The span sink. Cheap to share behind `Arc`; all methods take `&self`.
@@ -146,6 +260,32 @@ impl Tracer {
         }
     }
 
+    /// Starts buffering this thread's spans into a fresh capture (see
+    /// [`TraceCapture`]). Returns `None` when tracing is disabled — no
+    /// spans would be produced, so there is nothing to buffer.
+    pub fn begin_capture(&self) -> Option<TraceCapture> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let inner = Arc::new(CaptureInner::default());
+        let prev = CAPTURE.with(|c| c.borrow_mut().replace(Arc::clone(&inner)));
+        Some(TraceCapture { inner, prev })
+    }
+
+    /// Pushes already-finished records into the rings — the commit half
+    /// of tail sampling. Records are sharded by their recorded `tid`,
+    /// same as the live path.
+    pub fn push_records(&self, records: Vec<SpanRecord>) {
+        for rec in records {
+            let shard = (rec.tid as usize) % SHARDS;
+            let mut ring = match self.shards[shard].lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            ring.push(rec);
+        }
+    }
+
     fn record(&self, span: &Span<'_>) {
         let start_ns = span
             .start
@@ -161,6 +301,18 @@ impl Tracer {
             start_ns,
             dur_ns,
         };
+        // An active capture on this thread intercepts the record; it
+        // reaches the rings only if the capture is later committed.
+        let captured = CAPTURE.with(|c| match c.borrow().as_ref() {
+            Some(cap) => {
+                cap.push(rec.clone());
+                true
+            }
+            None => false,
+        });
+        if captured {
+            return;
+        }
         let shard = (rec.tid as usize) % SHARDS;
         let mut ring = match self.shards[shard].lock() {
             Ok(g) => g,
@@ -410,6 +562,89 @@ mod tests {
         // the newest and reports the rest dropped.
         assert_eq!(t.records().len(), 1);
         assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn discarded_capture_leaves_no_trace() {
+        let t = Tracer::new(true, 64);
+        let cap = t.begin_capture().unwrap();
+        {
+            let _q = t.span("serve_request");
+            let _r = t.span("refine");
+        }
+        assert_eq!(cap.records().len(), 2);
+        cap.discard();
+        assert!(t.records().is_empty());
+        // After the capture ends, spans go straight to the rings again.
+        {
+            let _q = t.span("query");
+        }
+        assert_eq!(t.records().len(), 1);
+    }
+
+    #[test]
+    fn committed_capture_reaches_the_rings() {
+        let t = Tracer::new(true, 64);
+        let cap = t.begin_capture().unwrap();
+        let qid;
+        {
+            let q = t.span("serve_request");
+            qid = q.id();
+            let _r = t.span("refine");
+        }
+        assert_eq!(cap.commit(&t), 2);
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        let refine = recs.iter().find(|r| r.name == "refine").unwrap();
+        assert_eq!(refine.parent, qid);
+    }
+
+    #[test]
+    fn adopted_workers_feed_the_same_capture() {
+        let t = Tracer::new(true, 64);
+        let cap = t.begin_capture().unwrap();
+        let q = t.span("serve_request");
+        let qid = q.id();
+        let handle = cap.handle();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _adopt = adopt_capture(&handle);
+                let _v = t.span_with_parent("verify_center", qid);
+            });
+        });
+        drop(q);
+        let recs = cap.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().any(|r| r.name == "verify_center"));
+        cap.discard();
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_declines_capture() {
+        let t = Tracer::new(false, 16);
+        assert!(t.begin_capture().is_none());
+    }
+
+    #[test]
+    fn nested_captures_restore_the_outer_one() {
+        let t = Tracer::new(true, 64);
+        let outer = t.begin_capture().unwrap();
+        {
+            let inner = t.begin_capture().unwrap();
+            {
+                let _s = t.span("inner_span");
+            }
+            assert_eq!(inner.records().len(), 1);
+            inner.discard();
+        }
+        {
+            let _s = t.span("outer_span");
+        }
+        let recs = outer.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "outer_span");
+        outer.discard();
     }
 
     #[test]

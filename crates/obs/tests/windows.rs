@@ -1,0 +1,199 @@
+//! Rolling-window accuracy and rotation contracts: the log2-bucketed
+//! quantile estimate stays within its guaranteed factor-of-2 band of
+//! the exact sample quantile across qualitatively different latency
+//! shapes (uniform, lognormal, bimodal), and slot rotation handles the
+//! awkward clocks — stalls, idle gaps, cold slots — without losing or
+//! resurrecting data.
+
+use gpssn_obs::{RollingWindow, ServeClass, SloConfig, SloMonitor, WindowConfig};
+use std::time::Duration;
+
+/// SplitMix64: deterministic samples, no external RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)`.
+fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal via Box–Muller.
+fn normal(state: &mut u64) -> f64 {
+    let u1 = uniform01(state).max(f64::MIN_POSITIVE);
+    let u2 = uniform01(state);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The exact empirical quantile matching `WindowHistogram::quantile`'s
+/// rank convention: the `ceil(q·n)`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Feeds `samples` into one window (all inside the live span) and
+/// asserts every checked quantile lands within the log2 bucket bound:
+/// `[exact / 2, exact * 2]` (the estimate interpolates inside a bucket
+/// spanning `[2^(k-1), 2^k - 1]`).
+fn assert_quantiles_bounded(samples: &[u64], what: &str) {
+    let cfg = WindowConfig::default();
+    let mut w = RollingWindow::new(&cfg);
+    // Spread records across the whole live window so the snapshot
+    // exercises a real multi-slot merge, not one hot slot.
+    let slot_ns = cfg.slot.as_nanos() as u64;
+    let span = slot_ns * cfg.slots as u64;
+    let step = span / samples.len() as u64;
+    for (i, &v) in samples.iter().enumerate() {
+        w.record(i as u64 * step, v);
+    }
+    let snap = w.snapshot(span - 1);
+    assert_eq!(snap.count, samples.len() as u64, "{what}: lost samples");
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        let exact = exact_quantile(&sorted, q);
+        let est = w.snapshot(span - 1).quantile(q);
+        assert!(
+            est >= exact / 2.0 && est <= exact * 2.0,
+            "{what}: p{} estimate {est:.1} outside [{:.1}, {:.1}] (exact {exact:.1})",
+            q * 100.0,
+            exact / 2.0,
+            exact * 2.0
+        );
+    }
+    // The mean is exact (tracked as a sum, not bucketed).
+    let true_mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+    let got_mean = snap.mean();
+    assert!(
+        (got_mean - true_mean).abs() < 1e-6,
+        "{what}: mean {got_mean} != {true_mean}"
+    );
+}
+
+#[test]
+fn quantiles_bounded_on_uniform_latencies() {
+    let mut rng = 0x5eed_0001u64;
+    // Uniform 1–50 ms, in nanoseconds.
+    let samples: Vec<u64> = (0..4000)
+        .map(|_| 1_000_000 + (uniform01(&mut rng) * 49_000_000.0) as u64)
+        .collect();
+    assert_quantiles_bounded(&samples, "uniform");
+}
+
+#[test]
+fn quantiles_bounded_on_lognormal_latencies() {
+    let mut rng = 0x5eed_0002u64;
+    // ln N(ln 8ms, 0.7²): a realistic right-skewed service latency.
+    let mu = (8_000_000f64).ln();
+    let samples: Vec<u64> = (0..4000)
+        .map(|_| (mu + 0.7 * normal(&mut rng)).exp().max(1.0) as u64)
+        .collect();
+    assert_quantiles_bounded(&samples, "lognormal");
+}
+
+#[test]
+fn quantiles_bounded_on_bimodal_latencies() {
+    let mut rng = 0x5eed_0003u64;
+    // 85% cache hits near 2 ms, 15% misses near 80 ms — the split the
+    // paper's pruning-vs-refinement cost induces.
+    let samples: Vec<u64> = (0..4000)
+        .map(|_| {
+            if uniform01(&mut rng) < 0.85 {
+                1_500_000 + (uniform01(&mut rng) * 1_000_000.0) as u64
+            } else {
+                70_000_000 + (uniform01(&mut rng) * 20_000_000.0) as u64
+            }
+        })
+        .collect();
+    assert_quantiles_bounded(&samples, "bimodal");
+}
+
+/// A stalled clock (every record at the same instant) keeps absorbing
+/// into one slot: nothing is lost, nothing ages out.
+#[test]
+fn clock_stall_absorbs_into_one_slot() {
+    let mut w = RollingWindow::new(&WindowConfig::default());
+    for i in 0..100u64 {
+        w.record(5_000_000_000, i + 1);
+    }
+    let snap = w.snapshot(5_000_000_000);
+    assert_eq!(snap.count, 100);
+    // Still fully visible a whole window later minus one slot.
+    assert_eq!(w.snapshot(55_000_000_000).count, 100);
+    // Gone once the window slides past.
+    assert_eq!(w.snapshot(65_000_000_000).count, 0);
+}
+
+/// Traffic with idle gaps: empty slots contribute nothing, cold
+/// (never-written) slots contribute nothing, and old tenancies are
+/// evicted exactly when the window slides past them — not resurrected
+/// by later snapshots.
+#[test]
+fn idle_gaps_and_cold_slots_merge_to_the_live_window_only() {
+    let cfg = WindowConfig {
+        slot: Duration::from_secs(1),
+        slots: 4,
+    };
+    let s = 1_000_000_000u64; // one slot in ns
+    let mut w = RollingWindow::new(&cfg);
+    w.record(0, 10); // slot 0
+    w.record(2 * s, 20); // slot 2; slots 1 and 3 never written
+    assert_eq!(w.snapshot(2 * s).count, 2, "gap slots must not drop data");
+    // Window [1,4]: slot 0 aged out.
+    assert_eq!(w.snapshot(4 * s).count, 1);
+    // New tenancy for ring position 0 (slot index 4) while position 2
+    // still holds live data.
+    w.record(4 * s, 30);
+    assert_eq!(w.snapshot(4 * s).count, 2);
+    // Far-future snapshot: everything aged out, nothing resurrected.
+    assert_eq!(w.snapshot(40 * s).count, 0);
+    // Recording again after the long idle resets the stale tenancy
+    // rather than merging 40-slot-old data.
+    w.record(40 * s, 40);
+    let snap = w.snapshot(40 * s);
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.sum, 40);
+}
+
+/// The same rotation contract at the SloMonitor level: counts observed
+/// through a stall-then-jump clock sequence match what the window rule
+/// says should still be visible.
+#[test]
+fn slo_windows_rotate_with_the_clock() {
+    let mon = SloMonitor::new(
+        &WindowConfig {
+            slot: Duration::from_secs(1),
+            slots: 3,
+        },
+        SloConfig {
+            objective_latency: Duration::from_millis(100),
+            target_fraction: 0.9,
+        },
+    );
+    let s = 1_000_000_000u64;
+    for _ in 0..10 {
+        mon.record(0, 1_000_000, 0, ServeClass::Ok); // stalled clock
+    }
+    mon.record(2 * s, 1_000_000, 0, ServeClass::Error);
+    let snap = mon.snapshot(2 * s);
+    assert_eq!(snap.total, 11);
+    assert_eq!(snap.errors, 1);
+    // Slide one slot: the stalled batch (slot 0) ages out of a 3-slot
+    // window ending in slot 3; the error (slot 2) survives.
+    let snap = mon.snapshot(3 * s);
+    assert_eq!(snap.total, 1);
+    assert_eq!(snap.errors, 1);
+    assert_eq!(snap.error_rate, 1.0);
+    // Idle long enough and the window reads empty — attainment reports
+    // a vacuous 1.0, burn rate 0, rather than NaN.
+    let snap = mon.snapshot(30 * s);
+    assert_eq!(snap.total, 0);
+    assert_eq!(snap.attainment, 1.0);
+    assert_eq!(snap.burn_rate, 0.0);
+}
